@@ -1,0 +1,130 @@
+//! The published numbers of Table 1: the (a, b, c) estimates the paper reports for each network
+//! under the three estimators, at ε = 0.2, δ = 0.01.
+//!
+//! These are used two ways: the KronFit column doubles as the generator parameters of the
+//! dataset stand-ins (see `dataset.rs`), and the whole table is the reference the `table1`
+//! benchmark harness prints next to the values measured by this reproduction (EXPERIMENTS.md
+//! records both).
+
+use kronpriv_skg::Initiator2;
+use serde::{Deserialize, Serialize};
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Network name as printed in the paper.
+    pub network: &'static str,
+    /// Node count of the original network as reported in the paper (figure captions).
+    pub nodes: usize,
+    /// Edge count of the original network as reported in the paper (figure captions).
+    pub edges: usize,
+    /// Kronecker order used for the fits (`2^k ≥ nodes`).
+    pub k: u32,
+    /// The "KronFit" column.
+    pub kronfit: Initiator2,
+    /// The "KronMom" column.
+    pub kronmom: Initiator2,
+    /// The "Private" column (ε = 0.2, δ = 0.01).
+    pub private: Initiator2,
+}
+
+/// The four rows of Table 1. The synthetic row's "generating" parameters are
+/// `[0.99 0.45; 0.45 0.25]` with `k = 14`.
+pub fn paper_table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            network: "CA-GrQc",
+            nodes: 5242,
+            edges: 28980,
+            k: 13,
+            kronfit: Initiator2::new(0.999, 0.245, 0.691),
+            kronmom: Initiator2::new(1.000, 0.4674, 0.2790),
+            private: Initiator2::new(1.000, 0.4618, 0.2930),
+        },
+        Table1Row {
+            network: "CA-HepTh",
+            nodes: 9877,
+            edges: 51971,
+            k: 14,
+            kronfit: Initiator2::new(0.999, 0.271, 0.587),
+            kronmom: Initiator2::new(1.000, 0.4012, 0.3789),
+            private: Initiator2::new(1.000, 0.4048, 0.3720),
+        },
+        Table1Row {
+            network: "AS20",
+            nodes: 6474,
+            edges: 26467,
+            k: 13,
+            kronfit: Initiator2::new(0.987, 0.571, 0.049),
+            kronmom: Initiator2::new(1.000, 0.6300, 0.000),
+            private: Initiator2::new(1.000, 0.6286, 0.000),
+        },
+        Table1Row {
+            network: "Synthetic",
+            nodes: 16384,
+            edges: 0, // the paper does not report the realized edge count of its synthetic graph
+            k: 14,
+            kronfit: Initiator2::new(0.9523, 0.4743, 0.2493),
+            kronmom: Initiator2::new(0.9894, 0.5396, 0.2388),
+            private: Initiator2::new(0.9924, 0.5343, 0.2466),
+        },
+    ]
+}
+
+/// The generating parameters of the paper's synthetic Kronecker graph.
+pub fn synthetic_source_parameters() -> Initiator2 {
+    Initiator2::new(0.99, 0.45, 0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_four_rows_with_the_papers_networks() {
+        let rows = paper_table1();
+        assert_eq!(rows.len(), 4);
+        let names: Vec<&str> = rows.iter().map(|r| r.network).collect();
+        assert_eq!(names, vec!["CA-GrQc", "CA-HepTh", "AS20", "Synthetic"]);
+    }
+
+    #[test]
+    fn kronecker_orders_cover_the_node_counts() {
+        for row in paper_table1() {
+            assert!(1usize << row.k >= row.nodes, "{}: 2^{} < {}", row.network, row.k, row.nodes);
+            assert!(1usize << (row.k - 1) < row.nodes.max(2), "{}: order too large", row.network);
+        }
+    }
+
+    #[test]
+    fn private_column_is_close_to_kronmom_column() {
+        // The paper's headline observation: the private estimates track the non-private
+        // moment-based estimates closely (within ~0.02 per entry).
+        for row in paper_table1() {
+            assert!(
+                row.private.distance(&row.kronmom) < 0.03,
+                "{}: {:?} vs {:?}",
+                row.network,
+                row.private,
+                row.kronmom
+            );
+        }
+    }
+
+    #[test]
+    fn all_parameters_are_canonical_probabilities() {
+        for row in paper_table1() {
+            for theta in [row.kronfit, row.kronmom, row.private] {
+                for p in theta.as_array() {
+                    assert!((0.0..=1.0).contains(&p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_source_matches_the_paper() {
+        let theta = synthetic_source_parameters();
+        assert_eq!(theta.as_array(), [0.99, 0.45, 0.25]);
+    }
+}

@@ -1,0 +1,515 @@
+//! KronFit: the approximate maximum-likelihood estimator of Leskovec & Faloutsos (ICML 2007),
+//! the paper's first baseline (the "KronFit" column of Table 1).
+//!
+//! The likelihood of an observed graph under a stochastic Kronecker model involves an unknown
+//! correspondence between graph nodes and Kronecker indices. KronFit handles it the way the
+//! original algorithm does:
+//!
+//! * the node-to-index assignment `σ` is sampled with a Metropolis chain over transpositions
+//!   (swapping the indices of two nodes), using the likelihood itself as the stationary
+//!   distribution,
+//! * the log-likelihood over the quadratically many non-edges is approximated by the second-
+//!   order Taylor expansion `ln(1 − p) ≈ −p − p²/2`, whose sum over *all* pairs has a closed
+//!   form under the Kronecker structure; the exact edge terms are then corrected in,
+//! * the initiator parameters follow the averaged stochastic gradient of that approximate
+//!   log-likelihood, normalised to an infinity-norm trust region and projected into `[θmin, 1]`.
+//!
+//! Nodes beyond the observed node count (the padding up to `2^k`) participate in the assignment
+//! but carry no edges, exactly as in the reference implementation.
+
+use crate::{kronecker_order_for, FittedInitiator};
+use kronpriv_graph::Graph;
+use kronpriv_skg::Initiator2;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Options for the KronFit estimator.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KronFitOptions {
+    /// Number of gradient-ascent steps.
+    pub gradient_steps: usize,
+    /// Metropolis swap proposals executed before the first gradient sample of each step.
+    pub warmup_swaps: usize,
+    /// Number of permutation samples averaged per gradient step.
+    pub samples_per_step: usize,
+    /// Metropolis swap proposals between consecutive samples.
+    pub swaps_between_samples: usize,
+    /// Initial trust-region radius (infinity norm of the per-step parameter update).
+    pub learning_rate: f64,
+    /// Lower clamp applied to every parameter (keeps `ln θ` finite).
+    pub min_parameter: f64,
+    /// Starting initiator.
+    pub initial: Initiator2,
+}
+
+impl Default for KronFitOptions {
+    fn default() -> Self {
+        KronFitOptions {
+            gradient_steps: 60,
+            warmup_swaps: 20_000,
+            samples_per_step: 4,
+            swaps_between_samples: 2_000,
+            learning_rate: 0.06,
+            min_parameter: 1e-3,
+            initial: Initiator2::new(0.9, 0.6, 0.2),
+        }
+    }
+}
+
+/// The KronFit estimator.
+#[derive(Debug, Clone, Default)]
+pub struct KronFitEstimator {
+    options: KronFitOptions,
+}
+
+/// Internal fitting state: the node-to-Kronecker-index assignment and its inverse.
+struct Assignment {
+    /// `sigma[node] = kronecker index`.
+    sigma: Vec<usize>,
+    /// `node_at[index] = node` (padding nodes included).
+    node_at: Vec<usize>,
+}
+
+impl Assignment {
+    fn identity(n_padded: usize) -> Self {
+        Assignment { sigma: (0..n_padded).collect(), node_at: (0..n_padded).collect() }
+    }
+
+    fn swap_nodes(&mut self, u: usize, v: usize) {
+        let (iu, iv) = (self.sigma[u], self.sigma[v]);
+        self.sigma[u] = iv;
+        self.sigma[v] = iu;
+        self.node_at[iu] = v;
+        self.node_at[iv] = u;
+    }
+}
+
+/// Digit-pair counts of an index pair: how many bit positions fall in the `a`, `b`, `c` cells of
+/// the initiator.
+fn digit_counts(x: usize, y: usize, k: u32) -> (u32, u32, u32) {
+    let mut na = 0;
+    let mut nb = 0;
+    let mut nc = 0;
+    for bit in 0..k {
+        match ((x >> bit) & 1, (y >> bit) & 1) {
+            (0, 0) => na += 1,
+            (1, 1) => nc += 1,
+            _ => nb += 1,
+        }
+    }
+    (na, nb, nc)
+}
+
+fn edge_probability(theta: &Initiator2, counts: (u32, u32, u32)) -> f64 {
+    theta.a.powi(counts.0 as i32) * theta.b.powi(counts.1 as i32) * theta.c.powi(counts.2 as i32)
+}
+
+/// Per-edge contribution to the corrected log-likelihood: `ln p + p + p²/2`.
+fn edge_term(theta: &Initiator2, counts: (u32, u32, u32)) -> f64 {
+    let p = edge_probability(theta, counts);
+    p.ln() + p + 0.5 * p * p
+}
+
+/// The permutation-independent closed-form part: `−½(S − S_diag) − ¼(S₂ − S₂_diag)` where `S`
+/// and `S₂` are the sums of `p` and `p²` over all ordered pairs (including loops).
+fn closed_form_part(theta: &Initiator2, k: u32) -> f64 {
+    let (a, b, c) = (theta.a, theta.b, theta.c);
+    let s_all = (a + 2.0 * b + c).powi(k as i32);
+    let s_diag = (a + c).powi(k as i32);
+    let s2_all = (a * a + 2.0 * b * b + c * c).powi(k as i32);
+    let s2_diag = (a * a + c * c).powi(k as i32);
+    -0.5 * (s_all - s_diag) - 0.25 * (s2_all - s2_diag)
+}
+
+/// Gradient of [`closed_form_part`] with respect to `(a, b, c)`.
+fn closed_form_gradient(theta: &Initiator2, k: u32) -> [f64; 3] {
+    let (a, b, c) = (theta.a, theta.b, theta.c);
+    let kf = k as f64;
+    let s_all = (a + 2.0 * b + c).powi(k as i32 - 1);
+    let s_diag = (a + c).powi(k as i32 - 1);
+    let s2_all = (a * a + 2.0 * b * b + c * c).powi(k as i32 - 1);
+    let s2_diag = (a * a + c * c).powi(k as i32 - 1);
+    [
+        -0.5 * kf * (s_all - s_diag) - 0.25 * kf * (2.0 * a * s2_all - 2.0 * a * s2_diag),
+        -0.5 * kf * 2.0 * s_all - 0.25 * kf * 4.0 * b * s2_all,
+        -0.5 * kf * (s_all - s_diag) - 0.25 * kf * (2.0 * c * s2_all - 2.0 * c * s2_diag),
+    ]
+}
+
+impl KronFitEstimator {
+    /// Creates an estimator with the given options.
+    pub fn new(options: KronFitOptions) -> Self {
+        KronFitEstimator { options }
+    }
+
+    /// Fits an initiator to `g` by stochastic gradient ascent on the approximate log-likelihood.
+    pub fn fit_graph<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> FittedInitiator {
+        let k = kronecker_order_for(g.node_count());
+        let n_padded = 1usize << k;
+        let mut theta = clamp_theta(&self.options.initial, self.options.min_parameter);
+        let mut assignment = Assignment::identity(n_padded);
+        let mut evaluations = 0usize;
+
+        for step in 0..self.options.gradient_steps {
+            // Metropolis warm-up at the current parameters.
+            self.run_swaps(g, &theta, k, n_padded, &mut assignment, self.options.warmup_swaps, rng);
+
+            // Average the gradient over a few spaced-out permutation samples.
+            let mut gradient = [0.0f64; 3];
+            for sample in 0..self.options.samples_per_step {
+                if sample > 0 {
+                    self.run_swaps(
+                        g,
+                        &theta,
+                        k,
+                        n_padded,
+                        &mut assignment,
+                        self.options.swaps_between_samples,
+                        rng,
+                    );
+                }
+                let grad = self.gradient(g, &theta, k, &assignment);
+                for i in 0..3 {
+                    gradient[i] += grad[i] / self.options.samples_per_step as f64;
+                }
+                evaluations += 1;
+            }
+
+            // Trust-region ascent step: normalise to infinity norm, decay the radius.
+            let max_component = gradient.iter().map(|g| g.abs()).fold(0.0_f64, f64::max);
+            if max_component <= 1e-15 {
+                break;
+            }
+            let radius = self.options.learning_rate / (1.0 + step as f64 / 20.0);
+            let mut params = theta.as_array();
+            for i in 0..3 {
+                params[i] += radius * gradient[i] / max_component;
+            }
+            theta = clamp_theta(&Initiator2::clamped(params[0], params[1], params[2]),
+                                self.options.min_parameter);
+        }
+
+        let final_ll = self.log_likelihood(g, &theta, k, &assignment);
+        FittedInitiator {
+            theta: theta.canonicalized(),
+            k,
+            objective_value: -final_ll,
+            evaluations,
+        }
+    }
+
+    /// Approximate log-likelihood of `g` under `theta` for the current assignment.
+    fn log_likelihood(&self, g: &Graph, theta: &Initiator2, k: u32, asg: &Assignment) -> f64 {
+        let mut ll = closed_form_part(theta, k);
+        for &(u, v) in g.edges() {
+            let counts = digit_counts(asg.sigma[u as usize], asg.sigma[v as usize], k);
+            ll += edge_term(theta, counts);
+        }
+        ll
+    }
+
+    /// Gradient of the approximate log-likelihood with respect to `(a, b, c)`.
+    fn gradient(&self, g: &Graph, theta: &Initiator2, k: u32, asg: &Assignment) -> [f64; 3] {
+        let mut grad = closed_form_gradient(theta, k);
+        for &(u, v) in g.edges() {
+            let counts = digit_counts(asg.sigma[u as usize], asg.sigma[v as usize], k);
+            let p = edge_probability(theta, counts);
+            let weight = 1.0 + p + p * p;
+            grad[0] += counts.0 as f64 / theta.a * weight;
+            grad[1] += counts.1 as f64 / theta.b * weight;
+            grad[2] += counts.2 as f64 / theta.c * weight;
+        }
+        grad
+    }
+
+    /// Runs `swaps` Metropolis proposals, each swapping the Kronecker indices of two uniformly
+    /// chosen nodes (padding nodes included) and accepting with the likelihood ratio.
+    fn run_swaps<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        theta: &Initiator2,
+        k: u32,
+        n_padded: usize,
+        asg: &mut Assignment,
+        swaps: usize,
+        rng: &mut R,
+    ) {
+        for _ in 0..swaps {
+            let u = rng.gen_range(0..n_padded);
+            let v = rng.gen_range(0..n_padded);
+            if u == v {
+                continue;
+            }
+            let delta = self.swap_delta(g, theta, k, asg, u, v);
+            if delta >= 0.0 || rng.gen::<f64>() < delta.exp() {
+                asg.swap_nodes(u, v);
+            }
+        }
+    }
+
+    /// Change in the edge part of the log-likelihood if nodes `u` and `v` exchanged Kronecker
+    /// indices. Only edges incident to `u` or `v` are affected; the closed-form part is
+    /// permutation-invariant.
+    fn swap_delta(
+        &self,
+        g: &Graph,
+        theta: &Initiator2,
+        k: u32,
+        asg: &Assignment,
+        u: usize,
+        v: usize,
+    ) -> f64 {
+        let n = g.node_count();
+        let (iu, iv) = (asg.sigma[u], asg.sigma[v]);
+        let mut delta = 0.0;
+        // Contributions of edges incident to u.
+        if u < n {
+            for &w in g.neighbors(u as u32) {
+                let w = w as usize;
+                if w == v {
+                    continue; // handled below to avoid double counting
+                }
+                let iw = asg.sigma[w];
+                delta += edge_term(theta, digit_counts(iv, iw, k))
+                    - edge_term(theta, digit_counts(iu, iw, k));
+            }
+        }
+        if v < n {
+            for &w in g.neighbors(v as u32) {
+                let w = w as usize;
+                if w == u {
+                    continue;
+                }
+                let iw = asg.sigma[w];
+                delta += edge_term(theta, digit_counts(iu, iw, k))
+                    - edge_term(theta, digit_counts(iv, iw, k));
+            }
+        }
+        // The edge {u, v} itself keeps the same (unordered) index pair, so it contributes no
+        // change — p is symmetric in its arguments for a symmetric initiator.
+        delta
+    }
+}
+
+fn clamp_theta(theta: &Initiator2, min_parameter: f64) -> Initiator2 {
+    Initiator2::clamped(
+        theta.a.max(min_parameter),
+        theta.b.max(min_parameter),
+        theta.c.max(min_parameter),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kronpriv_skg::moments::expected_edges;
+    use kronpriv_skg::sample::{sample_fast, SamplerOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_options() -> KronFitOptions {
+        KronFitOptions {
+            gradient_steps: 40,
+            warmup_swaps: 4_000,
+            samples_per_step: 2,
+            swaps_between_samples: 500,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn digit_counts_partition_the_bits() {
+        assert_eq!(digit_counts(0b0000, 0b0000, 4), (4, 0, 0));
+        assert_eq!(digit_counts(0b1111, 0b1111, 4), (0, 0, 4));
+        assert_eq!(digit_counts(0b1010, 0b0101, 4), (0, 4, 0));
+        assert_eq!(digit_counts(0b1100, 0b1010, 4), (1, 2, 1));
+    }
+
+    #[test]
+    fn edge_probability_matches_initiator_api() {
+        let theta = Initiator2::new(0.9, 0.5, 0.2);
+        for (x, y) in [(0usize, 0usize), (3, 5), (7, 2), (6, 6)] {
+            let counts = digit_counts(x, y, 3);
+            assert!(
+                (edge_probability(&theta, counts) - theta.edge_probability(3, x, y)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_gradient_matches_finite_differences() {
+        let theta = Initiator2::new(0.8, 0.5, 0.3);
+        let k = 9;
+        let grad = closed_form_gradient(&theta, k);
+        let h = 1e-6;
+        let numerical = [
+            (closed_form_part(&Initiator2::new(0.8 + h, 0.5, 0.3), k)
+                - closed_form_part(&Initiator2::new(0.8 - h, 0.5, 0.3), k))
+                / (2.0 * h),
+            (closed_form_part(&Initiator2::new(0.8, 0.5 + h, 0.3), k)
+                - closed_form_part(&Initiator2::new(0.8, 0.5 - h, 0.3), k))
+                / (2.0 * h),
+            (closed_form_part(&Initiator2::new(0.8, 0.5, 0.3 + h), k)
+                - closed_form_part(&Initiator2::new(0.8, 0.5, 0.3 - h), k))
+                / (2.0 * h),
+        ];
+        for i in 0..3 {
+            let rel = (grad[i] - numerical[i]).abs() / numerical[i].abs().max(1.0);
+            assert!(rel < 1e-4, "component {i}: analytic {} numeric {}", grad[i], numerical[i]);
+        }
+    }
+
+    #[test]
+    fn full_gradient_matches_finite_differences_of_log_likelihood() {
+        let truth = Initiator2::new(0.9, 0.55, 0.25);
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = sample_fast(&truth, 7, &SamplerOptions::default(), &mut rng);
+        let estimator = KronFitEstimator::default();
+        let asg = Assignment::identity(1 << 7);
+        let theta = Initiator2::new(0.8, 0.5, 0.3);
+        let grad = estimator.gradient(&g, &theta, 7, &asg);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut plus = theta.as_array();
+            let mut minus = theta.as_array();
+            plus[i] += h;
+            minus[i] -= h;
+            let ll_plus = estimator.log_likelihood(
+                &g,
+                &Initiator2::from_array(plus),
+                7,
+                &asg,
+            );
+            let ll_minus = estimator.log_likelihood(
+                &g,
+                &Initiator2::from_array(minus),
+                7,
+                &asg,
+            );
+            let numerical = (ll_plus - ll_minus) / (2.0 * h);
+            let rel = (grad[i] - numerical).abs() / numerical.abs().max(1.0);
+            assert!(rel < 1e-3, "component {i}: analytic {} numeric {numerical}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn swap_delta_matches_full_log_likelihood_difference() {
+        let truth = Initiator2::new(0.95, 0.5, 0.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = sample_fast(&truth, 6, &SamplerOptions::default(), &mut rng);
+        let estimator = KronFitEstimator::default();
+        let theta = Initiator2::new(0.85, 0.45, 0.3);
+        let mut asg = Assignment::identity(1 << 6);
+        let before = estimator.log_likelihood(&g, &theta, 6, &asg);
+        for &(u, v) in [(0usize, 5usize), (3, 60), (10, 11), (7, 63)].iter() {
+            let predicted = estimator.swap_delta(&g, &theta, 6, &asg, u, v);
+            asg.swap_nodes(u, v);
+            let after = estimator.log_likelihood(&g, &theta, 6, &asg);
+            assert!(
+                (after - before - predicted).abs() < 1e-9,
+                "swap ({u},{v}): predicted {predicted}, actual {}",
+                after - before
+            );
+            asg.swap_nodes(u, v); // restore
+        }
+    }
+
+    #[test]
+    fn metropolis_swaps_recover_likelihood_from_a_scrambled_assignment() {
+        // Scramble the node-to-index assignment, then let the Metropolis chain run: because the
+        // chain targets the likelihood, it should recover most of the likelihood gap between the
+        // scrambled and the generating (identity) assignment.
+        let truth = Initiator2::new(0.95, 0.5, 0.15);
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = sample_fast(&truth, 8, &SamplerOptions::default(), &mut rng);
+        let estimator = KronFitEstimator::default();
+        let theta = Initiator2::new(0.9, 0.5, 0.2);
+        let n_padded = 1 << 8;
+        let identity_ll =
+            estimator.log_likelihood(&g, &theta, 8, &Assignment::identity(n_padded));
+        let mut asg = Assignment::identity(n_padded);
+        // Scramble with a fixed pseudo-random pass of transpositions.
+        for i in 0..n_padded {
+            let j = (i * 97 + 31) % n_padded;
+            asg.swap_nodes(i, j);
+        }
+        let scrambled_ll = estimator.log_likelihood(&g, &theta, 8, &asg);
+        assert!(scrambled_ll < identity_ll - 50.0, "scrambling should hurt the likelihood");
+        estimator.run_swaps(&g, &theta, 8, n_padded, &mut asg, 60_000, &mut rng);
+        let recovered_ll = estimator.log_likelihood(&g, &theta, 8, &asg);
+        let recovered_fraction = (recovered_ll - scrambled_ll) / (identity_ll - scrambled_ll);
+        assert!(
+            recovered_fraction > 0.5,
+            "chain recovered only {recovered_fraction:.2} of the likelihood gap \
+             (scrambled {scrambled_ll:.1}, recovered {recovered_ll:.1}, identity {identity_ll:.1})"
+        );
+    }
+
+    #[test]
+    fn fit_improves_the_likelihood_over_the_initial_guess() {
+        let truth = Initiator2::new(0.99, 0.45, 0.25);
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = sample_fast(&truth, 9, &SamplerOptions::default(), &mut rng);
+        let estimator = KronFitEstimator::new(quick_options());
+        let k = kronecker_order_for(g.node_count());
+        let initial_ll = estimator.log_likelihood(
+            &g,
+            &quick_options().initial,
+            k,
+            &Assignment::identity(1 << k),
+        );
+        let fit = estimator.fit_graph(&g, &mut rng);
+        assert!(
+            -fit.objective_value > initial_ll,
+            "final LL {} should exceed initial {initial_ll}",
+            -fit.objective_value
+        );
+    }
+
+    #[test]
+    fn fit_recovers_synthetic_parameters_roughly() {
+        // KronFit on a 2^10-node synthetic graph: the paper's Table 1 shows KronFit estimates
+        // differing from the truth by up to ~0.05 in each entry; allow a somewhat wider band at
+        // this reduced size and step budget.
+        let truth = Initiator2::new(0.99, 0.45, 0.25);
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = sample_fast(&truth, 10, &SamplerOptions::default(), &mut rng);
+        let fit = KronFitEstimator::new(quick_options()).fit_graph(&g, &mut rng);
+        assert!((fit.theta.a - truth.a).abs() < 0.15, "{:?}", fit.theta);
+        assert!((fit.theta.b - truth.b).abs() < 0.15, "{:?}", fit.theta);
+        assert!((fit.theta.c - truth.c).abs() < 0.20, "{:?}", fit.theta);
+        // The fitted model should reproduce the observed edge count to the same rough order;
+        // KronFit maximises (approximate) likelihood rather than matching moments, so its edge
+        // count can be off by tens of percent — Table 1 of Gleich & Owen documents exactly this
+        // behaviour, and it is the motivation for the moment-based estimator.
+        let expected = expected_edges(&fit.theta, fit.k);
+        let observed = g.edge_count() as f64;
+        assert!(
+            (expected - observed).abs() / observed < 0.45,
+            "expected edges {expected} vs observed {observed}"
+        );
+    }
+
+    #[test]
+    fn parameters_stay_inside_the_unit_box() {
+        let truth = Initiator2::new(0.7, 0.3, 0.1);
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = sample_fast(&truth, 8, &SamplerOptions::default(), &mut rng);
+        let fit = KronFitEstimator::new(quick_options()).fit_graph(&g, &mut rng);
+        for p in fit.theta.as_array() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn fit_is_reproducible_given_a_seed() {
+        let truth = Initiator2::new(0.9, 0.5, 0.2);
+        let g = sample_fast(&truth, 8, &SamplerOptions::default(), &mut StdRng::seed_from_u64(7));
+        let run = |seed| {
+            KronFitEstimator::new(quick_options())
+                .fit_graph(&g, &mut StdRng::seed_from_u64(seed))
+                .theta
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -1,0 +1,87 @@
+//! `kronpriv-estimate` — the three estimators compared in the paper.
+//!
+//! * **KronMom** ([`kronmom`]) — Gleich & Owen's moment-based estimator: choose the initiator
+//!   whose expected counts of edges, hairpins, triangles and tripins best match the observed
+//!   counts, under a configurable distance/normalisation (Equation 2). This is the "KronMom"
+//!   column of Table 1.
+//! * **KronFit** ([`kronfit`]) — Leskovec & Faloutsos's approximate maximum-likelihood
+//!   estimator: stochastic gradient ascent on the permutation-marginalised likelihood, with
+//!   Metropolis sampling over node-to-Kronecker-index assignments. This is the "KronFit" column
+//!   of Table 1 and the paper's non-moment baseline.
+//! * **Private** ([`private`]) — the paper's contribution (Algorithm 1): feed differentially
+//!   private approximations of the four matching statistics into the KronMom objective. This is
+//!   the "Private" column of Table 1.
+//!
+//! The shared moment-matching objective lives in [`objective`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kronfit;
+pub mod kronmom;
+pub mod objective;
+pub mod private;
+
+pub use kronfit::{KronFitEstimator, KronFitOptions};
+pub use kronmom::{KronMomEstimator, KronMomOptions};
+pub use objective::{DistanceKind, MomentObjective, NormalizationKind};
+pub use private::{PrivateEstimate, PrivateEstimator, PrivateEstimatorOptions};
+
+use kronpriv_skg::Initiator2;
+use serde::{Deserialize, Serialize};
+
+/// A fitted initiator matrix together with fit diagnostics, returned by every estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FittedInitiator {
+    /// The estimated initiator (canonicalised so that `a ≥ c`).
+    pub theta: Initiator2,
+    /// The Kronecker order `k` the fit assumed (`2^k ≥` node count).
+    pub k: u32,
+    /// Final objective value (moment discrepancy for KronMom/Private, negative approximate
+    /// log-likelihood for KronFit).
+    pub objective_value: f64,
+    /// Number of objective/likelihood evaluations or gradient steps spent.
+    pub evaluations: usize,
+}
+
+/// Chooses the Kronecker order for a graph with `node_count` nodes: the smallest `k` with
+/// `2^k ≥ node_count`. The paper's graphs are padded up to the next power of two, exactly as the
+/// SNAP tooling does.
+pub fn kronecker_order_for(node_count: usize) -> u32 {
+    let mut k = 0u32;
+    while (1usize << k) < node_count {
+        k += 1;
+        assert!(k < 63, "graph too large for a Kronecker order");
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kronecker_order_is_ceil_log2() {
+        assert_eq!(kronecker_order_for(1), 0);
+        assert_eq!(kronecker_order_for(2), 1);
+        assert_eq!(kronecker_order_for(3), 2);
+        assert_eq!(kronecker_order_for(1024), 10);
+        assert_eq!(kronecker_order_for(1025), 11);
+        assert_eq!(kronecker_order_for(5242), 13);
+        assert_eq!(kronecker_order_for(9877), 14);
+        assert_eq!(kronecker_order_for(6474), 13);
+    }
+
+    #[test]
+    fn fitted_initiator_serialises() {
+        let fit = FittedInitiator {
+            theta: Initiator2::new(0.99, 0.45, 0.25),
+            k: 14,
+            objective_value: 0.001,
+            evaluations: 123,
+        };
+        let json = serde_json::to_string(&fit).unwrap();
+        let back: FittedInitiator = serde_json::from_str(&json).unwrap();
+        assert_eq!(fit, back);
+    }
+}

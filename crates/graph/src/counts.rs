@@ -1,0 +1,350 @@
+//! The subgraph counts matched by the moment-based estimator.
+//!
+//! Gleich & Owen's estimator (and therefore the paper's private estimator) matches four observed
+//! statistics of the graph against their expectations under the stochastic Kronecker model
+//! (Section 3.4):
+//!
+//! * `E` — the number of edges,
+//! * `H` — the number of *hairpins* (2-stars / wedges): unordered pairs of distinct edges
+//!   sharing an endpoint, `Σ_i C(d_i, 2)`,
+//! * `T` — the number of *tripins* (3-stars): `Σ_i C(d_i, 3)`,
+//! * `Δ` — the number of triangles.
+//!
+//! `E`, `H` and `T` are functions of the degree sequence, which is why the paper can derive
+//! their private approximations from a private degree sequence (Fact 4.6). The triangle count is
+//! not, which is why it gets the smooth-sensitivity treatment; the per-pair common-neighbour
+//! counts exposed here are exactly what that computation needs.
+
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// The four observed statistics `(E, H, T, Δ)` used for moment matching.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchingStatistics {
+    /// Number of undirected edges.
+    pub edges: f64,
+    /// Number of hairpins (wedges / 2-stars).
+    pub hairpins: f64,
+    /// Number of tripins (3-stars).
+    pub tripins: f64,
+    /// Number of triangles.
+    pub triangles: f64,
+}
+
+impl MatchingStatistics {
+    /// Computes all four statistics of `g` exactly.
+    pub fn of_graph(g: &Graph) -> Self {
+        let degrees = g.degrees();
+        MatchingStatistics {
+            edges: g.edge_count() as f64,
+            hairpins: hairpin_count(&degrees),
+            tripins: tripin_count(&degrees),
+            triangles: triangle_count(g) as f64,
+        }
+    }
+
+    /// Derives the three degree-based statistics `(E, H, T)` from a (possibly noisy, possibly
+    /// non-integral) degree sequence, exactly as the paper does from the private degree sequence:
+    /// `E = ½ Σ d_i`, `H = ½ Σ d_i (d_i − 1)`, `T = ⅙ Σ d_i (d_i − 1)(d_i − 2)`.
+    ///
+    /// The triangle count cannot be derived from degrees; the caller must supply it (here it is
+    /// set to `triangles`).
+    pub fn from_degree_sequence(degrees: &[f64], triangles: f64) -> Self {
+        let edges = 0.5 * degrees.iter().sum::<f64>();
+        let hairpins = 0.5 * degrees.iter().map(|d| d * (d - 1.0)).sum::<f64>();
+        let tripins = degrees.iter().map(|d| d * (d - 1.0) * (d - 2.0)).sum::<f64>() / 6.0;
+        MatchingStatistics { edges, hairpins, tripins, triangles }
+    }
+
+    /// Returns the statistics as an `[E, H, Δ, T]` array (the order used by the fitting code).
+    pub fn as_array(&self) -> [f64; 4] {
+        [self.edges, self.hairpins, self.triangles, self.tripins]
+    }
+}
+
+/// Number of hairpins (wedges) from a degree sequence: `Σ C(d_i, 2)`.
+pub fn hairpin_count(degrees: &[usize]) -> f64 {
+    degrees.iter().map(|&d| (d * d.saturating_sub(1)) as f64 / 2.0).sum()
+}
+
+/// Number of tripins (3-stars) from a degree sequence: `Σ C(d_i, 3)`.
+pub fn tripin_count(degrees: &[usize]) -> f64 {
+    degrees
+        .iter()
+        .map(|&d| (d * d.saturating_sub(1) * d.saturating_sub(2)) as f64 / 6.0)
+        .sum()
+}
+
+/// Exact number of triangles in `g`.
+///
+/// Uses the standard "forward" algorithm: for every edge `{u, v}` with `u < v`, count common
+/// neighbours `w > v`. Runtime is `O(Σ_e min(d_u, d_v))`, comfortably fast for the graphs the
+/// paper evaluates.
+pub fn triangle_count(g: &Graph) -> u64 {
+    let mut total = 0u64;
+    for &(u, v) in g.edges() {
+        total += count_common_neighbors_above(g, u, v, v);
+    }
+    total
+}
+
+/// Number of triangles incident to each node.
+pub fn per_node_triangles(g: &Graph) -> Vec<u64> {
+    let mut counts = vec![0u64; g.node_count()];
+    for &(u, v) in g.edges() {
+        let (mut i, mut j) = (0usize, 0usize);
+        let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let w = nu[i];
+                    if w > v {
+                        counts[u as usize] += 1;
+                        counts[v as usize] += 1;
+                        counts[w as usize] += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Number of common neighbours of `u` and `v` (the quantity `a_{ij}` in the smooth-sensitivity
+/// analysis of the triangle count: adding or removing the edge `{u, v}` changes `Δ` by exactly
+/// this amount).
+pub fn common_neighbor_count(g: &Graph, u: u32, v: u32) -> usize {
+    intersect_sorted(g.neighbors(u), g.neighbors(v))
+}
+
+/// Number of nodes adjacent to exactly one of `u`, `v`, excluding `u` and `v` themselves (the
+/// quantity `b_{ij}` in the smooth-sensitivity analysis).
+pub fn exclusive_neighbor_count(g: &Graph, u: u32, v: u32) -> usize {
+    let nu = g.neighbors(u);
+    let nv = g.neighbors(v);
+    let common = intersect_sorted(nu, nv);
+    let mut only = nu.len() + nv.len() - 2 * common;
+    // Do not count u or v themselves: if {u,v} is an edge, v appears in N(u) and u in N(v) and
+    // both belong to the symmetric difference.
+    if nu.contains(&v) {
+        only -= 1;
+    }
+    if nv.contains(&u) {
+        only -= 1;
+    }
+    only
+}
+
+/// The largest common-neighbour count over all (ordered once) node pairs. This is the local
+/// sensitivity of the triangle count (Definition 4.3 instantiated for `Δ`).
+pub fn max_common_neighbors(g: &Graph) -> usize {
+    let n = g.node_count() as u32;
+    let mut best = 0usize;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            best = best.max(common_neighbor_count(g, u, v));
+        }
+    }
+    best
+}
+
+fn intersect_sorted(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+fn count_common_neighbors_above(g: &Graph, u: u32, v: u32, floor: u32) -> u64 {
+    let nu = g.neighbors(u);
+    let nv = g.neighbors(v);
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
+    while i < nu.len() && j < nv.len() {
+        match nu[i].cmp(&nv[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if nu[i] > floor {
+                    count += 1;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn complete_graph(n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        Graph::from_edges(n, edges)
+    }
+
+    fn star_graph(leaves: usize) -> Graph {
+        Graph::from_edges(leaves + 1, (1..=leaves as u32).map(|v| (0, v)))
+    }
+
+    #[test]
+    fn triangle_count_of_complete_graphs() {
+        // K_n has C(n,3) triangles.
+        assert_eq!(triangle_count(&complete_graph(3)), 1);
+        assert_eq!(triangle_count(&complete_graph(4)), 4);
+        assert_eq!(triangle_count(&complete_graph(5)), 10);
+        assert_eq!(triangle_count(&complete_graph(6)), 20);
+    }
+
+    #[test]
+    fn triangle_count_of_triangle_free_graphs() {
+        assert_eq!(triangle_count(&star_graph(10)), 0);
+        let path = Graph::from_edges(5, (0..4u32).map(|i| (i, i + 1)));
+        assert_eq!(triangle_count(&path), 0);
+    }
+
+    #[test]
+    fn hairpin_count_of_star_is_choose_two() {
+        // Star with c leaves: hub degree c, so C(c,2) wedges.
+        let g = star_graph(6);
+        let stats = MatchingStatistics::of_graph(&g);
+        assert_eq!(stats.hairpins, 15.0);
+        assert_eq!(stats.tripins, 20.0);
+        assert_eq!(stats.edges, 6.0);
+        assert_eq!(stats.triangles, 0.0);
+    }
+
+    #[test]
+    fn statistics_of_complete_graph_match_binomials() {
+        let n = 7usize;
+        let g = complete_graph(n);
+        let stats = MatchingStatistics::of_graph(&g);
+        let c2 = (n * (n - 1) / 2) as f64;
+        assert_eq!(stats.edges, c2);
+        // Each node has degree n-1: H = n * C(n-1, 2), T = n * C(n-1, 3).
+        assert_eq!(stats.hairpins, (n * (n - 1) * (n - 2) / 2) as f64);
+        assert_eq!(stats.tripins, (n * (n - 1) * (n - 2) * (n - 3) / 6) as f64);
+        assert_eq!(stats.triangles, (n * (n - 1) * (n - 2) / 6) as f64);
+    }
+
+    #[test]
+    fn from_degree_sequence_matches_of_graph_for_degree_statistics() {
+        let g = complete_graph(6);
+        let degrees: Vec<f64> = g.degrees().iter().map(|&d| d as f64).collect();
+        let exact = MatchingStatistics::of_graph(&g);
+        let derived = MatchingStatistics::from_degree_sequence(&degrees, exact.triangles);
+        assert!((derived.edges - exact.edges).abs() < 1e-9);
+        assert!((derived.hairpins - exact.hairpins).abs() < 1e-9);
+        assert!((derived.tripins - exact.tripins).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_node_triangles_sum_to_three_times_total() {
+        let g = complete_graph(5);
+        let per_node = per_node_triangles(&g);
+        let total: u64 = per_node.iter().sum();
+        assert_eq!(total, 3 * triangle_count(&g));
+        // In K_5 every node participates in C(4,2) = 6 triangles.
+        assert!(per_node.iter().all(|&c| c == 6));
+    }
+
+    #[test]
+    fn common_neighbors_of_triangle_edge() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(common_neighbor_count(&g, 0, 1), 1);
+        assert_eq!(common_neighbor_count(&g, 0, 3), 1);
+        assert_eq!(common_neighbor_count(&g, 1, 3), 1);
+        assert_eq!(common_neighbor_count(&g, 0, 2), 1);
+    }
+
+    #[test]
+    fn exclusive_neighbors_exclude_the_pair_itself() {
+        // Path 0-1-2: N(0)={1}, N(2)={1}: common=1, exclusive=0.
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        assert_eq!(exclusive_neighbor_count(&g, 0, 2), 0);
+        // Pair (0,1): N(0)={1}, N(1)={0,2}. Excluding u,v themselves leaves just node 2.
+        assert_eq!(exclusive_neighbor_count(&g, 0, 1), 1);
+    }
+
+    #[test]
+    fn max_common_neighbors_of_complete_graph() {
+        // Any pair in K_n has n-2 common neighbours.
+        assert_eq!(max_common_neighbors(&complete_graph(6)), 4);
+        assert_eq!(max_common_neighbors(&star_graph(5)), 1);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_counts() {
+        let g = Graph::empty(4);
+        let stats = MatchingStatistics::of_graph(&g);
+        assert_eq!(stats.as_array(), [0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn adding_an_edge_increases_triangles_by_common_neighbors() {
+        // This is the identity the local sensitivity argument relies on.
+        let g = complete_graph(5).with_edge_removed(0, 1);
+        let common = common_neighbor_count(&g, 0, 1);
+        let before = triangle_count(&g);
+        let after = triangle_count(&g.with_edge_added(0, 1));
+        assert_eq!(after - before, common as u64);
+    }
+
+    proptest! {
+        #[test]
+        fn handshake_and_wedge_identities(
+            edges in proptest::collection::vec((0u32..25, 0u32..25), 0..150)
+        ) {
+            let g = Graph::from_edges(25, edges);
+            let stats = MatchingStatistics::of_graph(&g);
+            let degrees = g.degrees();
+            let degree_sum: usize = degrees.iter().sum();
+            prop_assert_eq!(degree_sum as f64, 2.0 * stats.edges);
+            // Triangles can never exceed wedges / 3 is not an identity, but Δ ≤ H/3 *is*
+            // (every triangle contains exactly 3 wedges).
+            prop_assert!(3.0 * stats.triangles <= stats.hairpins + 1e-9);
+        }
+
+        #[test]
+        fn edge_removal_changes_triangles_by_common_neighbors(
+            edges in proptest::collection::vec((0u32..12, 0u32..12), 1..60)
+        ) {
+            let g = Graph::from_edges(12, edges);
+            if let Some(&(u, v)) = g.edges().first() {
+                let expected_drop = common_neighbor_count(&g, u, v) as i64;
+                let before = triangle_count(&g) as i64;
+                let after = triangle_count(&g.with_edge_removed(u, v)) as i64;
+                prop_assert_eq!(before - after, expected_drop);
+            }
+        }
+
+        #[test]
+        fn per_node_triangle_sum_is_three_times_count(
+            edges in proptest::collection::vec((0u32..15, 0u32..15), 0..80)
+        ) {
+            let g = Graph::from_edges(15, edges);
+            let total: u64 = per_node_triangles(&g).iter().sum();
+            prop_assert_eq!(total, 3 * triangle_count(&g));
+        }
+    }
+}

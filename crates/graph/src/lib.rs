@@ -1,0 +1,27 @@
+//! `kronpriv-graph` — the graph substrate for the `kronpriv` workspace.
+//!
+//! The paper treats an observed network as a simple, undirected, unweighted graph (Section 3.2:
+//! self-loops removed, adjacency symmetrised). This crate provides:
+//!
+//! * [`Graph`]: an immutable simple undirected graph stored as sorted adjacency lists (CSR),
+//!   built through [`GraphBuilder`] which performs the paper's cleaning steps,
+//! * [`counts`]: the four matching statistics the Gleich–Owen estimator equates
+//!   (edges `E`, hairpins/wedges `H`, tripins/3-stars `T`, triangles `Δ`), per-node triangle
+//!   counts, and common-neighbour queries needed by the smooth-sensitivity computation,
+//! * [`traversal`]: BFS distances, connected components and reachable-pair counting used for the
+//!   hop plot,
+//! * [`generators`]: Erdős–Rényi, preferential-attachment and Chung–Lu random graphs used as
+//!   baselines and as synthetic stand-ins for unavailable datasets,
+//! * [`io`]: SNAP-style edge-list parsing and writing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counts;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod traversal;
+
+pub use counts::MatchingStatistics;
+pub use graph::{Graph, GraphBuilder};

@@ -1,0 +1,315 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The only dense structure the paper's evaluation needs from the adjacency matrix is its action
+//! on vectors (for the scree plot and network-value statistics), so a minimal CSR representation
+//! with a matrix–vector product is sufficient. Construction goes through a triplet
+//! (`row, col, value`) list; duplicate entries are summed, which matches the usual sparse
+//! assembly convention.
+
+use crate::vector::dot;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// The matrix is not required to be symmetric, but all eigen-solvers in this crate assume it is;
+/// [`CsrMatrix::is_symmetric`] is available as a debug check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from triplets. Duplicate `(row, col)` entries are summed.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds for {rows}x{cols}");
+        }
+        // Count entries per row, then prefix-sum into row_ptr.
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_idx = vec![0u32; triplets.len()];
+        let mut values = vec![0.0f64; triplets.len()];
+        let mut next = counts.clone();
+        for &(r, c, v) in triplets {
+            let slot = next[r];
+            col_idx[slot] = c as u32;
+            values[slot] = v;
+            next[r] += 1;
+        }
+        let mut m = CsrMatrix { rows, cols, row_ptr: counts, col_idx, values };
+        m.sort_and_merge_rows();
+        m
+    }
+
+    /// Builds an adjacency-style CSR matrix (all values 1.0) from undirected edges, inserting
+    /// both `(u, v)` and `(v, u)`.
+    pub fn symmetric_adjacency(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut triplets = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            triplets.push((u as usize, v as usize, 1.0));
+            if u != v {
+                triplets.push((v as usize, u as usize, 1.0));
+            }
+        }
+        Self::from_triplets(n, n, &triplets)
+    }
+
+    fn sort_and_merge_rows(&mut self) {
+        let mut new_col = Vec::with_capacity(self.col_idx.len());
+        let mut new_val = Vec::with_capacity(self.values.len());
+        let mut new_ptr = vec![0usize; self.rows + 1];
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut row: Vec<(u32, f64)> = self.col_idx[lo..hi]
+                .iter()
+                .copied()
+                .zip(self.values[lo..hi].iter().copied())
+                .collect();
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut merged: Vec<(u32, f64)> = Vec::with_capacity(row.len());
+            for (c, v) in row {
+                match merged.last_mut() {
+                    Some((lc, lv)) if *lc == c => *lv += v,
+                    _ => merged.push((c, v)),
+                }
+            }
+            for (c, v) in merged {
+                new_col.push(c);
+                new_val.push(v);
+            }
+            new_ptr[r + 1] = new_col.len();
+        }
+        self.col_idx = new_col;
+        self.values = new_val;
+        self.row_ptr = new_ptr;
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the stored entries `(column, value)` of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Fetches the value at `(r, c)`, returning 0.0 for structural zeros.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.row(r).find(|&(col, _)| col == c).map_or(0.0, |(_, v)| v)
+    }
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    /// Panics if dimensions do not match.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "mul_vec: x has wrong length");
+        assert_eq!(y.len(), self.rows, "mul_vec: y has wrong length");
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Computes and returns `A x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Rayleigh quotient `xᵀ A x / xᵀ x` for a non-zero vector `x`.
+    pub fn rayleigh_quotient(&self, x: &[f64]) -> f64 {
+        let ax = self.mul_vec(x);
+        dot(x, &ax) / dot(x, x)
+    }
+
+    /// Checks structural + numerical symmetry (within `tol`).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                if (self.get(c, r) - v).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Sum of the diagonal entries.
+    pub fn trace(&self) -> f64 {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_matrix() -> CsrMatrix {
+        // [ 2 1 0 ]
+        // [ 1 0 3 ]
+        // [ 0 3 1 ]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 2, 3.0), (2, 1, 3.0), (2, 2, 1.0)],
+        )
+    }
+
+    #[test]
+    fn dimensions_and_nnz_are_reported() {
+        let m = small_matrix();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 6);
+    }
+
+    #[test]
+    fn get_returns_stored_and_zero_entries() {
+        let m = small_matrix();
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 2), 3.0);
+        assert_eq!(m.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.get(0, 1), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn rows_are_sorted_by_column() {
+        let m = CsrMatrix::from_triplets(1, 4, &[(0, 3, 1.0), (0, 0, 2.0), (0, 2, 3.0)]);
+        let cols: Vec<usize> = m.row(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense_computation() {
+        let m = small_matrix();
+        let y = m.mul_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![4.0, 10.0, 9.0]);
+    }
+
+    #[test]
+    fn symmetric_adjacency_inserts_both_directions() {
+        let m = CsrMatrix::symmetric_adjacency(3, &[(0, 1), (1, 2)]);
+        assert!(m.is_symmetric(0.0));
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(2, 1), 1.0);
+        assert_eq!(m.nnz(), 4);
+    }
+
+    #[test]
+    fn self_loop_in_adjacency_is_stored_once() {
+        let m = CsrMatrix::symmetric_adjacency(2, &[(0, 0)]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn small_matrix_is_symmetric() {
+        assert!(small_matrix().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn asymmetric_matrix_is_detected() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]);
+        assert!(!m.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn rayleigh_quotient_of_eigenvector_is_eigenvalue() {
+        // Identity-like diagonal matrix: Rayleigh quotient of any axis vector is the diagonal.
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 4.0), (1, 1, 9.0)]);
+        assert!((m.rayleigh_quotient(&[1.0, 0.0]) - 4.0).abs() < 1e-12);
+        assert!((m.rayleigh_quotient(&[0.0, 1.0]) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frobenius_norm_and_trace() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 3.0), (1, 1, 4.0)]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert!((m.trace() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_triplet_panics() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn matvec_is_linear(
+            vals in proptest::collection::vec((0usize..6, 0usize..6, -5.0..5.0f64), 1..20),
+            x in proptest::collection::vec(-3.0..3.0f64, 6),
+            z in proptest::collection::vec(-3.0..3.0f64, 6),
+            alpha in -2.0..2.0f64,
+        ) {
+            let m = CsrMatrix::from_triplets(6, 6, &vals);
+            // A(x + alpha z) == Ax + alpha Az
+            let combined: Vec<f64> = x.iter().zip(&z).map(|(a, b)| a + alpha * b).collect();
+            let lhs = m.mul_vec(&combined);
+            let ax = m.mul_vec(&x);
+            let az = m.mul_vec(&z);
+            for i in 0..6 {
+                prop_assert!((lhs[i] - (ax[i] + alpha * az[i])).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn symmetric_adjacency_is_always_symmetric(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60)
+        ) {
+            let m = CsrMatrix::symmetric_adjacency(20, &edges);
+            prop_assert!(m.is_symmetric(0.0));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Isotonic regression via the pool-adjacent-violators algorithm (PAVA).
+//!
+//! Hay et al. ("Accurate estimation of the degree distribution of private networks", ICDM 2009)
+//! release a differentially private sorted degree sequence by adding Laplace noise to the sorted
+//! degrees and then post-processing the noisy sequence with *constrained inference*: the closest
+//! (in L2) non-decreasing sequence to the noisy one. That projection onto the monotone cone is
+//! exactly isotonic regression, computed here with the classic O(n) pool-adjacent-violators
+//! algorithm. The post-processing step is what makes the noisy degree sequence accurate enough
+//! to drive the moment-matching estimator in the paper.
+
+/// Computes the (unweighted) isotonic regression of `values` under a non-decreasing constraint:
+/// the vector `y` minimising `Σ (y_i - values_i)²` subject to `y_0 ≤ y_1 ≤ … ≤ y_{n-1}`.
+pub fn isotonic_increasing(values: &[f64]) -> Vec<f64> {
+    // Each block stores (sum, count): the pooled mean is sum / count.
+    let mut block_sum: Vec<f64> = Vec::with_capacity(values.len());
+    let mut block_count: Vec<usize> = Vec::with_capacity(values.len());
+
+    for &v in values {
+        block_sum.push(v);
+        block_count.push(1);
+        // Pool while the last block's mean is below the previous block's mean.
+        while block_sum.len() >= 2 {
+            let n = block_sum.len();
+            let mean_last = block_sum[n - 1] / block_count[n - 1] as f64;
+            let mean_prev = block_sum[n - 2] / block_count[n - 2] as f64;
+            if mean_prev <= mean_last {
+                break;
+            }
+            let (s, c) = (block_sum.pop().unwrap(), block_count.pop().unwrap());
+            *block_sum.last_mut().unwrap() += s;
+            *block_count.last_mut().unwrap() += c;
+        }
+    }
+
+    let mut out = Vec::with_capacity(values.len());
+    for (s, c) in block_sum.iter().zip(&block_count) {
+        let mean = s / *c as f64;
+        out.extend(std::iter::repeat(mean).take(*c));
+    }
+    out
+}
+
+/// Isotonic regression under a non-increasing constraint, implemented by reversing, running the
+/// non-decreasing projection, and reversing back.
+pub fn isotonic_decreasing(values: &[f64]) -> Vec<f64> {
+    let reversed: Vec<f64> = values.iter().rev().copied().collect();
+    let mut fitted = isotonic_increasing(&reversed);
+    fitted.reverse();
+    fitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn is_non_decreasing(v: &[f64]) -> bool {
+        v.windows(2).all(|w| w[0] <= w[1] + 1e-12)
+    }
+
+    #[test]
+    fn already_sorted_input_is_unchanged() {
+        let v = vec![1.0, 2.0, 3.0, 10.0];
+        assert_eq!(isotonic_increasing(&v), v);
+    }
+
+    #[test]
+    fn single_violation_is_pooled_to_mean() {
+        // [1, 3, 2] -> [1, 2.5, 2.5]
+        assert_eq!(isotonic_increasing(&[1.0, 3.0, 2.0]), vec![1.0, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn strictly_decreasing_input_becomes_global_mean() {
+        let out = isotonic_increasing(&[5.0, 4.0, 3.0, 2.0, 1.0]);
+        for x in out {
+            assert!((x - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn textbook_example() {
+        // A standard PAVA worked example.
+        let v = [1.0, 2.0, 6.0, 2.0, 3.0];
+        let out = isotonic_increasing(&v);
+        assert!(is_non_decreasing(&out));
+        // Block {6, 2, 3} pools to 11/3.
+        let expected = [1.0, 2.0, 11.0 / 3.0, 11.0 / 3.0, 11.0 / 3.0];
+        for (a, b) in out.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(isotonic_increasing(&[]).is_empty());
+        assert_eq!(isotonic_increasing(&[7.0]), vec![7.0]);
+    }
+
+    #[test]
+    fn decreasing_variant_mirrors_increasing() {
+        let v = [1.0, 3.0, 2.0, 0.0];
+        let out = isotonic_decreasing(&v);
+        assert!(out.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        // Sum is preserved by the projection.
+        assert!((out.iter().sum::<f64>() - v.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn output_is_monotone(v in proptest::collection::vec(-100.0..100.0f64, 0..64)) {
+            prop_assert!(is_non_decreasing(&isotonic_increasing(&v)));
+        }
+
+        #[test]
+        fn output_preserves_sum(v in proptest::collection::vec(-100.0..100.0f64, 1..64)) {
+            // PAVA replaces blocks by their means, so the total sum is invariant.
+            let out = isotonic_increasing(&v);
+            prop_assert!((out.iter().sum::<f64>() - v.iter().sum::<f64>()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn output_is_no_farther_than_any_constant(
+            v in proptest::collection::vec(-50.0..50.0f64, 1..40)
+        ) {
+            // The projection is optimal; the constant-mean vector is feasible, so the fitted
+            // vector must be at least as close in L2.
+            let out = isotonic_increasing(&v);
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            let err_fit: f64 = out.iter().zip(&v).map(|(a, b)| (a - b) * (a - b)).sum();
+            let err_mean: f64 = v.iter().map(|b| (mean - b) * (mean - b)).sum();
+            prop_assert!(err_fit <= err_mean + 1e-6);
+        }
+
+        #[test]
+        fn projection_is_idempotent(v in proptest::collection::vec(-50.0..50.0f64, 0..40)) {
+            let once = isotonic_increasing(&v);
+            let twice = isotonic_increasing(&once);
+            for (a, b) in once.iter().zip(&twice) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

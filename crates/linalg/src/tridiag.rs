@@ -1,0 +1,178 @@
+//! Eigenvalues of a symmetric tridiagonal matrix via the implicit QL algorithm.
+//!
+//! The Lanczos process reduces a large sparse symmetric matrix to a small tridiagonal matrix
+//! whose eigenvalues (Ritz values) approximate the extreme eigenvalues of the original matrix.
+//! This module solves that small dense problem. The implementation follows the classic
+//! `tqli`-style implicit QL iteration with Wilkinson shifts, eigenvalues only.
+
+/// Computes all eigenvalues of the symmetric tridiagonal matrix with diagonal `diag` and
+/// off-diagonal `off` (where `off[i]` couples rows `i` and `i+1`).
+///
+/// Returns the eigenvalues sorted in decreasing order.
+///
+/// # Panics
+/// Panics if `off.len() + 1 != diag.len()` (for non-empty matrices) or if the QL iteration fails
+/// to converge, which for well-formed finite input does not happen in practice.
+pub fn symmetric_tridiagonal_eigenvalues(diag: &[f64], off: &[f64]) -> Vec<f64> {
+    let n = diag.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![diag[0]];
+    }
+    assert_eq!(off.len(), n - 1, "off-diagonal must have length n-1");
+
+    let mut d = diag.to_vec();
+    // e is padded to length n with a trailing zero, as in the classic algorithm.
+    let mut e = off.to_vec();
+    e.push(0.0);
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal element to split the problem.
+            let mut m = l;
+            while m < n - 1 {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 100, "implicit QL failed to converge");
+
+            // Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                f = (d[i] - g) * s + 2.0 * c * b;
+                p = s * f;
+                d[i + 1] = g + p;
+                g = c * f - b;
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    d.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_has_no_eigenvalues() {
+        assert!(symmetric_tridiagonal_eigenvalues(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        assert_eq!(symmetric_tridiagonal_eigenvalues(&[3.5], &[]), vec![3.5]);
+    }
+
+    #[test]
+    fn diagonal_matrix_returns_sorted_diagonal() {
+        let ev = symmetric_tridiagonal_eigenvalues(&[1.0, 4.0, 2.0], &[0.0, 0.0]);
+        assert_close(&ev, &[4.0, 2.0, 1.0], 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_matches_quadratic_formula() {
+        // [[2, 1], [1, 3]] has eigenvalues (5 ± sqrt(5)) / 2.
+        let ev = symmetric_tridiagonal_eigenvalues(&[2.0, 3.0], &[1.0]);
+        let s5 = 5.0f64.sqrt();
+        assert_close(&ev, &[(5.0 + s5) / 2.0, (5.0 - s5) / 2.0], 1e-10);
+    }
+
+    #[test]
+    fn path_graph_tridiagonal_eigenvalues_match_cosine_formula() {
+        // Adjacency of the path graph on n nodes as a tridiagonal matrix: diag 0, off 1.
+        // Eigenvalues: 2 cos(k pi / (n+1)), k = 1..n.
+        let n = 8;
+        let diag = vec![0.0; n];
+        let off = vec![1.0; n - 1];
+        let ev = symmetric_tridiagonal_eigenvalues(&diag, &off);
+        let mut expected: Vec<f64> = (1..=n)
+            .map(|k| 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
+        expected.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_close(&ev, &expected, 1e-9);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let diag = [1.0, -2.0, 0.5, 3.0];
+        let off = [0.7, -1.3, 2.0];
+        let ev = symmetric_tridiagonal_eigenvalues(&diag, &off);
+        let trace: f64 = diag.iter().sum();
+        let ev_sum: f64 = ev.iter().sum();
+        assert!((trace - ev_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length n-1")]
+    fn mismatched_lengths_panic() {
+        let _ = symmetric_tridiagonal_eigenvalues(&[1.0, 2.0], &[1.0, 1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn eigenvalue_sum_equals_trace(
+            diag in proptest::collection::vec(-5.0..5.0f64, 2..12),
+        ) {
+            let off: Vec<f64> = diag.windows(2).map(|w| (w[0] - w[1]) * 0.3).collect();
+            let ev = symmetric_tridiagonal_eigenvalues(&diag, &off);
+            let trace: f64 = diag.iter().sum();
+            let ev_sum: f64 = ev.iter().sum();
+            prop_assert!((trace - ev_sum).abs() < 1e-7);
+        }
+
+        #[test]
+        fn eigenvalue_square_sum_equals_frobenius(
+            diag in proptest::collection::vec(-3.0..3.0f64, 2..10),
+        ) {
+            let off: Vec<f64> = diag.windows(2).map(|w| w[0] * 0.5 + 0.1 * w[1]).collect();
+            let ev = symmetric_tridiagonal_eigenvalues(&diag, &off);
+            let frob: f64 = diag.iter().map(|d| d * d).sum::<f64>()
+                + 2.0 * off.iter().map(|e| e * e).sum::<f64>();
+            let ev_sq: f64 = ev.iter().map(|v| v * v).sum();
+            prop_assert!((frob - ev_sq).abs() < 1e-6 * frob.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Coarse grid evaluation over a box.
+//!
+//! The moment-matching objective can have several local minima (especially when the triangle
+//! count is noisy), so the fitting code first scans a coarse lattice over the parameter box and
+//! then refines the most promising cells with Nelder–Mead. This module provides the scan.
+
+use crate::nelder_mead::Bounds;
+
+/// One evaluated grid point.
+#[derive(Debug, Clone)]
+pub struct GridPoint {
+    /// Coordinates of the grid point.
+    pub point: Vec<f64>,
+    /// Objective value at the point.
+    pub value: f64,
+}
+
+/// Evaluates `f` on a regular lattice with `points_per_axis` points per axis (endpoints
+/// included) and returns all evaluated points sorted by increasing objective value. NaN
+/// objective values are treated as `+∞`.
+///
+/// The lattice has `points_per_axis ^ dim` points, so this is intended for low-dimensional
+/// problems (the estimators use `dim = 3`).
+///
+/// # Panics
+/// Panics if `points_per_axis < 2` or the dimension is zero.
+pub fn grid_search<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    bounds: &Bounds,
+    points_per_axis: usize,
+) -> Vec<GridPoint> {
+    let dim = bounds.dim();
+    assert!(dim > 0, "cannot grid-search a zero-dimensional problem");
+    assert!(points_per_axis >= 2, "need at least two points per axis");
+
+    let total = points_per_axis.pow(dim as u32);
+    let mut results = Vec::with_capacity(total);
+    let mut index = vec![0usize; dim];
+    for _ in 0..total {
+        let point: Vec<f64> = (0..dim)
+            .map(|i| {
+                let t = index[i] as f64 / (points_per_axis - 1) as f64;
+                bounds.lower[i] + t * (bounds.upper[i] - bounds.lower[i])
+            })
+            .collect();
+        let raw = f(&point);
+        let value = if raw.is_nan() { f64::INFINITY } else { raw };
+        results.push(GridPoint { point, value });
+        // Odometer increment.
+        for i in 0..dim {
+            index[i] += 1;
+            if index[i] < points_per_axis {
+                break;
+            }
+            index[i] = 0;
+        }
+    }
+    results.sort_by(|a, b| a.value.partial_cmp(&b.value).unwrap());
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_expected_number_of_points() {
+        let pts = grid_search(|x| x.iter().sum(), &Bounds::unit(2), 5);
+        assert_eq!(pts.len(), 25);
+    }
+
+    #[test]
+    fn results_are_sorted_by_value() {
+        let pts = grid_search(|x| (x[0] - 0.5).abs(), &Bounds::unit(1), 11);
+        assert!(pts.windows(2).all(|w| w[0].value <= w[1].value));
+        assert!((pts[0].point[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoints_are_included() {
+        let pts = grid_search(|x| x[0], &Bounds::new(vec![-1.0], vec![3.0]), 3);
+        let coords: Vec<f64> = pts.iter().map(|p| p.point[0]).collect();
+        assert!(coords.contains(&-1.0));
+        assert!(coords.contains(&1.0));
+        assert!(coords.contains(&3.0));
+    }
+
+    #[test]
+    fn finds_the_best_cell_of_a_multimodal_function() {
+        // Two wells at x=0.1 and x=0.9; the deeper one is at 0.9.
+        let f = |x: &[f64]| {
+            let w1 = (x[0] - 0.1).powi(2);
+            let w2 = (x[0] - 0.9).powi(2) - 0.5;
+            w1.min(w2)
+        };
+        let pts = grid_search(f, &Bounds::unit(1), 21);
+        assert!((pts[0].point[0] - 0.9).abs() < 0.06);
+    }
+
+    #[test]
+    fn nan_values_sort_last() {
+        let pts = grid_search(
+            |x| if x[0] < 0.5 { f64::NAN } else { x[0] },
+            &Bounds::unit(1),
+            5,
+        );
+        assert!(pts.first().unwrap().value.is_finite());
+        assert!(pts.last().unwrap().value.is_infinite());
+    }
+
+    #[test]
+    fn three_dimensional_grid_has_cubic_size() {
+        let pts = grid_search(|x| x.iter().sum(), &Bounds::unit(3), 4);
+        assert_eq!(pts.len(), 64);
+        // Best point of a sum objective on the unit box is the origin.
+        assert!(pts[0].point.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn rejects_degenerate_grids() {
+        let _ = grid_search(|x| x[0], &Bounds::unit(1), 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Closed-form expected feature counts under the stochastic Kronecker graph model.
+//!
+//! Equation (1) of the paper (due to Gleich & Owen) gives, for a symmetric 2×2 initiator
+//! `Θ = [a b; b c]` raised to the `k`-th Kronecker power and realized as a simple undirected
+//! graph (loops removed, adjacency symmetrised), the expected number of
+//!
+//! * edges `E[E]`,
+//! * hairpins (wedges / 2-stars) `E[H]`,
+//! * triangles `E[Δ]`,
+//! * tripins (3-stars) `E[T]`.
+//!
+//! The moment-matching estimators pick the initiator whose expected counts are closest to the
+//! (possibly privately perturbed) observed counts, so these four functions are the analytical
+//! heart of the reproduction. Their correctness is checked in two ways: closed-form special
+//! cases (`Θ = I` gives an empty graph, `Θ = 1` gives the complete graph) and Monte-Carlo
+//! agreement with the exact sampler on small graphs (see `sample.rs` and the integration tests).
+
+use crate::initiator::Initiator2;
+use serde::{Deserialize, Serialize};
+
+/// Expected values of the four matching statistics under `Θ^[k]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpectedMoments {
+    /// Expected number of undirected edges.
+    pub edges: f64,
+    /// Expected number of hairpins (wedges).
+    pub hairpins: f64,
+    /// Expected number of triangles.
+    pub triangles: f64,
+    /// Expected number of tripins (3-stars).
+    pub tripins: f64,
+}
+
+impl ExpectedMoments {
+    /// Evaluates all four closed forms for initiator `theta` and Kronecker order `k`.
+    pub fn of(theta: &Initiator2, k: u32) -> Self {
+        ExpectedMoments {
+            edges: expected_edges(theta, k),
+            hairpins: expected_hairpins(theta, k),
+            triangles: expected_triangles(theta, k),
+            tripins: expected_tripins(theta, k),
+        }
+    }
+
+    /// The moments as an `[E, H, Δ, T]` array (the order used by the fitting code).
+    pub fn as_array(&self) -> [f64; 4] {
+        [self.edges, self.hairpins, self.triangles, self.tripins]
+    }
+}
+
+fn powk(x: f64, k: u32) -> f64 {
+    x.powi(k as i32)
+}
+
+/// Expected number of undirected edges:
+/// `E[E] = ½ [ (a + 2b + c)^k − (a + c)^k ]`.
+pub fn expected_edges(theta: &Initiator2, k: u32) -> f64 {
+    let (a, b, c) = (theta.a, theta.b, theta.c);
+    0.5 * (powk(a + 2.0 * b + c, k) - powk(a + c, k))
+}
+
+/// Expected number of hairpins (2-stars):
+/// `E[H] = ½ [ ((a+b)² + (b+c)²)^k − 2(a(a+b) + c(c+b))^k − (a² + 2b² + c²)^k + 2(a² + c²)^k ]`.
+pub fn expected_hairpins(theta: &Initiator2, k: u32) -> f64 {
+    let (a, b, c) = (theta.a, theta.b, theta.c);
+    0.5 * (powk((a + b) * (a + b) + (b + c) * (b + c), k)
+        - 2.0 * powk(a * (a + b) + c * (c + b), k)
+        - powk(a * a + 2.0 * b * b + c * c, k)
+        + 2.0 * powk(a * a + c * c, k))
+}
+
+/// Expected number of triangles:
+/// `E[Δ] = ⅙ [ (a³ + 3b²(a+c) + c³)^k − 3(a(a²+b²) + c(b²+c²))^k + 2(a³ + c³)^k ]`.
+pub fn expected_triangles(theta: &Initiator2, k: u32) -> f64 {
+    let (a, b, c) = (theta.a, theta.b, theta.c);
+    (powk(a * a * a + 3.0 * b * b * (a + c) + c * c * c, k)
+        - 3.0 * powk(a * (a * a + b * b) + c * (b * b + c * c), k)
+        + 2.0 * powk(a * a * a + c * c * c, k))
+        / 6.0
+}
+
+/// Expected number of tripins (3-stars):
+/// `E[T] = ⅙ [ ((a+b)³ + (b+c)³)^k − 3(a(a+b)² + c(b+c)²)^k
+///             − 3(a³ + c³ + b(a²+c²) + b²(a+c) + 2b³)^k + 2(a³ + 2b³ + c³)^k
+///             + 3(a³ + c³ + b²(a+c))^k + 6(a³ + c³ + b(a²+c²))^k − 6(a³ + c³)^k ]`.
+///
+/// Note on coefficients: the paper's Equation (1) prints the last two positive coefficients as
+/// `+5` and `+4`. Deriving `E[T] = Σ_i E[C(d_i, 3)]` from the Kronecker row-sum identities (see
+/// the enumeration tests below, which brute-force the expectation on small graphs) gives `+3`
+/// for the `(a³+c³+b²(a+c))^k` term and `+6` for the `(a³+c³+b(a²+c²))^k` term — the printed
+/// `5/4` split does not vanish at `k = 1` as it must (a two-node graph has no 3-stars). The two
+/// versions agree whenever `b(a+c) = a² + c²`, which is presumably how the typo survived.
+pub fn expected_tripins(theta: &Initiator2, k: u32) -> f64 {
+    let (a, b, c) = (theta.a, theta.b, theta.c);
+    let a3 = a * a * a;
+    let b3 = b * b * b;
+    let c3 = c * c * c;
+    (powk((a + b).powi(3) + (b + c).powi(3), k)
+        - 3.0 * powk(a * (a + b) * (a + b) + c * (b + c) * (b + c), k)
+        - 3.0 * powk(a3 + c3 + b * (a * a + c * c) + b * b * (a + c) + 2.0 * b3, k)
+        + 2.0 * powk(a3 + 2.0 * b3 + c3, k)
+        + 3.0 * powk(a3 + c3 + b * b * (a + c), k)
+        + 6.0 * powk(a3 + c3 + b * (a * a + c * c), k)
+        - 6.0 * powk(a3 + c3, k))
+        / 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binom(n: u64, k: u64) -> f64 {
+        if k > n {
+            return 0.0;
+        }
+        let mut acc = 1.0;
+        for i in 0..k {
+            acc = acc * (n - i) as f64 / (i + 1) as f64;
+        }
+        acc
+    }
+
+    #[test]
+    fn identity_initiator_gives_empty_graph() {
+        // Θ = I: the only positive-probability entries are loops, which are removed.
+        let theta = Initiator2::new(1.0, 0.0, 1.0);
+        for k in 1..=8 {
+            let m = ExpectedMoments::of(&theta, k);
+            assert!(m.edges.abs() < 1e-9, "k={k}: {m:?}");
+            assert!(m.hairpins.abs() < 1e-9);
+            assert!(m.triangles.abs() < 1e-9);
+            assert!(m.tripins.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_ones_initiator_gives_complete_graph_counts() {
+        // Θ = all-ones: every off-diagonal pair is an edge with probability 1, so the realized
+        // graph is K_n with n = 2^k. Compare against the K_n subgraph-count formulas.
+        let theta = Initiator2::new(1.0, 1.0, 1.0);
+        for k in 1..=6 {
+            let n = (1u64 << k) as f64;
+            let m = ExpectedMoments::of(&theta, k);
+            assert!((m.edges - n * (n - 1.0) / 2.0).abs() < 1e-6, "edges k={k}");
+            assert!((m.hairpins - n * binom(n as u64 - 1, 2)).abs() < 1e-5, "hairpins k={k}");
+            assert!((m.triangles - binom(n as u64, 3)).abs() < 1e-5, "triangles k={k}");
+            assert!((m.tripins - n * binom(n as u64 - 1, 3)).abs() < 1e-4, "tripins k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_initiator_gives_all_zero_moments() {
+        let theta = Initiator2::new(0.0, 0.0, 0.0);
+        let m = ExpectedMoments::of(&theta, 10);
+        assert_eq!(m.as_array(), [0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn k_one_case_matches_direct_enumeration() {
+        // For k = 1 the graph has two nodes; the only possible edge is {0, 1} with probability b.
+        // Hence E[E] = b and all higher-order counts vanish.
+        let theta = Initiator2::new(0.9, 0.4, 0.2);
+        let m = ExpectedMoments::of(&theta, 1);
+        assert!((m.edges - 0.4).abs() < 1e-12);
+        assert!(m.hairpins.abs() < 1e-12);
+        assert!(m.triangles.abs() < 1e-12);
+        assert!(m.tripins.abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_two_edge_expectation_matches_enumeration() {
+        // For k = 2 enumerate all C(4,2) pairs directly from the dense power and compare.
+        let theta = Initiator2::new(0.8, 0.5, 0.3);
+        let dense = theta.dense_power(2);
+        let mut direct = 0.0;
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                direct += dense[u][v];
+            }
+        }
+        assert!((expected_edges(&theta, 2) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_two_hairpin_expectation_matches_enumeration() {
+        // H = Σ over unordered pairs of distinct edges sharing an endpoint. With independent
+        // edges, E[H] = Σ_center Σ_{u<v, u≠center≠v} P(center,u) P(center,v).
+        let theta = Initiator2::new(0.8, 0.5, 0.3);
+        let dense = theta.dense_power(2);
+        let n = 4usize;
+        let mut direct = 0.0;
+        for center in 0..n {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if u != center && v != center {
+                        direct += dense[center][u] * dense[center][v];
+                    }
+                }
+            }
+        }
+        assert!(
+            (expected_hairpins(&theta, 2) - direct).abs() < 1e-12,
+            "formula {} direct {}",
+            expected_hairpins(&theta, 2),
+            direct
+        );
+    }
+
+    #[test]
+    fn k_two_triangle_expectation_matches_enumeration() {
+        let theta = Initiator2::new(0.8, 0.5, 0.3);
+        let dense = theta.dense_power(2);
+        let n = 4usize;
+        let mut direct = 0.0;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                for w in (v + 1)..n {
+                    direct += dense[u][v] * dense[v][w] * dense[u][w];
+                }
+            }
+        }
+        assert!(
+            (expected_triangles(&theta, 2) - direct).abs() < 1e-12,
+            "formula {} direct {}",
+            expected_triangles(&theta, 2),
+            direct
+        );
+    }
+
+    #[test]
+    fn k_two_tripin_expectation_matches_enumeration() {
+        // T = Σ_center Σ over unordered triples of distinct neighbours of products of the three
+        // incident edge probabilities.
+        let theta = Initiator2::new(0.8, 0.5, 0.3);
+        let dense = theta.dense_power(2);
+        let n = 4usize;
+        let mut direct = 0.0;
+        for center in 0..n {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    for w in (v + 1)..n {
+                        if u != center && v != center && w != center {
+                            direct += dense[center][u] * dense[center][v] * dense[center][w];
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            (expected_tripins(&theta, 2) - direct).abs() < 1e-12,
+            "formula {} direct {}",
+            expected_tripins(&theta, 2),
+            direct
+        );
+    }
+
+    #[test]
+    fn k_three_all_moments_match_enumeration() {
+        // Full brute-force enumeration on the 8-node graph for a generic parameter point.
+        let theta = Initiator2::new(0.7, 0.45, 0.35);
+        let dense = theta.dense_power(3);
+        let n = 8usize;
+        let (mut e, mut h, mut tri, mut t3) = (0.0, 0.0, 0.0, 0.0);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                e += dense[u][v];
+            }
+        }
+        for center in 0..n {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if u != center && v != center {
+                        h += dense[center][u] * dense[center][v];
+                    }
+                    for w in (v + 1)..n {
+                        if u != center && v != center && w != center {
+                            t3 += dense[center][u] * dense[center][v] * dense[center][w];
+                        }
+                    }
+                }
+            }
+        }
+        for u in 0..n {
+            for v in (u + 1)..n {
+                for w in (v + 1)..n {
+                    tri += dense[u][v] * dense[v][w] * dense[u][w];
+                }
+            }
+        }
+        let m = ExpectedMoments::of(&theta, 3);
+        assert!((m.edges - e).abs() < 1e-10, "edges {} vs {e}", m.edges);
+        assert!((m.hairpins - h).abs() < 1e-10, "hairpins {} vs {h}", m.hairpins);
+        assert!((m.triangles - tri).abs() < 1e-10, "triangles {} vs {tri}", m.triangles);
+        assert!((m.tripins - t3).abs() < 1e-10, "tripins {} vs {t3}", m.tripins);
+    }
+
+    #[test]
+    fn moments_grow_with_k() {
+        let theta = Initiator2::new(0.99, 0.45, 0.25);
+        let small = ExpectedMoments::of(&theta, 8);
+        let large = ExpectedMoments::of(&theta, 12);
+        assert!(large.edges > small.edges);
+        assert!(large.hairpins > small.hairpins);
+        assert!(large.triangles > small.triangles);
+        assert!(large.tripins > small.tripins);
+    }
+
+    #[test]
+    fn paper_synthetic_parameters_give_plausible_counts() {
+        // The paper's synthetic graph: Θ = [0.99 0.45; 0.45 0.25], k = 14 (16384 nodes). The
+        // expected edge count should be in the tens of thousands (same order as the real
+        // networks it is compared against), not absurdly small or large.
+        let theta = Initiator2::new(0.99, 0.45, 0.25);
+        let m = ExpectedMoments::of(&theta, 14);
+        assert!(m.edges > 10_000.0 && m.edges < 300_000.0, "edges {}", m.edges);
+        assert!(m.triangles > 100.0, "triangles {}", m.triangles);
+        assert!(m.hairpins > m.edges);
+    }
+
+    #[test]
+    fn as_array_orders_e_h_delta_t() {
+        let theta = Initiator2::new(0.9, 0.5, 0.3);
+        let m = ExpectedMoments::of(&theta, 5);
+        let arr = m.as_array();
+        assert_eq!(arr[0], m.edges);
+        assert_eq!(arr[1], m.hairpins);
+        assert_eq!(arr[2], m.triangles);
+        assert_eq!(arr[3], m.tripins);
+    }
+}

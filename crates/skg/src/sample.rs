@@ -1,0 +1,325 @@
+//! Realizing graphs from the stochastic Kronecker model.
+//!
+//! Definition 3.4: the order-`k` probability matrix `P = Θ^[k]` is realized by including each
+//! edge independently with its probability; Section 3.2 then removes self-loops and symmetrises.
+//! For a *symmetric* initiator the symmetrisation rule of the paper (keep the lower-triangular
+//! directed entries) is equivalent to flipping one coin per unordered pair `{u, v}` with bias
+//! `P_{uv}`, which is what both samplers here do.
+//!
+//! Two samplers are provided:
+//!
+//! * [`sample_exact`] — visits all `C(2^k, 2)` pairs. Exact but `O(4^k)`; used for small `k`
+//!   (tests, Monte-Carlo validation of the closed-form moments).
+//! * [`sample_fast`] — the standard "edge placement" generator used by Leskovec et al.'s
+//!   `krongen`: it draws approximately the expected number of edges and places each one by
+//!   descending the `k` levels of Kronecker recursion, choosing a quadrant at each level with
+//!   probability proportional to the initiator entries. Duplicates and self-loops are rejected.
+//!   Runtime is `O(E · k)`, which is what makes the `2^14`-node experiments practical. The
+//!   per-pair marginals are approximately — not exactly — Bernoulli(`P_{uv}`); tests check that
+//!   its aggregate statistics agree with the exact sampler and the closed-form moments.
+
+use crate::initiator::Initiator2;
+use crate::moments::expected_edges;
+use kronpriv_graph::{Graph, GraphBuilder};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Options for the fast sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerOptions {
+    /// Multiplier applied to the expected edge count when deciding how many placement attempts
+    /// to make. Values slightly above 1 compensate for duplicate placements that get rejected.
+    pub oversample: f64,
+    /// If true, the number of edges is drawn from a Poisson-like distribution around the
+    /// expectation (via a normal approximation); if false, exactly the rounded expectation is
+    /// targeted.
+    pub randomize_edge_count: bool,
+}
+
+impl Default for SamplerOptions {
+    fn default() -> Self {
+        SamplerOptions { oversample: 1.0, randomize_edge_count: true }
+    }
+}
+
+/// Exact realization of the order-`k` stochastic Kronecker graph: one independent coin per
+/// unordered node pair.
+///
+/// # Panics
+/// Panics if `k > 13` (the pair loop would exceed ~33M iterations; use [`sample_fast`]).
+pub fn sample_exact<R: Rng + ?Sized>(theta: &Initiator2, k: u32, rng: &mut R) -> Graph {
+    assert!(k <= 13, "sample_exact is quadratic in node count; use sample_fast for k > 13");
+    let n = theta.node_count(k);
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = theta.edge_probability(k, u, v);
+            if p > 0.0 && rng.gen::<f64>() < p {
+                builder.add_edge(u as u32, v as u32);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Fast realization of the order-`k` stochastic Kronecker graph by recursive edge placement.
+pub fn sample_fast<R: Rng + ?Sized>(
+    theta: &Initiator2,
+    k: u32,
+    options: &SamplerOptions,
+    rng: &mut R,
+) -> Graph {
+    let n = theta.node_count(k);
+    let expected = expected_edges(theta, k).max(0.0);
+    let target = if options.randomize_edge_count {
+        // Normal approximation to Poisson(expected); adequate for the graph sizes involved.
+        let std = expected.sqrt();
+        (expected + std * standard_normal(rng)).round().max(0.0) as usize
+    } else {
+        expected.round() as usize
+    };
+    let target = target.min(n * n.saturating_sub(1) / 2);
+
+    let weights = quadrant_weights(theta);
+    let mut edges: HashSet<(u32, u32)> = HashSet::with_capacity(target * 2);
+    let mut builder = GraphBuilder::new(n);
+    // Cap the total number of attempts so adversarial parameters (e.g. all mass on the
+    // diagonal, which only produces rejected self-loops) cannot loop forever.
+    let max_attempts = ((target as f64 * options.oversample.max(1.0)) as usize).max(16) * 20;
+    let mut attempts = 0usize;
+    while edges.len() < target && attempts < max_attempts {
+        attempts += 1;
+        let (u, v) = place_edge(&weights, k, rng);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v) as u32, u.max(v) as u32);
+        if edges.insert(key) {
+            builder.add_edge(key.0, key.1);
+        }
+    }
+    builder.build()
+}
+
+/// Cumulative quadrant weights `[a, a+b, a+2b, a+2b+c]` used for the recursive descent.
+fn quadrant_weights(theta: &Initiator2) -> [f64; 4] {
+    let total = theta.entry_sum();
+    if total <= 0.0 {
+        // Degenerate all-zero initiator: weights never get used because the expected edge count
+        // is zero, but keep them well-formed.
+        return [0.25, 0.5, 0.75, 1.0];
+    }
+    [
+        theta.a / total,
+        (theta.a + theta.b) / total,
+        (theta.a + 2.0 * theta.b) / total,
+        1.0,
+    ]
+}
+
+/// Descends `k` levels of the Kronecker recursion, picking one of the four initiator quadrants
+/// at each level, and returns the resulting ordered pair `(u, v)`.
+fn place_edge<R: Rng + ?Sized>(cumulative: &[f64; 4], k: u32, rng: &mut R) -> (usize, usize) {
+    let mut u = 0usize;
+    let mut v = 0usize;
+    for _ in 0..k {
+        let r: f64 = rng.gen();
+        // Quadrants in row-major order: (0,0)=a, (0,1)=b, (1,0)=b, (1,1)=c.
+        let (du, dv) = if r < cumulative[0] {
+            (0, 0)
+        } else if r < cumulative[1] {
+            (0, 1)
+        } else if r < cumulative[2] {
+            (1, 0)
+        } else {
+            (1, 1)
+        };
+        u = (u << 1) | du;
+        v = (v << 1) | dv;
+    }
+    (u, v)
+}
+
+/// Samples a standard normal via Box–Muller. Kept private: only the edge-count jitter needs it.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::ExpectedMoments;
+    use kronpriv_graph::MatchingStatistics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_sampler_respects_node_count() {
+        let theta = Initiator2::new(0.9, 0.5, 0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = sample_exact(&theta, 6, &mut rng);
+        assert_eq!(g.node_count(), 64);
+    }
+
+    #[test]
+    fn exact_sampler_with_all_ones_gives_complete_graph() {
+        let theta = Initiator2::new(1.0, 1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = sample_exact(&theta, 4, &mut rng);
+        assert_eq!(g.edge_count(), 16 * 15 / 2);
+    }
+
+    #[test]
+    fn exact_sampler_with_identity_initiator_gives_empty_graph() {
+        let theta = Initiator2::new(1.0, 0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = sample_exact(&theta, 6, &mut rng);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn exact_sampler_edge_count_tracks_expectation() {
+        let theta = Initiator2::new(0.99, 0.45, 0.25);
+        let k = 9;
+        let expected = expected_edges(&theta, k);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut total = 0.0;
+        let reps = 5;
+        for _ in 0..reps {
+            total += sample_exact(&theta, k, &mut rng).edge_count() as f64;
+        }
+        let mean = total / reps as f64;
+        // Edge count is a sum of independent Bernoullis; 5 reps keep the standard error below
+        // ~sqrt(expected/5), allow 6 sigma.
+        let sigma = (expected / reps as f64).sqrt();
+        assert!((mean - expected).abs() < 6.0 * sigma, "mean {mean} expected {expected}");
+    }
+
+    #[test]
+    fn monte_carlo_moments_match_closed_forms() {
+        // The strongest validation of Equation (1): average the observed (E, H, Δ, T) over many
+        // exact realizations of a small graph and compare against the closed forms.
+        let theta = Initiator2::new(0.8, 0.5, 0.3);
+        let k = 5;
+        let reps = 300;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sums = [0.0f64; 4];
+        for _ in 0..reps {
+            let g = sample_exact(&theta, k, &mut rng);
+            let s = MatchingStatistics::of_graph(&g).as_array();
+            for i in 0..4 {
+                sums[i] += s[i];
+            }
+        }
+        let means: Vec<f64> = sums.iter().map(|s| s / reps as f64).collect();
+        let expected = ExpectedMoments::of(&theta, k).as_array();
+        for i in 0..4 {
+            let rel = (means[i] - expected[i]).abs() / expected[i].max(1.0);
+            assert!(
+                rel < 0.1,
+                "moment {i}: monte-carlo {} vs closed form {} (rel {rel})",
+                means[i],
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fast_sampler_produces_requested_size() {
+        let theta = Initiator2::new(0.99, 0.45, 0.25);
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = sample_fast(&theta, 12, &SamplerOptions::default(), &mut rng);
+        assert_eq!(g.node_count(), 4096);
+        let expected = expected_edges(&theta, 12);
+        let observed = g.edge_count() as f64;
+        // Duplicate rejections make the fast sampler land slightly under the target; allow 15%.
+        assert!(
+            (observed - expected).abs() / expected < 0.15,
+            "observed {observed} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn fast_sampler_with_deterministic_count_is_reproducible() {
+        let theta = Initiator2::new(0.9, 0.6, 0.2);
+        let opts = SamplerOptions { oversample: 1.0, randomize_edge_count: false };
+        let g1 = sample_fast(&theta, 10, &opts, &mut StdRng::seed_from_u64(7));
+        let g2 = sample_fast(&theta, 10, &opts, &mut StdRng::seed_from_u64(7));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn fast_sampler_handles_zero_initiator() {
+        let theta = Initiator2::new(0.0, 0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = sample_fast(&theta, 8, &SamplerOptions::default(), &mut rng);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn fast_sampler_handles_diagonal_only_initiator_without_hanging() {
+        // All probability mass on loops: every placement is rejected; the attempt cap must stop
+        // the loop and return a (nearly) empty graph.
+        let theta = Initiator2::new(1.0, 0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = sample_fast(&theta, 8, &SamplerOptions::default(), &mut rng);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn fast_and_exact_samplers_agree_on_degree_statistics() {
+        // Compare average degree and wedge counts of the two samplers on a mid-sized graph.
+        let theta = Initiator2::new(0.95, 0.55, 0.25);
+        let k = 9;
+        let reps = 4;
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut exact_edges = 0.0;
+        let mut fast_edges = 0.0;
+        let mut exact_wedges = 0.0;
+        let mut fast_wedges = 0.0;
+        for _ in 0..reps {
+            let ge = sample_exact(&theta, k, &mut rng);
+            let gf = sample_fast(&theta, k, &SamplerOptions::default(), &mut rng);
+            let se = MatchingStatistics::of_graph(&ge);
+            let sf = MatchingStatistics::of_graph(&gf);
+            exact_edges += se.edges;
+            fast_edges += sf.edges;
+            exact_wedges += se.hairpins;
+            fast_wedges += sf.hairpins;
+        }
+        assert!(
+            (exact_edges - fast_edges).abs() / exact_edges < 0.2,
+            "edges: exact {exact_edges} fast {fast_edges}"
+        );
+        assert!(
+            (exact_wedges - fast_wedges).abs() / exact_wedges < 0.35,
+            "wedges: exact {exact_wedges} fast {fast_wedges}"
+        );
+    }
+
+    #[test]
+    fn sampled_graphs_are_simple() {
+        let theta = Initiator2::new(0.99, 0.45, 0.25);
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = sample_fast(&theta, 11, &SamplerOptions::default(), &mut rng);
+        for u in g.nodes() {
+            assert!(!g.neighbors(u).contains(&u), "self loop at {u}");
+        }
+        let degree_sum: usize = g.degrees().iter().sum();
+        assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_exact is quadratic")]
+    fn exact_sampler_rejects_large_k() {
+        let theta = Initiator2::new(0.9, 0.5, 0.1);
+        let mut rng = StdRng::seed_from_u64(12);
+        let _ = sample_exact(&theta, 14, &mut rng);
+    }
+}

@@ -1,0 +1,154 @@
+//! Degree distributions (Figures 1–4(b)).
+//!
+//! The paper plots the count of nodes per degree value on log–log axes. The helpers here return
+//! the raw histogram (one point per distinct degree) plus the complementary cumulative form,
+//! which is the more robust statistic for comparing heavy-tailed distributions.
+
+use kronpriv_graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One point of a degree distribution: `count` nodes have degree `degree`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegreePoint {
+    /// The degree value.
+    pub degree: usize,
+    /// Number of nodes with exactly this degree.
+    pub count: usize,
+}
+
+/// The degree histogram of `g`: one [`DegreePoint`] per distinct degree, sorted by degree.
+pub fn degree_histogram(g: &Graph) -> Vec<DegreePoint> {
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+    for d in g.degrees() {
+        *counts.entry(d).or_insert(0) += 1;
+    }
+    counts.into_iter().map(|(degree, count)| DegreePoint { degree, count }).collect()
+}
+
+/// The degree distribution restricted to positive degrees (what the paper's log–log plots show —
+/// zero-degree nodes cannot appear on a log axis).
+pub fn degree_distribution(g: &Graph) -> Vec<DegreePoint> {
+    degree_histogram(g).into_iter().filter(|p| p.degree > 0).collect()
+}
+
+/// Complementary cumulative degree distribution: for each distinct degree `d`, the fraction of
+/// nodes with degree `≥ d`. Returns `(degree, fraction)` pairs sorted by degree.
+pub fn degree_ccdf(g: &Graph) -> Vec<(usize, f64)> {
+    let histogram = degree_histogram(g);
+    let n: usize = histogram.iter().map(|p| p.count).sum();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut remaining = n;
+    let mut out = Vec::with_capacity(histogram.len());
+    for p in &histogram {
+        out.push((p.degree, remaining as f64 / n as f64));
+        remaining -= p.count;
+    }
+    out
+}
+
+/// Kolmogorov–Smirnov-style distance between the degree CCDFs of two graphs: the maximum
+/// absolute difference of the two CCDF step functions over all degree values. Used to quantify
+/// how closely a synthetic graph's degree distribution tracks the original's.
+pub fn degree_distribution_distance(a: &Graph, b: &Graph) -> f64 {
+    let ca = degree_ccdf(a);
+    let cb = degree_ccdf(b);
+    let eval = |c: &[(usize, f64)], d: usize| -> f64 {
+        // CCDF at degree d: fraction of nodes with degree >= d (step function, right-continuous
+        // between listed degrees).
+        c.iter().rev().find(|&&(deg, _)| deg <= d).map_or_else(
+            || c.first().map_or(0.0, |&(_, f)| f),
+            |&(deg, f)| if deg == d { f } else { c.iter().find(|&&(dg, _)| dg > d).map_or(0.0, |&(_, g)| g) },
+        )
+    };
+    let degrees: Vec<usize> =
+        ca.iter().map(|&(d, _)| d).chain(cb.iter().map(|&(d, _)| d)).collect();
+    degrees
+        .into_iter()
+        .map(|d| (eval(&ca, d) - eval(&cb, d)).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(leaves: usize) -> Graph {
+        Graph::from_edges(leaves + 1, (1..=leaves as u32).map(|v| (0, v)))
+    }
+
+    #[test]
+    fn histogram_of_a_star() {
+        let h = degree_histogram(&star(5));
+        assert_eq!(
+            h,
+            vec![DegreePoint { degree: 1, count: 5 }, DegreePoint { degree: 5, count: 1 }]
+        );
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_node_count() {
+        let g = Graph::from_edges(6, vec![(0, 1), (1, 2), (3, 4)]);
+        let total: usize = degree_histogram(&g).iter().map(|p| p.count).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn distribution_drops_isolated_nodes() {
+        let g = Graph::from_edges(4, vec![(0, 1)]);
+        let d = degree_distribution(&g);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0], DegreePoint { degree: 1, count: 2 });
+    }
+
+    #[test]
+    fn histogram_of_empty_graph() {
+        let h = degree_histogram(&Graph::empty(3));
+        assert_eq!(h, vec![DegreePoint { degree: 0, count: 3 }]);
+        assert!(degree_distribution(&Graph::empty(3)).is_empty());
+    }
+
+    #[test]
+    fn ccdf_starts_at_one_and_decreases() {
+        let g = star(7);
+        let ccdf = degree_ccdf(&g);
+        assert_eq!(ccdf.first().unwrap().1, 1.0);
+        assert!(ccdf.windows(2).all(|w| w[0].1 >= w[1].1));
+        // Highest degree (7) is held by exactly one of 8 nodes.
+        assert!((ccdf.last().unwrap().1 - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_of_regular_graph_is_flat_then_drops() {
+        // Cycle: every node has degree 2.
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let ccdf = degree_ccdf(&g);
+        assert_eq!(ccdf, vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn distance_between_identical_graphs_is_zero() {
+        let g = star(6);
+        assert_eq!(degree_distribution_distance(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_detects_differences() {
+        let a = star(6);
+        let b = Graph::from_edges(7, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        let d1 = degree_distribution_distance(&a, &b);
+        let d2 = degree_distribution_distance(&b, &a);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.3, "star vs path should differ substantially, got {d1}");
+        assert!(d1 <= 1.0);
+    }
+
+    #[test]
+    fn distance_between_similar_graphs_is_small() {
+        let a = star(50);
+        let b = star(52);
+        assert!(degree_distribution_distance(&a, &b) < 0.05);
+    }
+}

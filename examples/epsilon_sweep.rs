@@ -1,0 +1,45 @@
+//! Privacy/utility trade-off: sweep the privacy budget ε and measure how far the private
+//! estimate drifts from the non-private KronMom estimate on the CA-GrQc stand-in. This is the
+//! "meaningful values of ε" question the paper raises in Section 4.2, made quantitative.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example epsilon_sweep
+//! ```
+
+use kronpriv::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let original = Dataset::CaGrQc.generate(1);
+    println!(
+        "CA-GrQc stand-in: {} nodes, {} edges",
+        original.node_count(),
+        original.edge_count()
+    );
+
+    let kronmom = KronMomEstimator::default().fit_graph(&original);
+    println!("non-private KronMom estimate: {}", kronmom.theta);
+
+    let repetitions = 5;
+    println!("\n  ε        mean |Θ̃ − Θ̂_mom|   max |Θ̃ − Θ̂_mom|   (over {repetitions} runs, δ = 0.01)");
+    for epsilon in [0.05, 0.1, 0.2, 0.5, 1.0, 2.0] {
+        let mut distances = Vec::new();
+        for rep in 0..repetitions {
+            let mut rng = StdRng::seed_from_u64(1000 + rep);
+            let est = PrivateEstimator::default().fit(
+                &original,
+                PrivacyParams::new(epsilon, 0.01),
+                &mut rng,
+            );
+            distances.push(est.fit.theta.distance(&kronmom.theta));
+        }
+        let mean = distances.iter().sum::<f64>() / distances.len() as f64;
+        let max = distances.iter().cloned().fold(0.0_f64, f64::max);
+        println!("  {epsilon:<7} {mean:>18.4} {max:>17.4}");
+    }
+
+    println!("\nAt the paper's ε = 0.2 the private estimate should sit within a few hundredths of");
+    println!("the non-private one; utility only degrades noticeably for much smaller budgets.");
+}

@@ -1,0 +1,5 @@
+//! Workspace-level crate hosting the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). The library itself only re-exports the `kronpriv` facade so
+//! that examples and tests can use a single import path.
+
+pub use kronpriv::prelude;
