@@ -1,81 +1,59 @@
-//! Criterion micro-benchmarks of the graph kernels: subgraph counting (the observed side of the
-//! moment matching), smooth sensitivity, the private degree-sequence release, and the evaluation
+//! Micro-benchmarks of the graph kernels: subgraph counting (the observed side of the moment
+//! matching), smooth sensitivity, the private degree-sequence release, and the evaluation
 //! statistics, all at the scale of the paper's datasets.
+//!
+//! Run with `cargo bench -p kronpriv-bench --bench graph_kernels` (add `-- --quick` for a
+//! smoke run). Uses the in-workspace harness instead of criterion so the build stays offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use kronpriv::prelude::*;
+use kronpriv_bench::harness::Harness;
 use kronpriv_dp::{private_degree_sequence, smooth_sensitivity_triangles};
 use kronpriv_graph::counts::triangle_count;
 use kronpriv_stats::{exact_hop_plot, scree_plot, SpectralOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn configure() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3))
-}
+fn main() {
+    let mut h = Harness::from_args("graph_kernels");
+    let g = Dataset::CaGrQc.generate(1);
 
-fn ca_grqc_standin() -> Graph {
-    Dataset::CaGrQc.generate(1)
-}
-
-fn bench_matching_statistics(c: &mut Criterion) {
-    let g = ca_grqc_standin();
-    c.bench_function("matching_statistics_ca_grqc", |b| {
+    h.bench_function("matching_statistics_ca_grqc", |b| {
         b.iter(|| black_box(MatchingStatistics::of_graph(black_box(&g))))
     });
-}
 
-fn bench_triangle_count(c: &mut Criterion) {
-    let g = ca_grqc_standin();
-    c.bench_function("triangle_count_ca_grqc", |b| {
+    h.bench_function("triangle_count_ca_grqc", |b| {
         b.iter(|| black_box(triangle_count(black_box(&g))))
     });
-}
 
-fn bench_smooth_sensitivity(c: &mut Criterion) {
-    let g = ca_grqc_standin();
-    c.bench_function("smooth_sensitivity_ca_grqc", |b| {
+    h.bench_function("smooth_sensitivity_ca_grqc", |b| {
         b.iter(|| black_box(smooth_sensitivity_triangles(black_box(&g), 0.01)))
     });
-}
 
-fn bench_private_degree_sequence(c: &mut Criterion) {
-    let g = ca_grqc_standin();
-    c.bench_function("private_degree_sequence_ca_grqc", |b| {
+    {
         let mut rng = StdRng::seed_from_u64(7);
-        b.iter(|| black_box(private_degree_sequence(&g, PrivacyParams::pure(0.1), &mut rng)))
-    });
-}
+        h.bench_function("private_degree_sequence_ca_grqc", |b| {
+            b.iter(|| black_box(private_degree_sequence(&g, PrivacyParams::pure(0.1), &mut rng)))
+        });
+    }
 
-fn bench_scree_plot(c: &mut Criterion) {
-    let g = ca_grqc_standin();
-    c.bench_function("scree_plot_25_ca_grqc", |b| {
+    {
         let mut rng = StdRng::seed_from_u64(8);
-        b.iter(|| {
-            black_box(scree_plot(
-                &g,
-                &SpectralOptions { scree_values: 25, ..Default::default() },
-                &mut rng,
-            ))
-        })
-    });
-}
+        h.bench_function("scree_plot_25_ca_grqc", |b| {
+            b.iter(|| {
+                black_box(scree_plot(
+                    &g,
+                    &SpectralOptions { scree_values: 25, ..Default::default() },
+                    &mut rng,
+                ))
+            })
+        });
+    }
 
-fn bench_hop_plot_small(c: &mut Criterion) {
     // The exact all-sources BFS is the slowest figure kernel; benchmark it on the smaller AS20
     // stand-in to keep the suite quick.
-    let g = Dataset::As20.generate(2);
-    c.bench_function("exact_hop_plot_as20", |b| {
-        b.iter(|| black_box(exact_hop_plot(black_box(&g))))
-    });
-}
+    let as20 = Dataset::As20.generate(2);
+    h.bench_function("exact_hop_plot_as20", |b| b.iter(|| black_box(exact_hop_plot(&as20))));
 
-criterion_group! {
-    name = benches;
-    config = configure();
-    targets = bench_matching_statistics, bench_triangle_count, bench_smooth_sensitivity,
-              bench_private_degree_sequence, bench_scree_plot, bench_hop_plot_small
+    h.report();
 }
-criterion_main!(benches);

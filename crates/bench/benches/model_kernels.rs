@@ -1,69 +1,53 @@
-//! Criterion micro-benchmarks of the model kernels every experiment leans on: the closed-form
-//! expected moments (Equation 1), per-pair edge probabilities, the moment objective, and SKG
-//! sampling at the paper's graph sizes.
+//! Micro-benchmarks of the model kernels every experiment leans on: the closed-form expected
+//! moments (Equation 1), per-pair edge probabilities, the moment objective, and SKG sampling at
+//! the paper's graph sizes.
+//!
+//! Run with `cargo bench -p kronpriv-bench --bench model_kernels` (add `-- --quick` for a
+//! smoke run). Uses the in-workspace harness instead of criterion so the build stays offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kronpriv::prelude::*;
+use kronpriv_bench::harness::Harness;
 use kronpriv_estimate::MomentObjective;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn configure() -> Criterion {
-    Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2))
-}
-
-fn bench_expected_moments(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args("model_kernels");
     let theta = Initiator2::new(0.99, 0.45, 0.25);
-    c.bench_function("expected_moments_k14", |b| {
+
+    h.bench_function("expected_moments_k14", |b| {
         b.iter(|| black_box(ExpectedMoments::of(black_box(&theta), 14)))
     });
-}
 
-fn bench_edge_probability(c: &mut Criterion) {
-    let theta = Initiator2::new(0.99, 0.45, 0.25);
-    c.bench_function("edge_probability_k14", |b| {
+    h.bench_function("edge_probability_k14", |b| {
         b.iter(|| black_box(theta.edge_probability(14, black_box(12345), black_box(4321))))
     });
-}
 
-fn bench_objective_evaluation(c: &mut Criterion) {
-    let truth = Initiator2::new(0.99, 0.45, 0.25);
-    let observed = ExpectedMoments::of(&truth, 14).as_array();
-    let objective = MomentObjective::from_counts(observed, 14);
-    let candidate = Initiator2::new(0.95, 0.5, 0.3);
-    c.bench_function("moment_objective_evaluation", |b| {
-        b.iter(|| black_box(objective.evaluate(black_box(&candidate))))
-    });
-}
+    {
+        let observed = ExpectedMoments::of(&theta, 14).as_array();
+        let objective = MomentObjective::from_counts(observed, 14);
+        let candidate = Initiator2::new(0.95, 0.5, 0.3);
+        h.bench_function("moment_objective_evaluation", |b| {
+            b.iter(|| black_box(objective.evaluate(black_box(&candidate))))
+        });
+    }
 
-fn bench_sampling(c: &mut Criterion) {
-    let theta = Initiator2::new(0.99, 0.45, 0.25);
-    let mut group = c.benchmark_group("skg_sample_fast");
     for k in [10u32, 12, 14] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            let mut rng = StdRng::seed_from_u64(k as u64);
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        h.bench_function(&format!("skg_sample_fast/{k}"), |b| {
             b.iter(|| {
                 black_box(sample_fast(&theta, k, &SamplerOptions::default(), &mut rng).edge_count())
             })
         });
     }
-    group.finish();
-}
 
-fn bench_exact_sampler_small(c: &mut Criterion) {
-    let theta = Initiator2::new(0.99, 0.45, 0.25);
-    c.bench_function("skg_sample_exact_k9", |b| {
+    {
         let mut rng = StdRng::seed_from_u64(9);
-        b.iter(|| black_box(sample_exact(&theta, 9, &mut rng).edge_count()))
-    });
-}
+        h.bench_function("skg_sample_exact_k9", |b| {
+            b.iter(|| black_box(sample_exact(&theta, 9, &mut rng).edge_count()))
+        });
+    }
 
-criterion_group! {
-    name = benches;
-    config = configure();
-    targets = bench_expected_moments, bench_edge_probability, bench_objective_evaluation,
-              bench_sampling, bench_exact_sampler_small
+    h.report();
 }
-criterion_main!(benches);

@@ -13,11 +13,11 @@ use kronpriv::prelude::*;
 use kronpriv_dp::smooth_sensitivity_triangles;
 use kronpriv_estimate::{DistanceKind, MomentObjective, NormalizationKind};
 use rand::rngs::StdRng;
+use kronpriv_json::impl_json_struct;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// One point of the smooth-sensitivity growth study.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SmoothSensitivityPoint {
     /// Kronecker order of the graph.
     pub k: u32,
@@ -32,6 +32,15 @@ pub struct SmoothSensitivityPoint {
     /// Smooth sensitivity at the paper's β (ε = 0.1 share, δ = 0.01).
     pub smooth_sensitivity: f64,
 }
+
+impl_json_struct!(SmoothSensitivityPoint {
+    k,
+    nodes,
+    edges,
+    triangles,
+    local_sensitivity,
+    smooth_sensitivity,
+});
 
 /// A1: smooth sensitivity of the triangle count as a function of SKG size, for the paper's
 /// synthetic initiator.
@@ -59,7 +68,7 @@ pub fn smooth_sensitivity_growth(k_range: std::ops::RangeInclusive<u32>, seed: u
 }
 
 /// One point of the ε sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EpsilonSweepPoint {
     /// The privacy budget ε (δ fixed at 0.01).
     pub epsilon: f64,
@@ -70,6 +79,13 @@ pub struct EpsilonSweepPoint {
     /// Number of repetitions.
     pub repetitions: usize,
 }
+
+impl_json_struct!(EpsilonSweepPoint {
+    epsilon,
+    mean_distance_to_kronmom,
+    max_distance_to_kronmom,
+    repetitions,
+});
 
 /// A2: the privacy/utility trade-off on a dataset stand-in.
 pub fn epsilon_sweep(
@@ -104,7 +120,7 @@ pub fn epsilon_sweep(
 }
 
 /// One cell of the objective grid.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ObjectiveGridCell {
     /// Distance function name.
     pub distance: String,
@@ -115,6 +131,8 @@ pub struct ObjectiveGridCell {
     /// The recovered parameters.
     pub recovered: Initiator2,
 }
+
+impl_json_struct!(ObjectiveGridCell { distance, normalization, recovery_error, recovered });
 
 /// A3: fits a synthetic Kronecker graph with every Dist × Norm combination of Equation (2) and
 /// reports how well each recovers the generating parameters.
@@ -189,7 +207,10 @@ mod tests {
 
     #[test]
     fn objective_grid_confirms_the_papers_default_choice() {
-        let cells = objective_grid(10, 4);
+        // k = 12 (4096 nodes): large enough that one realization's sampling noise in the
+        // observed moments stays well inside the 0.1 recovery band for every seed (smaller k
+        // makes this a coin flip — the triangle count of an SKG realization is tiny and noisy).
+        let cells = objective_grid(12, 4);
         assert_eq!(cells.len(), 8);
         let default_cell = cells
             .iter()

@@ -7,8 +7,8 @@ use crate::{kronfit_options, paper_budget, profile_options};
 use kronpriv::experiment::{write_json, write_series};
 use kronpriv::prelude::*;
 use rand::rngs::StdRng;
+use kronpriv_json::impl_json_struct;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
 /// Options for one figure run.
@@ -54,7 +54,7 @@ pub fn dataset_for_figure(figure: u32) -> Option<Dataset> {
 
 /// Summary statistics of the "Expected" series: the mean matching statistics over many
 /// realizations of one estimator's model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExpectedSeries {
     /// Estimator label.
     pub estimator: String,
@@ -66,8 +66,10 @@ pub struct ExpectedSeries {
     pub mean_clustering: f64,
 }
 
+impl_json_struct!(ExpectedSeries { estimator, realizations, mean_statistics, mean_clustering });
+
 /// The full result of one figure run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigureResult {
     /// Figure number in the paper (1–4).
     pub figure: u32,
@@ -84,6 +86,16 @@ pub struct FigureResult {
     /// Expected (multi-realization) series, when requested.
     pub expected: Vec<ExpectedSeries>,
 }
+
+impl_json_struct!(FigureResult {
+    figure,
+    network,
+    real_data,
+    estimates,
+    profiles,
+    comparisons,
+    expected,
+});
 
 /// Runs the experiment behind one of Figures 1–4.
 pub fn run_figure(figure: u32, options: &FigureOptions) -> FigureResult {

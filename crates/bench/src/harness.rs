@@ -1,0 +1,156 @@
+//! A minimal timing harness replacing criterion for the offline build.
+//!
+//! The benches under `benches/` are plain `harness = false` binaries: they construct a
+//! [`Harness`], register benchmark closures with [`Harness::bench_function`], and call
+//! [`Harness::report`]. Each benchmark is warmed up, then timed over repeated batches until a
+//! wall-clock budget is spent; the report prints min / median / mean per-iteration times.
+//!
+//! The harness deliberately mirrors the criterion call shape (`b.iter(|| ...)`) so the bench
+//! sources read the same and could migrate back to criterion if the build ever regains network
+//! access.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement produced by [`Harness::bench_function`].
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label.
+    pub name: String,
+    /// Number of timed batches.
+    pub samples: usize,
+    /// Iterations per batch.
+    pub iterations_per_sample: u64,
+    /// Minimum per-iteration time over the batches.
+    pub min: Duration,
+    /// Median per-iteration time over the batches.
+    pub median: Duration,
+    /// Mean per-iteration time over the batches.
+    pub mean: Duration,
+}
+
+/// Timing callback handed to benchmark closures; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` calls of `f` back to back.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A registry of benchmarks with a shared time budget per benchmark.
+pub struct Harness {
+    suite: String,
+    measurement_time: Duration,
+    min_samples: usize,
+    max_samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Creates a harness. `quick` shrinks the per-benchmark budget for smoke runs (used by the
+    /// unit tests and by `cargo bench -- --quick`).
+    pub fn new(suite: impl Into<String>, quick: bool) -> Self {
+        Harness {
+            suite: suite.into(),
+            measurement_time: if quick {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_secs(2)
+            },
+            min_samples: if quick { 3 } else { 10 },
+            max_samples: if quick { 5 } else { 100 },
+            results: Vec::new(),
+        }
+    }
+
+    /// Builds a harness from `std::env::args`, honouring `--quick` and ignoring the arguments
+    /// libtest/cargo pass to `harness = false` bench binaries (`--bench`, filters, ...).
+    pub fn from_args(suite: impl Into<String>) -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        Self::new(suite, quick)
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut routine: impl FnMut(&mut Bencher)) {
+        // Calibration: find an iteration count that takes ≳1ms per batch, so Instant
+        // resolution noise stays below ~0.1%.
+        let mut iterations = 1u64;
+        loop {
+            let mut b = Bencher { iterations, elapsed: Duration::ZERO };
+            routine(&mut b);
+            if b.elapsed >= Duration::from_millis(1) || iterations >= 1 << 20 {
+                break;
+            }
+            iterations *= 2;
+        }
+
+        let budget_start = Instant::now();
+        let mut per_iteration: Vec<Duration> = Vec::new();
+        while per_iteration.len() < self.min_samples
+            || (budget_start.elapsed() < self.measurement_time
+                && per_iteration.len() < self.max_samples)
+        {
+            let mut b = Bencher { iterations, elapsed: Duration::ZERO };
+            routine(&mut b);
+            per_iteration.push(b.elapsed / iterations as u32);
+        }
+        per_iteration.sort_unstable();
+
+        let mean_nanos =
+            per_iteration.iter().map(Duration::as_nanos).sum::<u128>() / per_iteration.len() as u128;
+        let result = BenchResult {
+            name: name.to_string(),
+            samples: per_iteration.len(),
+            iterations_per_sample: iterations,
+            min: per_iteration[0],
+            median: per_iteration[per_iteration.len() / 2],
+            mean: Duration::from_nanos(mean_nanos as u64),
+        };
+        println!(
+            "{:<40} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples x {} iters)",
+            result.name, result.min, result.median, result.mean, result.samples, iterations
+        );
+        self.results.push(result);
+    }
+
+    /// The collected results (in registration order).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the closing summary line.
+    pub fn report(&self) {
+        println!("suite `{}`: {} benchmarks completed", self.suite, self.results.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_trivial_function() {
+        let mut h = Harness::new("unit", true);
+        h.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        assert_eq!(h.results().len(), 1);
+        let r = &h.results()[0];
+        assert!(r.samples >= 3);
+        assert!(r.min <= r.median && r.median <= r.mean * 2);
+    }
+
+    #[test]
+    fn quick_mode_keeps_budgets_small() {
+        let h = Harness::new("unit", true);
+        assert!(h.measurement_time <= Duration::from_millis(50));
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod ablation;
 pub mod figures;
+pub mod harness;
 pub mod table1;
 
 use kronpriv::prelude::*;

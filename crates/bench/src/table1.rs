@@ -6,8 +6,8 @@ use kronpriv::experiment::{render_table, write_json};
 use kronpriv::prelude::*;
 use kronpriv_datasets::Table1Row;
 use rand::rngs::StdRng;
+use kronpriv_json::impl_to_json_struct;
 use rand::SeedableRng;
-use serde::Serialize;
 use std::path::PathBuf;
 
 /// Options for the Table 1 run.
@@ -31,7 +31,7 @@ impl Default for Table1Options {
 }
 
 /// The measured counterpart of one row of Table 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MeasuredRow {
     /// Dataset name.
     pub network: String,
@@ -53,6 +53,18 @@ pub struct MeasuredRow {
     /// The paper's published row, for the report.
     pub paper: Table1Row,
 }
+
+impl_to_json_struct!(MeasuredRow {
+    network,
+    real_data,
+    nodes,
+    edges,
+    kronfit,
+    kronmom,
+    private,
+    private_to_kronmom_distance,
+    paper,
+});
 
 /// Runs the Table 1 experiment and returns one measured row per dataset.
 pub fn run_table1(options: &Table1Options) -> Vec<MeasuredRow> {

@@ -5,7 +5,7 @@
 //! Two formats are emitted per experiment: a JSON document with the full structured result, and
 //! a gnuplot-friendly tab-separated file for each plotted series.
 
-use serde::Serialize;
+use kronpriv_json::ToJson;
 use std::fs;
 use std::io;
 use std::path::PathBuf;
@@ -20,7 +20,7 @@ pub fn experiment_dir(experiment: &str) -> PathBuf {
 
 /// Serialises `value` as pretty JSON into `<experiment dir>/<name>.json`, creating directories
 /// as needed, and returns the path written.
-pub fn write_json<T: Serialize>(
+pub fn write_json<T: ToJson>(
     experiment: &str,
     name: &str,
     value: &T,
@@ -28,9 +28,7 @@ pub fn write_json<T: Serialize>(
     let dir = experiment_dir(experiment);
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(&path, json)?;
+    fs::write(&path, kronpriv_json::to_string_pretty(value))?;
     Ok(path)
 }
 
@@ -95,13 +93,13 @@ pub fn percent_error(measured: f64, reference: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde::Serialize;
+    use kronpriv_json::impl_json_struct;
 
-    #[derive(Serialize)]
     struct Dummy {
         value: u32,
         label: String,
     }
+    impl_json_struct!(Dummy { value, label });
 
     fn with_temp_experiment_dir<T>(test: impl FnOnce() -> T) -> T {
         // Route outputs into a unique temp dir so tests never collide with real experiments.
@@ -147,7 +145,7 @@ mod tests {
         assert!(lines[0].starts_with("network"));
         assert!(lines[2].starts_with("CA-GrQc"));
         // All data lines have the same alignment width for the first column.
-        assert_eq!(lines[2].find("1.000"), lines[3].find("1.0").map(|i| i));
+        assert_eq!(lines[2].find("1.000"), lines[3].find("1.0"));
     }
 
     #[test]

@@ -9,10 +9,10 @@ use kronpriv_estimate::{
 use kronpriv_graph::Graph;
 use kronpriv_skg::sample::{sample_fast, SamplerOptions};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use kronpriv_json::impl_json_struct;
 
 /// The result of running all three estimators of Table 1 on one graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EstimatorSuite {
     /// The KronFit (approximate MLE) estimate.
     pub kronfit: FittedInitiator,
@@ -21,6 +21,8 @@ pub struct EstimatorSuite {
     /// The private estimate (Algorithm 1) and its released intermediates.
     pub private: PrivateEstimate,
 }
+
+impl_json_struct!(EstimatorSuite { kronfit, kronmom, private });
 
 /// Runs KronFit, KronMom and the private estimator (with budget `params`) on `g`, mirroring one
 /// row of Table 1. The same RNG drives the KronFit permutation sampling and the privacy noise so

@@ -13,11 +13,11 @@ use kronpriv_skg::sample::{sample_fast, SamplerOptions};
 use kronpriv_skg::Initiator2;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use kronpriv_json::{impl_json_enum, impl_to_json_struct};
 use std::path::Path;
 
 /// The four evaluation graphs of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataset {
     /// arXiv general-relativity co-authorship network (N = 5,242, E = 28,980).
     CaGrQc,
@@ -31,7 +31,7 @@ pub enum Dataset {
 
 /// Static description of a dataset: the paper's reported sizes, the Kronecker order, and the
 /// parameters used to build the stand-in.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetMetadata {
     /// Which dataset this describes.
     pub dataset: Dataset,
@@ -48,6 +48,18 @@ pub struct DatasetMetadata {
     /// SNAP file name this dataset corresponds to (None for the synthetic graph).
     pub snap_file: Option<&'static str>,
 }
+
+impl_json_enum!(Dataset { CaGrQc, CaHepTh, As20, SyntheticKronecker });
+
+impl_to_json_struct!(DatasetMetadata {
+    dataset,
+    name,
+    paper_nodes,
+    paper_edges,
+    k,
+    generator,
+    snap_file,
+});
 
 impl Dataset {
     /// All four datasets in the order the paper presents them.

@@ -7,10 +7,10 @@
 //! records both).
 
 use kronpriv_skg::Initiator2;
-use serde::{Deserialize, Serialize};
+use kronpriv_json::impl_to_json_struct;
 
 /// One row of the paper's Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// Network name as printed in the paper.
     pub network: &'static str,
@@ -27,6 +27,8 @@ pub struct Table1Row {
     /// The "Private" column (ε = 0.2, δ = 0.01).
     pub private: Initiator2,
 }
+
+impl_to_json_struct!(Table1Row { network, nodes, edges, k, kronfit, kronmom, private });
 
 /// The four rows of Table 1. The synthetic row's "generating" parameters are
 /// `[0.99 0.45; 0.45 0.25]` with `k = 14`.

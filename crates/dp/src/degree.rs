@@ -17,14 +17,14 @@ use crate::budget::PrivacyParams;
 use crate::laplace::LaplaceNoise;
 use kronpriv_graph::Graph;
 use kronpriv_linalg::isotonic_increasing;
+use kronpriv_json::impl_json_struct;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Global sensitivity of the sorted degree sequence under addition/removal of one edge.
 pub const DEGREE_SEQUENCE_SENSITIVITY: f64 = 2.0;
 
 /// The output of the private degree-sequence mechanism.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrivateDegreeSequence {
     /// The released non-decreasing degree sequence `d̃` (after post-processing). Entries are
     /// real-valued and may be slightly negative around degree 0; the derived statistics clamp
@@ -35,6 +35,8 @@ pub struct PrivateDegreeSequence {
     /// The privacy guarantee spent producing this release.
     pub params: PrivacyParams,
 }
+
+impl_json_struct!(PrivateDegreeSequence { degrees, noisy_degrees, params });
 
 impl PrivateDegreeSequence {
     /// `Ẽ`: the private estimate of the number of edges, `½ Σ d̃ᵢ`.

@@ -21,10 +21,10 @@ use crate::{kronecker_order_for, FittedInitiator};
 use kronpriv_graph::Graph;
 use kronpriv_skg::Initiator2;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use kronpriv_json::impl_json_struct;
 
 /// Options for the KronFit estimator.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct KronFitOptions {
     /// Number of gradient-ascent steps.
     pub gradient_steps: usize,
@@ -41,6 +41,16 @@ pub struct KronFitOptions {
     /// Starting initiator.
     pub initial: Initiator2,
 }
+
+impl_json_struct!(KronFitOptions {
+    gradient_steps,
+    warmup_swaps,
+    samples_per_step,
+    swaps_between_samples,
+    learning_rate,
+    min_parameter,
+    initial,
+});
 
 impl Default for KronFitOptions {
     fn default() -> Self {
@@ -224,6 +234,7 @@ impl KronFitEstimator {
 
     /// Runs `swaps` Metropolis proposals, each swapping the Kronecker indices of two uniformly
     /// chosen nodes (padding nodes included) and accepting with the likelihood ratio.
+    #[allow(clippy::too_many_arguments)]
     fn run_swaps<R: Rng + ?Sized>(
         &self,
         g: &Graph,

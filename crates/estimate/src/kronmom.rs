@@ -11,10 +11,10 @@ use crate::{kronecker_order_for, FittedInitiator};
 use kronpriv_graph::{Graph, MatchingStatistics};
 use kronpriv_optim::{multistart_minimize, Bounds, MultistartOptions, NelderMeadOptions};
 use kronpriv_skg::Initiator2;
-use serde::{Deserialize, Serialize};
+use kronpriv_json::impl_json_struct;
 
 /// Options for the KronMom fit.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct KronMomOptions {
     /// Grid resolution per axis for the multistart seeding.
     pub grid_points_per_axis: usize,
@@ -23,6 +23,8 @@ pub struct KronMomOptions {
     /// Maximum objective evaluations per Nelder–Mead run.
     pub max_evaluations: usize,
 }
+
+impl_json_struct!(KronMomOptions { grid_points_per_axis, refine_top, max_evaluations });
 
 impl Default for KronMomOptions {
     fn default() -> Self {

@@ -27,11 +27,11 @@ pub use kronmom::{KronMomEstimator, KronMomOptions};
 pub use objective::{DistanceKind, MomentObjective, NormalizationKind};
 pub use private::{PrivateEstimate, PrivateEstimator, PrivateEstimatorOptions};
 
+use kronpriv_json::impl_json_struct;
 use kronpriv_skg::Initiator2;
-use serde::{Deserialize, Serialize};
 
 /// A fitted initiator matrix together with fit diagnostics, returned by every estimator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FittedInitiator {
     /// The estimated initiator (canonicalised so that `a ≥ c`).
     pub theta: Initiator2,
@@ -43,6 +43,8 @@ pub struct FittedInitiator {
     /// Number of objective/likelihood evaluations or gradient steps spent.
     pub evaluations: usize,
 }
+
+impl_json_struct!(FittedInitiator { theta, k, objective_value, evaluations });
 
 /// Chooses the Kronecker order for a graph with `node_count` nodes: the smallest `k` with
 /// `2^k ≥ node_count`. The paper's graphs are padded up to the next power of two, exactly as the
@@ -80,8 +82,8 @@ mod tests {
             objective_value: 0.001,
             evaluations: 123,
         };
-        let json = serde_json::to_string(&fit).unwrap();
-        let back: FittedInitiator = serde_json::from_str(&json).unwrap();
+        let json = kronpriv_json::to_string(&fit);
+        let back: FittedInitiator = kronpriv_json::from_str(&json).unwrap();
         assert_eq!(fit, back);
     }
 }

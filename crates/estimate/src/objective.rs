@@ -14,10 +14,10 @@
 
 use kronpriv_graph::MatchingStatistics;
 use kronpriv_skg::{ExpectedMoments, Initiator2};
-use serde::{Deserialize, Serialize};
+use kronpriv_json::{impl_json_enum, impl_json_struct};
 
 /// The distance function `Dist` of Equation (2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DistanceKind {
     /// `Dist(x, y) = (x − y)²`.
     Squared,
@@ -25,8 +25,10 @@ pub enum DistanceKind {
     Absolute,
 }
 
+impl_json_enum!(DistanceKind { Squared, Absolute });
+
 /// The normalisation function `Norm` of Equation (2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NormalizationKind {
     /// Normalise by the observed count `F`.
     Observed,
@@ -38,9 +40,11 @@ pub enum NormalizationKind {
     ExpectedSquared,
 }
 
+impl_json_enum!(NormalizationKind { Observed, ObservedSquared, Expected, ExpectedSquared });
+
 /// Which of the four features participate in the matching. The paper (following Gleich & Owen)
 /// sums over "three or four" of them; the default uses all four.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FeatureSelection {
     /// Include the edge count `E`.
     pub edges: bool,
@@ -51,6 +55,8 @@ pub struct FeatureSelection {
     /// Include the tripin (3-star) count `T`.
     pub tripins: bool,
 }
+
+impl_json_struct!(FeatureSelection { edges, hairpins, triangles, tripins });
 
 impl Default for FeatureSelection {
     fn default() -> Self {
@@ -82,7 +88,7 @@ impl FeatureSelection {
 }
 
 /// The fully-configured moment-matching objective for one observed graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MomentObjective {
     /// Observed feature counts `[E, H, Δ, T]` (possibly privately perturbed).
     pub observed: [f64; 4],
@@ -95,6 +101,8 @@ pub struct MomentObjective {
     /// Which features participate.
     pub features: FeatureSelection,
 }
+
+impl_json_struct!(MomentObjective { observed, k, distance, normalization, features });
 
 impl MomentObjective {
     /// Builds the paper's default objective (`DistSq`, `NormF²`, all four features) for the

@@ -21,10 +21,10 @@ use kronpriv_dp::{
 };
 use kronpriv_graph::Graph;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use kronpriv_json::impl_json_struct;
 
 /// Options for the private estimator.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PrivateEstimatorOptions {
     /// Fraction of the ε budget spent on the degree sequence (the remainder goes to the
     /// triangle count). Algorithm 1 uses an even split.
@@ -50,6 +50,14 @@ pub struct PrivateEstimatorOptions {
     pub kronmom: KronMomOptions,
 }
 
+impl_json_struct!(PrivateEstimatorOptions {
+    degree_budget_fraction,
+    exact_smooth_sensitivity,
+    degrees_only,
+    triangle_signal_threshold,
+    kronmom,
+});
+
 impl Default for PrivateEstimatorOptions {
     fn default() -> Self {
         PrivateEstimatorOptions {
@@ -64,7 +72,7 @@ impl Default for PrivateEstimatorOptions {
 
 /// The output of Algorithm 1: the private initiator estimate plus the intermediate private
 /// statistics (everything here is safe to publish — it is all derived from released values).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PrivateEstimate {
     /// The fitted initiator and diagnostics.
     pub fit: FittedInitiator,
@@ -77,6 +85,14 @@ pub struct PrivateEstimate {
     /// The private triangle-count release (step 5); absent in the degrees-only ablation.
     pub triangle_release: Option<PrivateTriangleCount>,
 }
+
+impl_json_struct!(PrivateEstimate {
+    fit,
+    params,
+    private_statistics,
+    degree_release,
+    triangle_release,
+});
 
 /// The differentially private estimator of Algorithm 1.
 #[derive(Debug, Clone, Default)]

@@ -16,10 +16,10 @@
 //! counts exposed here are exactly what that computation needs.
 
 use crate::graph::Graph;
-use serde::{Deserialize, Serialize};
+use kronpriv_json::impl_json_struct;
 
 /// The four observed statistics `(E, H, T, Δ)` used for moment matching.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatchingStatistics {
     /// Number of undirected edges.
     pub edges: f64,
@@ -30,6 +30,8 @@ pub struct MatchingStatistics {
     /// Number of triangles.
     pub triangles: f64,
 }
+
+impl_json_struct!(MatchingStatistics { edges, hairpins, tripins, triangles });
 
 impl MatchingStatistics {
     /// Computes all four statistics of `g` exactly.
@@ -191,7 +193,9 @@ fn count_common_neighbors_above(g: &Graph, u: u32, v: u32, floor: u32) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::test_support::rand_edges;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn complete_graph(n: usize) -> Graph {
         let mut edges = Vec::new();
@@ -310,41 +314,49 @@ mod tests {
         assert_eq!(after - before, common as u64);
     }
 
-    proptest! {
-        #[test]
-        fn handshake_and_wedge_identities(
-            edges in proptest::collection::vec((0u32..25, 0u32..25), 0..150)
-        ) {
+    // Former proptest properties, now deterministic seeded loops.
+    #[test]
+    fn handshake_and_wedge_identities() {
+        let mut rng = StdRng::seed_from_u64(0xC0_7001);
+        for _ in 0..128 {
+            let edges = rand_edges(&mut rng, 25, 150);
             let g = Graph::from_edges(25, edges);
             let stats = MatchingStatistics::of_graph(&g);
             let degrees = g.degrees();
             let degree_sum: usize = degrees.iter().sum();
-            prop_assert_eq!(degree_sum as f64, 2.0 * stats.edges);
+            assert_eq!(degree_sum as f64, 2.0 * stats.edges);
             // Triangles can never exceed wedges / 3 is not an identity, but Δ ≤ H/3 *is*
             // (every triangle contains exactly 3 wedges).
-            prop_assert!(3.0 * stats.triangles <= stats.hairpins + 1e-9);
+            assert!(3.0 * stats.triangles <= stats.hairpins + 1e-9);
         }
+    }
 
-        #[test]
-        fn edge_removal_changes_triangles_by_common_neighbors(
-            edges in proptest::collection::vec((0u32..12, 0u32..12), 1..60)
-        ) {
+    #[test]
+    fn edge_removal_changes_triangles_by_common_neighbors() {
+        let mut rng = StdRng::seed_from_u64(0xC0_7002);
+        for _ in 0..128 {
+            let mut edges = rand_edges(&mut rng, 12, 60);
+            if edges.is_empty() {
+                edges.push((rng.gen_range(0..12), rng.gen_range(0..12)));
+            }
             let g = Graph::from_edges(12, edges);
             if let Some(&(u, v)) = g.edges().first() {
                 let expected_drop = common_neighbor_count(&g, u, v) as i64;
                 let before = triangle_count(&g) as i64;
                 let after = triangle_count(&g.with_edge_removed(u, v)) as i64;
-                prop_assert_eq!(before - after, expected_drop);
+                assert_eq!(before - after, expected_drop);
             }
         }
+    }
 
-        #[test]
-        fn per_node_triangle_sum_is_three_times_count(
-            edges in proptest::collection::vec((0u32..15, 0u32..15), 0..80)
-        ) {
+    #[test]
+    fn per_node_triangle_sum_is_three_times_count() {
+        let mut rng = StdRng::seed_from_u64(0xC0_7003);
+        for _ in 0..128 {
+            let edges = rand_edges(&mut rng, 15, 80);
             let g = Graph::from_edges(15, edges);
             let total: u64 = per_node_triangles(&g).iter().sum();
-            prop_assert_eq!(total, 3 * triangle_count(&g));
+            assert_eq!(total, 3 * triangle_count(&g));
         }
     }
 }

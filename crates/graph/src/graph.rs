@@ -205,7 +205,9 @@ impl GraphBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::test_support::rand_edges;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn triangle_plus_tail() -> Graph {
         // 0-1, 1-2, 2-0 triangle with a tail 2-3.
@@ -318,34 +320,37 @@ mod tests {
         assert_eq!(sum, 2 * g.edge_count());
     }
 
-    proptest! {
-        #[test]
-        fn builder_always_produces_simple_symmetric_graph(
-            edges in proptest::collection::vec((0u32..30, 0u32..30), 0..200)
-        ) {
+    // Former proptest properties, now deterministic seeded loops.
+    #[test]
+    fn builder_always_produces_simple_symmetric_graph() {
+        let mut rng = StdRng::seed_from_u64(0x62_7001);
+        for _ in 0..128 {
+            let edges = rand_edges(&mut rng, 30, 200);
             let g = Graph::from_edges(30, edges);
             // No self loops, all neighbour lists sorted and duplicate-free, symmetry holds.
             for u in g.nodes() {
                 let nbrs = g.neighbors(u);
-                prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
-                prop_assert!(!nbrs.contains(&u));
+                assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+                assert!(!nbrs.contains(&u));
                 for &v in nbrs {
-                    prop_assert!(g.neighbors(v).contains(&u));
+                    assert!(g.neighbors(v).contains(&u));
                 }
             }
             let degree_sum: usize = g.degrees().iter().sum();
-            prop_assert_eq!(degree_sum, 2 * g.edge_count());
+            assert_eq!(degree_sum, 2 * g.edge_count());
         }
+    }
 
-        #[test]
-        fn edge_addition_increases_count_by_at_most_one(
-            edges in proptest::collection::vec((0u32..15, 0u32..15), 0..60),
-            extra in (0u32..15, 0u32..15),
-        ) {
+    #[test]
+    fn edge_addition_increases_count_by_at_most_one() {
+        let mut rng = StdRng::seed_from_u64(0x62_7002);
+        for _ in 0..128 {
+            let edges = rand_edges(&mut rng, 15, 60);
+            let extra = (rng.gen_range(0..15u32), rng.gen_range(0..15u32));
             let g = Graph::from_edges(15, edges);
             let g2 = g.with_edge_added(extra.0, extra.1);
-            prop_assert!(g2.edge_count() >= g.edge_count());
-            prop_assert!(g2.edge_count() <= g.edge_count() + 1);
+            assert!(g2.edge_count() >= g.edge_count());
+            assert!(g2.edge_count() <= g.edge_count() + 1);
         }
     }
 }

@@ -25,3 +25,16 @@ pub mod traversal;
 
 pub use counts::MatchingStatistics;
 pub use graph::{Graph, GraphBuilder};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Draws a random multigraph edge list (with possible duplicates and self-loops) on `n`
+    /// nodes — the adversarial input shape shared by this crate's seeded property tests.
+    pub(crate) fn rand_edges(rng: &mut StdRng, n: u32, max_len: usize) -> Vec<(u32, u32)> {
+        let len = rng.gen_range(0..max_len);
+        (0..len).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect()
+    }
+}

@@ -117,7 +117,9 @@ pub fn reachable_pairs_by_hops(g: &Graph) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::test_support::rand_edges;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn path(n: usize) -> Graph {
         Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1)))
@@ -201,42 +203,52 @@ mod tests {
         assert!(hops.windows(2).all(|w| w[0] <= w[1]));
     }
 
-    proptest! {
-        #[test]
-        fn hop_plot_saturates_at_sum_of_squared_component_sizes(
-            edges in proptest::collection::vec((0u32..12, 0u32..12), 0..40)
-        ) {
+    // Former proptest properties, now deterministic seeded loops.
+    #[test]
+    fn hop_plot_saturates_at_sum_of_squared_component_sizes() {
+        let mut rng = StdRng::seed_from_u64(0x7A_7001);
+        for _ in 0..128 {
+            let edges = rand_edges(&mut rng, 12, 40);
             let g = Graph::from_edges(12, edges);
             let hops = reachable_pairs_by_hops(&g);
             let labels = connected_components(&g);
             let k = component_count(&g);
             let mut sizes = vec![0u64; k];
-            for &l in &labels { sizes[l] += 1; }
+            for &l in &labels {
+                sizes[l] += 1;
+            }
             let expected: u64 = sizes.iter().map(|s| s * s).sum();
-            prop_assert_eq!(*hops.last().unwrap(), expected);
+            assert_eq!(*hops.last().unwrap(), expected);
         }
+    }
 
-        #[test]
-        fn bfs_distance_is_symmetric(
-            edges in proptest::collection::vec((0u32..10, 0u32..10), 1..40)
-        ) {
+    #[test]
+    fn bfs_distance_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(0x7A_7002);
+        for _ in 0..64 {
+            let mut edges = rand_edges(&mut rng, 10, 40);
+            if edges.is_empty() {
+                edges.push((rng.gen_range(0..10), rng.gen_range(0..10)));
+            }
             let g = Graph::from_edges(10, edges);
             let d0 = bfs_distances(&g, 0);
             for v in 1..10u32 {
                 let dv = bfs_distances(&g, v);
-                prop_assert_eq!(d0[v as usize], dv[0]);
+                assert_eq!(d0[v as usize], dv[0]);
             }
         }
+    }
 
-        #[test]
-        fn component_labels_are_consistent_with_reachability(
-            edges in proptest::collection::vec((0u32..10, 0u32..10), 0..30)
-        ) {
+    #[test]
+    fn component_labels_are_consistent_with_reachability() {
+        let mut rng = StdRng::seed_from_u64(0x7A_7003);
+        for _ in 0..128 {
+            let edges = rand_edges(&mut rng, 10, 30);
             let g = Graph::from_edges(10, edges);
             let labels = connected_components(&g);
             let d0 = bfs_distances(&g, 0);
             for v in 0..10usize {
-                prop_assert_eq!(labels[v] == labels[0], d0[v].is_some());
+                assert_eq!(labels[v] == labels[0], d0[v].is_some());
             }
         }
     }

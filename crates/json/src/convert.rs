@@ -1,0 +1,235 @@
+//! [`ToJson`] / [`FromJson`] implementations for the standard types the workspace serializes.
+
+use crate::{Json, JsonParseError};
+use std::collections::BTreeMap;
+
+/// Conversion into a [`Json`] value — the stand-in for `serde::Serialize`.
+pub trait ToJson {
+    /// Builds the JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion out of a [`Json`] value — the stand-in for `serde::Deserialize`.
+pub trait FromJson: Sized {
+    /// Reconstructs a value from its JSON representation.
+    fn from_json(value: &Json) -> Result<Self, JsonParseError>;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(value: &Json) -> Result<Self, JsonParseError> {
+        Ok(value.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Json) -> Result<Self, JsonParseError> {
+        value
+            .as_bool()
+            .ok_or_else(|| JsonParseError::unexpected("bool", &value.to_compact_string()))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::String(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Json) -> Result<Self, JsonParseError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonParseError::unexpected("string", &value.to_compact_string()))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::String(self.to_string())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+macro_rules! impl_json_float {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Number(*self as f64)
+            }
+        }
+
+        impl FromJson for $ty {
+            fn from_json(value: &Json) -> Result<Self, JsonParseError> {
+                let x = value.as_f64().ok_or_else(|| {
+                    JsonParseError::unexpected("number", &value.to_compact_string())
+                })?;
+                Ok(x as $ty)
+            }
+        }
+    )+};
+}
+
+impl_json_float!(f64, f32);
+
+macro_rules! impl_json_int {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Number(*self as f64)
+            }
+        }
+
+        impl FromJson for $ty {
+            fn from_json(value: &Json) -> Result<Self, JsonParseError> {
+                let x = value.as_f64().ok_or_else(|| {
+                    JsonParseError::unexpected("number", &value.to_compact_string())
+                })?;
+                // Strict integer semantics, matching serde_json: reject fractional values and
+                // values outside the target range instead of truncating/saturating. The
+                // explicit bounds check is needed in addition to the cast round-trip because at
+                // the saturation boundary (e.g. x = 2^64 for u64) the saturated MAX rounds back
+                // to exactly x, so the round-trip alone would accept it. `MAX as f64 + 1.0` is
+                // exactly 2^bits for every target type, so the half-open bound is exact.
+                let lower = <$ty>::MIN as f64;
+                let upper = (<$ty>::MAX as f64) + 1.0;
+                let cast = x as $ty;
+                if x >= lower && x < upper && cast as f64 == x {
+                    Ok(cast)
+                } else {
+                    Err(JsonParseError::unexpected(
+                        concat!("integer (", stringify!($ty), ")"),
+                        &value.to_compact_string(),
+                    ))
+                }
+            }
+        }
+    )+};
+}
+
+impl_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(inner) => inner.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonParseError> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonParseError> {
+        value
+            .as_array()
+            .ok_or_else(|| JsonParseError::unexpected("array", &value.to_compact_string()))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: FromJson, const N: usize> FromJson for [T; N] {
+    fn from_json(value: &Json) -> Result<Self, JsonParseError> {
+        let items: Vec<T> = Vec::from_json(value)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            JsonParseError::unexpected(&format!("array of length {N}"), &format!("length {len}"))
+        })
+    }
+}
+
+macro_rules! impl_json_tuple {
+    ($(($($name:ident : $index:tt),+)),+ $(,)?) => {$(
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$( self.$index.to_json() ),+])
+            }
+        }
+
+        impl<$($name: FromJson),+> FromJson for ($($name,)+) {
+            fn from_json(value: &Json) -> Result<Self, JsonParseError> {
+                const LEN: usize = 0 $(+ { let _ = $index; 1 })+;
+                let items = value.as_array().ok_or_else(|| {
+                    JsonParseError::unexpected("array (tuple)", &value.to_compact_string())
+                })?;
+                if items.len() != LEN {
+                    return Err(JsonParseError::unexpected(
+                        &format!("tuple of length {LEN}"),
+                        &format!("length {}", items.len()),
+                    ));
+                }
+                Ok(($( FromJson::from_json(&items[$index])? ,)+))
+            }
+        }
+    )+};
+}
+
+impl_json_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: FromJson> FromJson for BTreeMap<String, V> {
+    fn from_json(value: &Json) -> Result<Self, JsonParseError> {
+        match value {
+            Json::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            other => Err(JsonParseError::unexpected("object", &other.to_compact_string())),
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! A strict recursive-descent JSON parser (RFC 8259): no comments, no trailing commas, no
+//! single quotes, exactly one top-level value.
+
+use crate::Json;
+use std::fmt;
+
+/// Error produced by [`Json::parse`] or [`crate::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    message: String,
+}
+
+impl JsonParseError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// Error for a struct field absent from the parsed object.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self::new(format!("{ty}: missing field `{field}`"))
+    }
+
+    /// Error for a value of the wrong JSON type.
+    pub fn unexpected(expected: &str, got: &str) -> Self {
+        Self::new(format!("expected {expected}, got {got}"))
+    }
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Maximum container nesting depth, matching serde_json's default recursion limit. Without it a
+/// degenerate document like `"[".repeat(100_000)` would overflow the parser's stack (abort)
+/// instead of returning an error.
+const MAX_DEPTH: usize = 128;
+
+pub(crate) fn parse(text: &str) -> Result<Json, JsonParseError> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> JsonParseError {
+        JsonParseError::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.bump() == Some(byte) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{literal}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b't') => self.expect_literal("true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Json::Bool(false)),
+            Some(b'n') => self.expect_literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.error(&format!("unexpected byte `{}`", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("document exceeds maximum nesting depth"));
+        }
+        Ok(())
+    }
+
+    fn parse_object(&mut self) -> Result<Json, JsonParseError> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => {
+                    self.depth -= 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, JsonParseError> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => {
+                    self.depth -= 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain (unescaped, non-quote) bytes in one go.
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\' && b >= 0x20) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                out.push_str(chunk);
+            }
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => out.push(self.parse_unicode_escape()?),
+                    _ => return Err(self.error("invalid escape sequence")),
+                },
+                Some(_) => return Err(self.error("unescaped control character in string")),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, JsonParseError> {
+        let code = self.parse_hex4()?;
+        // Surrogate pair handling: a high surrogate must be followed by `\uXXXX` low surrogate.
+        if (0xD800..0xDC00).contains(&code) {
+            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                return Err(self.error("unpaired surrogate"));
+            }
+            let low = self.parse_hex4()?;
+            if !(0xDC00..0xE000).contains(&low) {
+                return Err(self.error("invalid low surrogate"));
+            }
+            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            char::from_u32(combined).ok_or_else(|| self.error("invalid surrogate pair"))
+        } else {
+            char::from_u32(code).ok_or_else(|| self.error("invalid unicode escape"))
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a') as u32 + 10,
+                Some(b @ b'A'..=b'F') => (b - b'A') as u32 + 10,
+                _ => return Err(self.error("invalid \\u escape")),
+            };
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        let int_digits = self.consume_digits();
+        if int_digits == 0 {
+            return Err(self.error("expected digits in number"));
+        }
+        // RFC 8259: the integer part is `0` or a non-zero digit followed by digits — no
+        // leading zeros.
+        if int_digits > 1 && self.bytes[int_start] == b'0' {
+            return Err(self.error("leading zeros are not allowed in numbers"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.consume_digits() == 0 {
+                return Err(self.error("expected digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.consume_digits() == 0 {
+                return Err(self.error("expected digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.error("number out of range"))
+    }
+
+    fn consume_digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+}

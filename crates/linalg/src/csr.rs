@@ -133,14 +133,14 @@ impl CsrMatrix {
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "mul_vec: x has wrong length");
         assert_eq!(y.len(), self.rows, "mul_vec: y has wrong length");
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let lo = self.row_ptr[r];
             let hi = self.row_ptr[r + 1];
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.values[k] * x[self.col_idx[k] as usize];
             }
-            y[r] = acc;
+            *out = acc;
         }
     }
 
@@ -186,7 +186,8 @@ impl CsrMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn small_matrix() -> CsrMatrix {
         // [ 2 1 0 ]
@@ -285,14 +286,19 @@ mod tests {
         let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
     }
 
-    proptest! {
-        #[test]
-        fn matvec_is_linear(
-            vals in proptest::collection::vec((0usize..6, 0usize..6, -5.0..5.0f64), 1..20),
-            x in proptest::collection::vec(-3.0..3.0f64, 6),
-            z in proptest::collection::vec(-3.0..3.0f64, 6),
-            alpha in -2.0..2.0f64,
-        ) {
+    // Deterministic replacements for the former proptest properties: a seeded RNG drives the
+    // same case generation, so failures reproduce exactly.
+    #[test]
+    fn matvec_is_linear() {
+        let mut rng = StdRng::seed_from_u64(0xC5_7001);
+        for _ in 0..128 {
+            let nnz = rng.gen_range(1..20usize);
+            let vals: Vec<(usize, usize, f64)> = (0..nnz)
+                .map(|_| (rng.gen_range(0..6), rng.gen_range(0..6), rng.gen_range(-5.0..5.0)))
+                .collect();
+            let x: Vec<f64> = (0..6).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let z: Vec<f64> = (0..6).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let alpha: f64 = rng.gen_range(-2.0..2.0);
             let m = CsrMatrix::from_triplets(6, 6, &vals);
             // A(x + alpha z) == Ax + alpha Az
             let combined: Vec<f64> = x.iter().zip(&z).map(|(a, b)| a + alpha * b).collect();
@@ -300,16 +306,20 @@ mod tests {
             let ax = m.mul_vec(&x);
             let az = m.mul_vec(&z);
             for i in 0..6 {
-                prop_assert!((lhs[i] - (ax[i] + alpha * az[i])).abs() < 1e-9);
+                assert!((lhs[i] - (ax[i] + alpha * az[i])).abs() < 1e-9);
             }
         }
+    }
 
-        #[test]
-        fn symmetric_adjacency_is_always_symmetric(
-            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60)
-        ) {
+    #[test]
+    fn symmetric_adjacency_is_always_symmetric() {
+        let mut rng = StdRng::seed_from_u64(0xC5_7002);
+        for _ in 0..128 {
+            let len = rng.gen_range(0..60usize);
+            let edges: Vec<(u32, u32)> =
+                (0..len).map(|_| (rng.gen_range(0..20u32), rng.gen_range(0..20u32))).collect();
             let m = CsrMatrix::symmetric_adjacency(20, &edges);
-            prop_assert!(m.is_symmetric(0.0));
+            assert!(m.is_symmetric(0.0));
         }
     }
 }

@@ -33,3 +33,15 @@ pub use lanczos::{lanczos_eigenvalues, LanczosOptions};
 pub use power::{principal_eigenpair, top_eigenpairs, PowerIterationOptions};
 pub use tridiag::symmetric_tridiagonal_eigenvalues;
 pub use vector::{axpy, dot, norm2, normalize, scale};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Draws a uniform random vector — the input generator shared by this crate's seeded
+    /// property tests.
+    pub(crate) fn rand_vec(rng: &mut StdRng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+    }
+}

@@ -87,7 +87,8 @@ pub fn symmetric_tridiagonal_eigenvalues(diag: &[f64], off: &[f64]) -> Vec<f64> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn assert_close(a: &[f64], b: &[f64], tol: f64) {
         assert_eq!(a.len(), b.len());
@@ -151,28 +152,33 @@ mod tests {
         let _ = symmetric_tridiagonal_eigenvalues(&[1.0, 2.0], &[1.0, 1.0]);
     }
 
-    proptest! {
-        #[test]
-        fn eigenvalue_sum_equals_trace(
-            diag in proptest::collection::vec(-5.0..5.0f64, 2..12),
-        ) {
+    // Former proptest properties, now driven by a seeded RNG for deterministic offline runs.
+    #[test]
+    fn eigenvalue_sum_equals_trace() {
+        let mut rng = StdRng::seed_from_u64(0x781_7001);
+        for _ in 0..128 {
+            let len = rng.gen_range(2..12usize);
+            let diag: Vec<f64> = (0..len).map(|_| rng.gen_range(-5.0..5.0)).collect();
             let off: Vec<f64> = diag.windows(2).map(|w| (w[0] - w[1]) * 0.3).collect();
             let ev = symmetric_tridiagonal_eigenvalues(&diag, &off);
             let trace: f64 = diag.iter().sum();
             let ev_sum: f64 = ev.iter().sum();
-            prop_assert!((trace - ev_sum).abs() < 1e-7);
+            assert!((trace - ev_sum).abs() < 1e-7);
         }
+    }
 
-        #[test]
-        fn eigenvalue_square_sum_equals_frobenius(
-            diag in proptest::collection::vec(-3.0..3.0f64, 2..10),
-        ) {
+    #[test]
+    fn eigenvalue_square_sum_equals_frobenius() {
+        let mut rng = StdRng::seed_from_u64(0x781_7002);
+        for _ in 0..128 {
+            let len = rng.gen_range(2..10usize);
+            let diag: Vec<f64> = (0..len).map(|_| rng.gen_range(-3.0..3.0)).collect();
             let off: Vec<f64> = diag.windows(2).map(|w| w[0] * 0.5 + 0.1 * w[1]).collect();
             let ev = symmetric_tridiagonal_eigenvalues(&diag, &off);
             let frob: f64 = diag.iter().map(|d| d * d).sum::<f64>()
                 + 2.0 * off.iter().map(|e| e * e).sum::<f64>();
             let ev_sq: f64 = ev.iter().map(|v| v * v).sum();
-            prop_assert!((frob - ev_sq).abs() < 1e-6 * frob.max(1.0));
+            assert!((frob - ev_sq).abs() < 1e-6 * frob.max(1.0));
         }
     }
 }

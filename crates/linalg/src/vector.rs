@@ -75,7 +75,9 @@ pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::test_support::rand_vec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn dot_of_orthogonal_vectors_is_zero() {
@@ -146,37 +148,47 @@ mod tests {
         assert_eq!(max_abs_diff(&[1.0, 2.0, 3.0], &[1.0, 5.0, 2.5]), 3.0);
     }
 
-    proptest! {
-        #[test]
-        fn dot_is_commutative(a in proptest::collection::vec(-100.0..100.0f64, 1..32)) {
+    // Former proptest properties, now driven by a seeded RNG for deterministic offline runs.
+    #[test]
+    fn dot_is_commutative() {
+        let mut rng = StdRng::seed_from_u64(0x7EC_7001);
+        for _ in 0..128 {
+            let len = rng.gen_range(1..32usize);
+            let a = rand_vec(&mut rng, len, -100.0, 100.0);
             let b: Vec<f64> = a.iter().rev().cloned().collect();
-            prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-9);
+            assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-9);
         }
+    }
 
-        #[test]
-        fn cauchy_schwarz_holds(
-            a in proptest::collection::vec(-10.0..10.0f64, 1..16),
-            seed in 0u64..1000
-        ) {
+    #[test]
+    fn cauchy_schwarz_holds() {
+        let mut rng = StdRng::seed_from_u64(0x7EC_7002);
+        for _ in 0..128 {
+            let len = rng.gen_range(1..16usize);
+            let a = rand_vec(&mut rng, len, -10.0, 10.0);
+            let seed = rng.gen_range(0..1000u64);
             // Build b deterministically from a and the seed so lengths always match.
             let b: Vec<f64> = a
                 .iter()
                 .enumerate()
                 .map(|(i, x)| x * ((seed as f64) * 0.01 + i as f64 * 0.1) - 1.0)
                 .collect();
-            prop_assert!(dot(&a, &b).abs() <= norm2(&a) * norm2(&b) + 1e-9);
+            assert!(dot(&a, &b).abs() <= norm2(&a) * norm2(&b) + 1e-9);
         }
+    }
 
-        #[test]
-        fn normalize_is_idempotent_up_to_tolerance(
-            a in proptest::collection::vec(-100.0..100.0f64, 1..32)
-        ) {
+    #[test]
+    fn normalize_is_idempotent_up_to_tolerance() {
+        let mut rng = StdRng::seed_from_u64(0x7EC_7003);
+        for _ in 0..128 {
+            let len = rng.gen_range(1..32usize);
+            let a = rand_vec(&mut rng, len, -100.0, 100.0);
             let mut x = a.clone();
             let n = normalize(&mut x);
             if n > 1e-9 {
                 let mut y = x.clone();
                 normalize(&mut y);
-                prop_assert!(max_abs_diff(&x, &y) < 1e-9);
+                assert!(max_abs_diff(&x, &y) < 1e-9);
             }
         }
     }

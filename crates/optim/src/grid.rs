@@ -47,12 +47,12 @@ pub fn grid_search<F: FnMut(&[f64]) -> f64>(
         let value = if raw.is_nan() { f64::INFINITY } else { raw };
         results.push(GridPoint { point, value });
         // Odometer increment.
-        for i in 0..dim {
-            index[i] += 1;
-            if index[i] < points_per_axis {
+        for digit in index.iter_mut() {
+            *digit += 1;
+            if *digit < points_per_axis {
                 break;
             }
-            index[i] = 0;
+            *digit = 0;
         }
     }
     results.sort_by(|a, b| a.value.partial_cmp(&b.value).unwrap());

@@ -143,8 +143,8 @@ mod tests {
         };
         let result =
             multistart_minimize(f, &Bounds::unit(3), &[], &MultistartOptions::default());
-        for i in 0..3 {
-            assert!((result.point[i] - target[i]).abs() < 1e-3, "{:?}", result.point);
+        for (p, t) in result.point.iter().zip(&target) {
+            assert!((p - t).abs() < 1e-3, "{:?}", result.point);
         }
     }
 }

@@ -1,0 +1,169 @@
+//! Sampling primitives: the [`Standard`] distribution marker, uniform integer sampling without
+//! modulo bias, and the [`SampleRange`] trait behind [`crate::Rng::gen_range`].
+
+use crate::{RngCore, SampleUniformStandard};
+use std::ops::{Range, RangeInclusive};
+
+/// Marker type mirroring `rand::distributions::Standard`. The shim routes `rng.gen()` through
+/// [`SampleUniformStandard`] directly, but the name is kept for drop-in compatibility with
+/// code that imports it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+/// Converts 64 random bits into an `f64` uniform in `[0, 1)` using the 53-bit mantissa
+/// technique (multiply by 2^-53), the same construction real `rand` uses.
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Converts 32 random bits into an `f32` uniform in `[0, 1)` (24-bit mantissa).
+pub(crate) fn unit_f32(bits: u32) -> f32 {
+    (bits >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Draws a `u64` uniform in `[0, bound)` by widening multiplication with rejection
+/// (Lemire's method), avoiding modulo bias.
+///
+/// # Panics
+/// Panics if `bound == 0`.
+pub(crate) fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "uniform_u64: empty bound");
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let wide = u128::from(rng.next_u64()) * u128::from(bound);
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+impl SampleUniformStandard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleUniformStandard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f32(rng.next_u32())
+    }
+}
+
+impl SampleUniformStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($ty:ty),+) => {$(
+        impl SampleUniformStandard for $ty {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges samplable by [`crate::Rng::gen_range`]. Implemented for `a..b` and `a..=b` over the
+/// integer and float types the workspace uses.
+///
+/// The trait is generic over the output type `T` (rather than using an associated type) so that
+/// type inference can flow *backwards* from the expected result into the range literal —
+/// `let i: usize = rng.gen_range(0..10)` types `0..10` as `Range<usize>`, exactly as real
+/// `rand` does.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($ty:ty),+) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_u64(rng, span) as $ty)
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    // Full-width range: every bit pattern is valid.
+                    return rng.next_u64() as $ty;
+                }
+                lo.wrapping_add(uniform_u64(rng, span as u64) as $ty)
+            }
+        }
+    )+};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($ty:ty),+) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = unit_f64(rng.next_u64()) as $ty;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let unit = unit_f64(rng.next_u64()) as $ty;
+                lo + unit * (hi - lo)
+            }
+        }
+    )+};
+}
+
+// Only `f64` ranges are exposed: a second float impl would make `gen_range(0.0..1.0)`
+// ambiguous (no literal fallback with two candidate impls), and the workspace never samples
+// `f32` ranges.
+impl_sample_range_float!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn unit_f64_extremes() {
+        assert_eq!(unit_f64(0), 0.0);
+        let max = unit_f64(u64::MAX);
+        assert!(max < 1.0 && max > 0.9999999);
+    }
+
+    #[test]
+    fn uniform_u64_is_exhaustive_for_small_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[uniform_u64(&mut rng, 7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let x = Range { start: -5i64, end: 5 }.sample_from(&mut rng);
+            assert!((-5..5).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Concrete generators. Only [`StdRng`] exists: the workspace constructs every RNG through
+//! `StdRng::seed_from_u64`.
+
+use crate::xoshiro::Xoshiro256PlusPlus;
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256++ behind the same name real `rand` uses, so
+/// `use rand::rngs::StdRng` keeps compiling verbatim.
+///
+/// Unlike upstream `StdRng` (which documents *no* cross-version reproducibility), this shim
+/// guarantees the seed → stream mapping is stable forever; the reproduction's seeded
+/// experiments depend on it.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    inner: Xoshiro256PlusPlus,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        Self {
+            inner: Xoshiro256PlusPlus::seed_from_u64(state),
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,77 @@
+//! The xoshiro256++ generator (Blackman & Vigna, 2019) with SplitMix64 seed expansion — the
+//! deterministic core behind [`crate::rngs::StdRng`].
+
+/// SplitMix64 step: advances `state` and returns the next output. Used to expand a single
+/// 64-bit seed into the 256-bit xoshiro state, exactly as the xoshiro authors recommend.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ state. All-zero state is unreachable via SplitMix64 expansion.
+#[derive(Clone, Debug)]
+pub(crate) struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    pub(crate) fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain SplitMix64 C source.
+        let mut state = 1234567u64;
+        let expected = [
+            6_457_827_717_110_365_317u64,
+            3_203_168_211_198_807_973,
+            9_817_491_932_198_370_423,
+            4_593_380_528_125_082_431,
+            16_408_922_859_458_223_821,
+        ];
+        for &want in &expected {
+            assert_eq!(splitmix64(&mut state), want);
+        }
+    }
+
+    #[test]
+    fn xoshiro_produces_distinct_nonzero_words() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            seen.insert(rng.next_u64());
+        }
+        assert_eq!(seen.len(), 1_000);
+    }
+}

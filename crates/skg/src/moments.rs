@@ -16,10 +16,10 @@
 //! agreement with the exact sampler on small graphs (see `sample.rs` and the integration tests).
 
 use crate::initiator::Initiator2;
-use serde::{Deserialize, Serialize};
+use kronpriv_json::impl_json_struct;
 
 /// Expected values of the four matching statistics under `Θ^[k]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExpectedMoments {
     /// Expected number of undirected edges.
     pub edges: f64,
@@ -30,6 +30,8 @@ pub struct ExpectedMoments {
     /// Expected number of tripins (3-stars).
     pub tripins: f64,
 }
+
+impl_json_struct!(ExpectedMoments { edges, hairpins, triangles, tripins });
 
 impl ExpectedMoments {
     /// Evaluates all four closed forms for initiator `theta` and Kronecker order `k`.
@@ -106,6 +108,7 @@ pub fn expected_tripins(theta: &Initiator2, k: u32) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the Σ_{u<v} notation being checked
 mod tests {
     use super::*;
 

@@ -8,11 +8,11 @@
 
 use kronpriv_graph::counts::per_node_triangles;
 use kronpriv_graph::Graph;
-use serde::{Deserialize, Serialize};
+use kronpriv_json::impl_json_struct;
 use std::collections::BTreeMap;
 
 /// One point of the clustering-by-degree curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusteringPoint {
     /// Node degree.
     pub degree: usize,
@@ -21,6 +21,8 @@ pub struct ClusteringPoint {
     /// Number of nodes of this degree.
     pub count: usize,
 }
+
+impl_json_struct!(ClusteringPoint { degree, average_clustering, count });
 
 /// Local clustering coefficient of every node.
 pub fn clustering_coefficients(g: &Graph) -> Vec<f64> {

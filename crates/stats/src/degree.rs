@@ -5,17 +5,19 @@
 //! which is the more robust statistic for comparing heavy-tailed distributions.
 
 use kronpriv_graph::Graph;
-use serde::{Deserialize, Serialize};
+use kronpriv_json::impl_json_struct;
 use std::collections::BTreeMap;
 
 /// One point of a degree distribution: `count` nodes have degree `degree`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DegreePoint {
     /// The degree value.
     pub degree: usize,
     /// Number of nodes with exactly this degree.
     pub count: usize,
 }
+
+impl_json_struct!(DegreePoint { degree, count });
 
 /// The degree histogram of `g`: one [`DegreePoint`] per distinct degree, sorted by degree.
 pub fn degree_histogram(g: &Graph) -> Vec<DegreePoint> {

@@ -9,17 +9,19 @@
 
 use kronpriv_graph::traversal::reachable_pairs_by_hops;
 use kronpriv_graph::Graph;
+use kronpriv_json::impl_json_struct;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Options for [`approximate_hop_plot`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct HopPlotOptions {
     /// Number of independent Flajolet–Martin sketches to average (more = less variance).
     pub sketches: usize,
     /// Maximum number of hops to expand (the curve is truncated once it saturates anyway).
     pub max_hops: usize,
 }
+
+impl_json_struct!(HopPlotOptions { sketches, max_hops });
 
 impl Default for HopPlotOptions {
     fn default() -> Self {

@@ -11,11 +11,11 @@ use crate::degree::{degree_distribution, degree_distribution_distance, DegreePoi
 use crate::hops::exact_hop_plot;
 use crate::spectral::{network_values, scree_plot, SpectralOptions};
 use kronpriv_graph::{Graph, MatchingStatistics};
+use kronpriv_json::impl_json_struct;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Options controlling which parts of a profile are computed and at what resolution.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ProfileOptions {
     /// Number of singular values for the scree plot.
     pub scree_values: usize,
@@ -25,6 +25,8 @@ pub struct ProfileOptions {
     pub skip_hop_plot: bool,
 }
 
+impl_json_struct!(ProfileOptions { scree_values, network_values, skip_hop_plot });
+
 impl Default for ProfileOptions {
     fn default() -> Self {
         ProfileOptions { scree_values: 50, network_values: 1000, skip_hop_plot: false }
@@ -32,7 +34,7 @@ impl Default for ProfileOptions {
 }
 
 /// The five statistic families of Figures 1–4 for one graph, plus the scalar summary counts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GraphProfile {
     /// A label for plots and reports ("Original", "KronMom", "Private", ...).
     pub label: String,
@@ -55,6 +57,19 @@ pub struct GraphProfile {
     /// Global average clustering coefficient.
     pub global_clustering: f64,
 }
+
+impl_json_struct!(GraphProfile {
+    label,
+    nodes,
+    edges,
+    matching,
+    degree_distribution,
+    hop_plot,
+    scree,
+    network_values,
+    clustering_by_degree,
+    global_clustering,
+});
 
 impl GraphProfile {
     /// Computes the full profile of `g`.
@@ -91,7 +106,7 @@ impl GraphProfile {
 
 /// A quantitative comparison of a synthetic graph's profile against a reference (original)
 /// profile — the numbers EXPERIMENTS.md reports per figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProfileComparison {
     /// Label of the reference profile.
     pub reference: String,
@@ -110,6 +125,17 @@ pub struct ProfileComparison {
     /// Absolute difference of the global clustering coefficients.
     pub clustering_difference: f64,
 }
+
+impl_json_struct!(ProfileComparison {
+    reference,
+    candidate,
+    edge_count_relative_error,
+    triangle_count_relative_error,
+    degree_distribution_distance,
+    leading_singular_value_relative_error,
+    diameter_difference,
+    clustering_difference,
+});
 
 impl ProfileComparison {
     /// Compares `candidate` against `reference`. Both graphs are needed (for the degree-CCDF
@@ -184,8 +210,8 @@ mod tests {
         let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
         let mut rng = StdRng::seed_from_u64(3);
         let p = GraphProfile::compute("roundtrip", &g, &ProfileOptions::default(), &mut rng);
-        let json = serde_json::to_string(&p).unwrap();
-        let back: GraphProfile = serde_json::from_str(&json).unwrap();
+        let json = kronpriv_json::to_string(&p);
+        let back: GraphProfile = kronpriv_json::from_str(&json).unwrap();
         assert_eq!(back.label, "roundtrip");
         assert_eq!(back.edges, p.edges);
         assert_eq!(back.hop_plot, p.hop_plot);
@@ -226,7 +252,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let p = GraphProfile::compute("x", &g, &ProfileOptions::default(), &mut rng);
         let cmp = ProfileComparison::between(&p, &g, &p, &g);
-        let json = serde_json::to_string(&cmp).unwrap();
+        let json = kronpriv_json::to_string(&cmp);
         assert!(json.contains("degree_distribution_distance"));
     }
 }

@@ -11,11 +11,11 @@ use kronpriv_graph::Graph;
 use kronpriv_linalg::{
     lanczos_eigenvalues, principal_eigenpair, CsrMatrix, LanczosOptions, PowerIterationOptions,
 };
+use kronpriv_json::impl_json_struct;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Options for the spectral statistics.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SpectralOptions {
     /// How many leading singular values to compute for the scree plot.
     pub scree_values: usize,
@@ -24,6 +24,8 @@ pub struct SpectralOptions {
     /// How many of the largest network-value components to return (0 = all nodes).
     pub network_values: usize,
 }
+
+impl_json_struct!(SpectralOptions { scree_values, lanczos_steps, network_values });
 
 impl Default for SpectralOptions {
     fn default() -> Self {

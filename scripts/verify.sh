@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the kronpriv workspace, run fully offline (no crates.io access: every
+# dependency is an in-workspace path dependency — see README.md).
+#
+#   scripts/verify.sh          # build (release) + tests + clippy -D warnings
+#   scripts/verify.sh --quick  # additionally smoke-runs the bench harness and quickstart
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo clippy --offline --all-targets -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "==> bench harness smoke run"
+    cargo bench -q --offline -p kronpriv-bench --bench model_kernels -- --quick
+    echo "==> example smoke run"
+    cargo run -q --release --offline --example quickstart
+fi
+
+echo "verify: OK"

@@ -3,9 +3,8 @@
 //! the paper relies on.
 
 use kronpriv::prelude::*;
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 #[test]
 fn monte_carlo_moments_of_the_fast_sampler_match_the_closed_forms() {
@@ -78,15 +77,14 @@ fn degree_derived_counts_agree_with_direct_counts_on_every_generator() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn kronmom_recovers_arbitrary_initiators_from_their_own_expectations(
-        a in 0.55..1.0f64,
-        b in 0.2..0.8f64,
-        c in 0.05..0.5f64,
-    ) {
+// Former proptest properties (12 cases each), now deterministic seeded loops.
+#[test]
+fn kronmom_recovers_arbitrary_initiators_from_their_own_expectations() {
+    let mut rng = StdRng::seed_from_u64(0x3C_7001);
+    for _ in 0..12 {
+        let a = rng.gen_range(0.55..1.0);
+        let b = rng.gen_range(0.2..0.8);
+        let c = rng.gen_range(0.05..0.5);
         // For any initiator in the realistic region, feeding its exact expected moments into the
         // KronMom objective recovers it (up to the a/c canonical ordering).
         let truth = Initiator2::new(a, b, c).canonicalized();
@@ -99,17 +97,16 @@ proptest! {
             triangles: m.triangles,
         };
         let fit = KronMomEstimator::default().fit_statistics(&stats, k);
-        prop_assert!(
-            fit.theta.distance(&truth) < 0.05,
-            "recovered {:?} from {:?}", fit.theta, truth
-        );
+        assert!(fit.theta.distance(&truth) < 0.05, "recovered {:?} from {truth:?}", fit.theta);
     }
+}
 
-    #[test]
-    fn private_statistics_are_always_finite_and_non_negative(
-        seed in 0u64..50,
-        epsilon in 0.05..2.0f64,
-    ) {
+#[test]
+fn private_statistics_are_always_finite_and_non_negative() {
+    let mut outer = StdRng::seed_from_u64(0x3C_7002);
+    for _ in 0..12 {
+        let seed = outer.gen_range(0..50u64);
+        let epsilon = outer.gen_range(0.05..2.0);
         let mut rng = StdRng::seed_from_u64(seed);
         let g = sample_fast(
             &Initiator2::new(0.9, 0.5, 0.2),
@@ -119,11 +116,11 @@ proptest! {
         );
         let est = PrivateEstimator::default().fit(&g, PrivacyParams::new(epsilon, 0.01), &mut rng);
         for v in est.private_statistics {
-            prop_assert!(v.is_finite());
-            prop_assert!(v >= 0.0);
+            assert!(v.is_finite());
+            assert!(v >= 0.0);
         }
         for p in est.fit.theta.as_array() {
-            prop_assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&p));
         }
     }
 }
