@@ -11,6 +11,90 @@ use kronpriv_skg::sample::{sample_fast, SamplerOptions};
 use rand::Rng;
 use kronpriv_json::impl_json_struct;
 
+/// A pipeline precondition violation, reported instead of a worker-thread panic.
+///
+/// The panicking entry points ([`release_synthetic_graph`], [`PrivateEstimator::fit`]) assert
+/// these conditions; the `try_` forms ([`try_private_estimate`],
+/// [`try_release_synthetic_graph`]) check them up front and return this error so callers such as
+/// the HTTP server can map bad requests to 4xx responses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PipelineError {
+    /// The input graph has no nodes or no edges, so no model can be estimated from it.
+    EmptyGraph,
+    /// `δ = 0` was supplied but the smooth-sensitivity triangle release requires `δ > 0`
+    /// (select the degrees-only ablation to run with pure DP).
+    DeltaRequired,
+    /// The configured degree-budget fraction lies outside the open interval `(0, 1)`.
+    InvalidBudgetFraction(
+        /// The rejected fraction.
+        f64,
+    ),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::EmptyGraph => {
+                write!(f, "the input graph is empty (no nodes or no edges)")
+            }
+            PipelineError::DeltaRequired => {
+                write!(f, "the triangle release requires delta > 0 (or use degrees_only)")
+            }
+            PipelineError::InvalidBudgetFraction(frac) => {
+                write!(f, "degree_budget_fraction must be in (0,1), got {frac}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Checks the graph-independent preconditions of Algorithm 1 — the single source of truth
+/// shared by [`try_private_estimate`] and request validation in the HTTP server (which wants to
+/// reject bad budgets/options with a 400 before a graph is ever materialised).
+pub fn validate_estimator_inputs(
+    params: PrivacyParams,
+    options: &PrivateEstimatorOptions,
+) -> Result<(), PipelineError> {
+    let frac = options.degree_budget_fraction;
+    if !(frac > 0.0 && frac < 1.0) {
+        return Err(PipelineError::InvalidBudgetFraction(frac));
+    }
+    if params.delta == 0.0 && !options.degrees_only {
+        return Err(PipelineError::DeltaRequired);
+    }
+    Ok(())
+}
+
+/// Fallible form of [`PrivateEstimator::fit`]: validates the pipeline preconditions and returns
+/// an error instead of panicking. This is the entry point the server calls for `/api/estimate`.
+pub fn try_private_estimate<R: Rng + ?Sized>(
+    g: &Graph,
+    params: PrivacyParams,
+    options: &PrivateEstimatorOptions,
+    rng: &mut R,
+) -> Result<PrivateEstimate, PipelineError> {
+    if g.node_count() == 0 || g.edge_count() == 0 {
+        return Err(PipelineError::EmptyGraph);
+    }
+    validate_estimator_inputs(params, options)?;
+    Ok(PrivateEstimator::new(*options).fit(g, params, rng))
+}
+
+/// Fallible form of [`release_synthetic_graph`]: runs [`try_private_estimate`] with the given
+/// options and samples one synthetic graph from the released initiator.
+pub fn try_release_synthetic_graph<R: Rng + ?Sized>(
+    g: &Graph,
+    params: PrivacyParams,
+    options: &PrivateEstimatorOptions,
+    rng: &mut R,
+) -> Result<SyntheticRelease, PipelineError> {
+    let estimate = try_private_estimate(g, params, options, rng)?;
+    let synthetic =
+        sample_fast(&estimate.fit.theta, estimate.fit.k, &SamplerOptions::default(), rng);
+    Ok(SyntheticRelease { estimate, synthetic })
+}
+
 /// The result of running all three estimators of Table 1 on one graph.
 #[derive(Debug, Clone)]
 pub struct EstimatorSuite {
@@ -136,6 +220,46 @@ mod tests {
         let release = release_synthetic_graph(&g, PrivacyParams::new(1.0, 0.01), &mut rng);
         assert_eq!(release.synthetic.node_count(), 1 << release.estimate.fit.k);
         assert!(release.synthetic.edge_count() > 0);
+    }
+
+    #[test]
+    fn try_pipeline_rejects_bad_preconditions_without_panicking() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let options = PrivateEstimatorOptions::default();
+        let empty = Graph::from_edges(4, Vec::new());
+        assert_eq!(
+            try_private_estimate(&empty, PrivacyParams::new(1.0, 0.01), &options, &mut rng)
+                .unwrap_err(),
+            PipelineError::EmptyGraph
+        );
+        let g = small_graph(21);
+        assert_eq!(
+            try_private_estimate(&g, PrivacyParams::pure(1.0), &options, &mut rng).unwrap_err(),
+            PipelineError::DeltaRequired
+        );
+        let bad = PrivateEstimatorOptions { degree_budget_fraction: 1.5, ..Default::default() };
+        assert_eq!(
+            try_private_estimate(&g, PrivacyParams::new(1.0, 0.01), &bad, &mut rng).unwrap_err(),
+            PipelineError::InvalidBudgetFraction(1.5)
+        );
+    }
+
+    #[test]
+    fn try_pipeline_accepts_valid_input_and_matches_the_panicking_form() {
+        let g = small_graph(22);
+        let options = PrivateEstimatorOptions::default();
+        let params = PrivacyParams::new(1.0, 0.01);
+        let mut rng = StdRng::seed_from_u64(23);
+        let fallible = try_release_synthetic_graph(&g, params, &options, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let panicking = release_synthetic_graph(&g, params, &mut rng);
+        assert_eq!(fallible.estimate.fit.theta, panicking.estimate.fit.theta);
+        assert_eq!(fallible.synthetic.edge_count(), panicking.synthetic.edge_count());
+        // Degrees-only runs are allowed with δ = 0 through the fallible path too.
+        let mut rng = StdRng::seed_from_u64(24);
+        let ablation = PrivateEstimatorOptions { degrees_only: true, ..Default::default() };
+        let est = try_private_estimate(&g, PrivacyParams::pure(0.5), &ablation, &mut rng).unwrap();
+        assert!(est.triangle_release.is_none());
     }
 
     #[test]

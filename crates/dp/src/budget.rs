@@ -8,6 +8,38 @@
 
 use kronpriv_json::impl_json_struct;
 
+/// A rejected `(ε, δ)` parameter pair, carrying the offending value.
+///
+/// Returned by [`PrivacyParams::try_new`]; the `Display` rendering is the exact message the
+/// panicking [`PrivacyParams::new`] uses, so callers that migrate from `new` to `try_new` keep
+/// their diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamError {
+    /// `ε` was not a finite positive number.
+    NonPositiveEpsilon(
+        /// The rejected `ε` value.
+        f64,
+    ),
+    /// `δ` was outside `[0, 1)` (or not finite).
+    DeltaOutOfRange(
+        /// The rejected `δ` value.
+        f64,
+    ),
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::NonPositiveEpsilon(e) => {
+                write!(f, "epsilon must be positive, got {e}")
+            }
+            ParamError::DeltaOutOfRange(d) => write!(f, "delta must be in [0,1), got {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
 /// An `(ε, δ)` differential-privacy guarantee (or budget).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrivacyParams {
@@ -23,11 +55,26 @@ impl PrivacyParams {
     /// Creates a parameter pair, validating `ε > 0` and `δ ∈ [0, 1)`.
     ///
     /// # Panics
-    /// Panics on invalid parameters.
+    /// Panics on invalid parameters. Use [`PrivacyParams::try_new`] to handle untrusted input
+    /// (e.g. network requests) without panicking.
     pub fn new(epsilon: f64, delta: f64) -> Self {
-        assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be positive, got {epsilon}");
-        assert!((0.0..1.0).contains(&delta), "delta must be in [0,1), got {delta}");
-        PrivacyParams { epsilon, delta }
+        match Self::try_new(epsilon, delta) {
+            Ok(params) => params,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: validates `ε > 0` (finite) and `δ ∈ [0, 1)` and reports which
+    /// parameter was rejected instead of panicking. This is the entry point for untrusted
+    /// parameters — the HTTP server turns the error into a 400 response.
+    pub fn try_new(epsilon: f64, delta: f64) -> Result<Self, ParamError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(ParamError::NonPositiveEpsilon(epsilon));
+        }
+        if !(0.0..1.0).contains(&delta) {
+            return Err(ParamError::DeltaOutOfRange(delta));
+        }
+        Ok(PrivacyParams { epsilon, delta })
     }
 
     /// Pure `ε`-differential privacy (`δ = 0`).
@@ -119,6 +166,31 @@ mod tests {
     #[should_panic(expected = "delta must be in [0,1)")]
     fn delta_of_one_is_rejected() {
         let _ = PrivacyParams::new(1.0, 1.0);
+    }
+
+    #[test]
+    fn try_new_reports_the_offending_parameter() {
+        assert_eq!(PrivacyParams::try_new(0.2, 0.01), Ok(PrivacyParams::paper_default()));
+        assert_eq!(PrivacyParams::try_new(0.0, 0.01), Err(ParamError::NonPositiveEpsilon(0.0)));
+        // NaN payloads are never equal to themselves, so match on the variant instead.
+        assert!(matches!(
+            PrivacyParams::try_new(f64::NAN, 0.0),
+            Err(ParamError::NonPositiveEpsilon(e)) if e.is_nan()
+        ));
+        assert!(matches!(
+            PrivacyParams::try_new(1.0, f64::NAN),
+            Err(ParamError::DeltaOutOfRange(d)) if d.is_nan()
+        ));
+        assert_eq!(PrivacyParams::try_new(1.0, 1.0), Err(ParamError::DeltaOutOfRange(1.0)));
+        assert_eq!(PrivacyParams::try_new(1.0, -0.1), Err(ParamError::DeltaOutOfRange(-0.1)));
+        assert_eq!(
+            PrivacyParams::try_new(-3.0, 0.0).unwrap_err().to_string(),
+            "epsilon must be positive, got -3"
+        );
+        assert_eq!(
+            PrivacyParams::try_new(1.0, 2.0).unwrap_err().to_string(),
+            "delta must be in [0,1), got 2"
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod degree;
 pub mod laplace;
 pub mod smooth;
 
-pub use budget::PrivacyParams;
+pub use budget::{ParamError, PrivacyParams};
 pub use degree::{private_degree_sequence, PrivateDegreeSequence};
 pub use laplace::{laplace_mechanism, sample_laplace, LaplaceNoise};
 pub use smooth::{

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
+use std::io::BufRead;
 use std::path::Path;
 
 /// Errors arising while reading an edge list.
@@ -60,9 +61,17 @@ impl From<io::Error> for EdgeListError {
 /// * Node identifiers are remapped to `0..n` in order of first appearance.
 /// * Self-loops and duplicate/reversed edges are cleaned by [`GraphBuilder`].
 pub fn parse_edge_list(text: &str) -> Result<Graph, EdgeListError> {
+    parse_edge_list_reader(text.as_bytes())
+}
+
+/// Streaming variant of [`parse_edge_list`]: consumes any [`BufRead`] line by line, so a
+/// multi-gigabyte SNAP file (or an HTTP request body) is parsed without ever holding the whole
+/// text in memory — only the remapping table and the edge list are retained.
+pub fn parse_edge_list_reader<R: BufRead>(reader: R) -> Result<Graph, EdgeListError> {
     let mut ids: HashMap<u64, u32> = HashMap::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
+    for (idx, raw) in reader.lines().enumerate() {
+        let raw = raw?;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -85,10 +94,11 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, EdgeListError> {
     Ok(builder.build())
 }
 
-/// Reads and parses an edge-list file.
+/// Reads and parses an edge-list file, streaming it through a [`io::BufReader`] instead of
+/// loading the whole file into memory first.
 pub fn read_edge_list(path: impl AsRef<Path>) -> Result<Graph, EdgeListError> {
-    let text = fs::read_to_string(path)?;
-    parse_edge_list(&text)
+    let file = fs::File::open(path)?;
+    parse_edge_list_reader(io::BufReader::new(file))
 }
 
 /// Serialises a graph as a SNAP-style edge list (one `u\tv` line per undirected edge, preceded
@@ -205,6 +215,26 @@ mod tests {
         let back = read_edge_list(&path).unwrap();
         assert_eq!(back.edge_count(), 3);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn streaming_reader_matches_in_memory_parse() {
+        let text = "# header\n10 20\r\n20 30\n30 10\n";
+        let in_memory = parse_edge_list(text).unwrap();
+        // A 4-byte buffer forces many refills, exercising the incremental line assembly.
+        let streamed =
+            parse_edge_list_reader(io::BufReader::with_capacity(4, text.as_bytes())).unwrap();
+        assert_eq!(in_memory, streamed);
+        assert_eq!(streamed.edge_count(), 3);
+    }
+
+    #[test]
+    fn streaming_reader_reports_line_numbers_and_io_errors() {
+        let err = parse_edge_list_reader("0 1\nbroken line\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, EdgeListError::Parse { line: 2, .. }));
+        // Invalid UTF-8 surfaces as the underlying I/O error, not a panic.
+        let err = parse_edge_list_reader(&[0x30, 0x20, 0x31, 0x0A, 0xFF, 0xFE][..]).unwrap_err();
+        assert!(matches!(err, EdgeListError::Io(_)));
     }
 
     #[test]

@@ -173,6 +173,43 @@ macro_rules! impl_json_struct {
     };
 }
 
+/// Like [`impl_json_struct!`], but a field absent from the parsed object deserializes as JSON
+/// `null` instead of erroring — the serde `#[serde(default)]`-on-`Option` shape. Use it for
+/// request types whose `Option` fields callers may simply omit; unknown fields are ignored by
+/// both macros (serde's default tolerance).
+///
+/// ```
+/// # use kronpriv_json::{impl_json_struct_lenient, from_str};
+/// #[derive(Debug, PartialEq)]
+/// struct Req { seed: u64, tag: Option<String> }
+/// impl_json_struct_lenient!(Req { seed, tag });
+///
+/// let r: Req = from_str("{\"seed\": 7, \"extra\": true}").unwrap();
+/// assert_eq!(r, Req { seed: 7, tag: None });
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct_lenient {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Object(vec![
+                    $( (stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)), )+
+                ])
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Json) -> Result<Self, $crate::JsonParseError> {
+                Ok($ty {
+                    $( $field: $crate::FromJson::from_json(
+                        value.get(stringify!($field)).unwrap_or(&$crate::Json::Null),
+                    )?, )+
+                })
+            }
+        }
+    };
+}
+
 /// Implements only [`ToJson`] for a plain struct — for types that cannot round-trip (e.g.
 /// `&'static str` fields, which have no owned deserialization target).
 #[macro_export]
@@ -281,6 +318,26 @@ mod tests {
     fn missing_fields_are_reported_by_name() {
         let err = from_str::<Nested>("{\"tag\": \"x\"}").unwrap_err();
         assert!(err.to_string().contains("values"), "{err}");
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Lenient {
+        seed: u64,
+        label: Option<String>,
+    }
+    impl_json_struct_lenient!(Lenient { seed, label });
+
+    #[test]
+    fn lenient_structs_default_missing_fields_to_null() {
+        let v: Lenient = from_str("{\"seed\": 7}").unwrap();
+        assert_eq!(v, Lenient { seed: 7, label: None });
+        // Required (non-Option) fields still fail when absent, via the null-type mismatch.
+        assert!(from_str::<Lenient>("{\"label\": \"x\"}").is_err());
+        // Unknown fields are ignored, and present fields still round-trip.
+        let v: Lenient = from_str("{\"seed\": 1, \"label\": \"a\", \"junk\": [1,2]}").unwrap();
+        assert_eq!(v, Lenient { seed: 1, label: Some("a".into()) });
+        let back: Lenient = from_str(&to_string(&v)).unwrap();
+        assert_eq!(back, v);
     }
 
     #[test]

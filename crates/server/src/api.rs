@@ -1,0 +1,322 @@
+//! The wire types of the HTTP/JSON API, defined with the `kronpriv-json` derive-style macros.
+//!
+//! Request types deliberately do not reuse the library structs (`PrivacyParams`, `Initiator2`):
+//! deserializing through `impl_json_struct!` constructs values without running the library's
+//! validating constructors, so every untrusted field arrives in a `*Spec` type here and passes
+//! through an explicit `validate()` before it touches the pipeline. Response types are likewise
+//! separate from the library structs so that only *released* values cross the wire — in
+//! particular the exact triangle count, which [`kronpriv_dp::PrivateTriangleCount`] retains for
+//! experiment bookkeeping, is never serialized by the server.
+
+use crate::jobs::JobStatus;
+use kronpriv_dp::{ParamError, PrivacyParams};
+use kronpriv_estimate::{PrivateEstimate, PrivateEstimatorOptions};
+use kronpriv_json::{impl_json_struct, impl_json_struct_lenient, Json};
+use kronpriv_skg::Initiator2;
+
+/// An `(ε, δ)` privacy budget as it appears on the wire (untrusted until validated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetSpec {
+    /// The requested `ε`.
+    pub epsilon: f64,
+    /// The requested `δ`.
+    pub delta: f64,
+}
+
+impl_json_struct!(BudgetSpec { epsilon, delta });
+
+impl BudgetSpec {
+    /// Validates the pair into a [`PrivacyParams`] via [`PrivacyParams::try_new`].
+    pub fn validate(&self) -> Result<PrivacyParams, ParamError> {
+        PrivacyParams::try_new(self.epsilon, self.delta)
+    }
+
+    /// The wire form of an already-validated budget.
+    pub fn of(params: PrivacyParams) -> Self {
+        BudgetSpec { epsilon: params.epsilon, delta: params.delta }
+    }
+}
+
+/// A 2×2 initiator matrix `[a b; b c]` as it appears on the wire (untrusted until validated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InitiatorSpec {
+    /// Core-block probability.
+    pub a: f64,
+    /// Cross-block probability.
+    pub b: f64,
+    /// Periphery-block probability.
+    pub c: f64,
+}
+
+impl_json_struct!(InitiatorSpec { a, b, c });
+
+impl InitiatorSpec {
+    /// Validates each entry into `[0, 1]` and builds an [`Initiator2`].
+    pub fn validate(&self) -> Result<Initiator2, String> {
+        for (name, v) in [("a", self.a), ("b", self.b), ("c", self.c)] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(format!("initiator parameter {name}={v} must lie in [0,1]"));
+            }
+        }
+        Ok(Initiator2::new(self.a, self.b, self.c))
+    }
+
+    /// The wire form of a released initiator.
+    pub fn of(theta: &Initiator2) -> Self {
+        InitiatorSpec { a: theta.a, b: theta.b, c: theta.c }
+    }
+}
+
+/// A sampled-SKG input graph specification: the server realizes an order-`k` stochastic
+/// Kronecker graph from `theta` and treats it as the sensitive input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkgSpec {
+    /// The generating initiator.
+    pub theta: InitiatorSpec,
+    /// The Kronecker order (`2^k` nodes).
+    pub k: u32,
+}
+
+impl_json_struct!(SkgSpec { theta, k });
+
+/// The input graph of an estimation request: exactly one of the two fields must be present.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpec {
+    /// A SNAP-format edge list uploaded inline (whitespace-separated pairs, `#` comments).
+    pub edge_list: Option<String>,
+    /// A sampled-SKG specification realized server-side from the request seed.
+    pub skg: Option<SkgSpec>,
+}
+
+impl_json_struct_lenient!(GraphSpec { edge_list, skg });
+
+/// `POST /api/estimate`: run the full Algorithm 1 private release as a job.
+#[derive(Debug, Clone)]
+pub struct EstimateRequest {
+    /// The sensitive input graph.
+    pub graph: GraphSpec,
+    /// The total privacy budget to spend.
+    pub params: BudgetSpec,
+    /// Seed for all server-side randomness (graph realization and privacy noise). Identical
+    /// requests with identical seeds produce byte-identical result documents.
+    pub seed: u64,
+    /// Estimator options; defaults to [`PrivateEstimatorOptions::default`] when omitted.
+    pub options: Option<PrivateEstimatorOptions>,
+    /// When true, the result document includes the released private degree sequence (it can be
+    /// large — one number per node — so it is opt-in).
+    pub include_degree_sequence: Option<bool>,
+}
+
+impl_json_struct_lenient!(EstimateRequest {
+    graph,
+    params,
+    seed,
+    options,
+    include_degree_sequence,
+});
+
+/// The published part of the smooth-sensitivity triangle release.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriangleReleaseDoc {
+    /// The released (noisy) triangle count `Δ̃`.
+    pub value: f64,
+    /// The smoothing parameter `β = ε / (2 ln(2/δ))` (a function of public parameters only).
+    pub beta: f64,
+    /// The budget spent on this release.
+    pub params: BudgetSpec,
+}
+
+impl_json_struct!(TriangleReleaseDoc { value, beta, params });
+
+/// The result document of a finished estimation job — only released values, ready to publish.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateResult {
+    /// The seed the job ran with (echoed for reproducibility).
+    pub seed: u64,
+    /// The total `(ε, δ)` budget spent.
+    pub params: BudgetSpec,
+    /// The released initiator estimate `Θ̃` (canonical form, `a ≥ c`).
+    pub theta: InitiatorSpec,
+    /// The Kronecker order of the fit.
+    pub k: u32,
+    /// Final moment-matching objective value.
+    pub objective_value: f64,
+    /// Objective evaluations spent by the optimizer.
+    pub evaluations: u64,
+    /// The private matching statistics `[Ẽ, H̃, Δ̃, T̃]` fed to the objective.
+    pub private_statistics: [f64; 4],
+    /// The published triangle release; absent for degrees-only runs.
+    pub triangle_release: Option<TriangleReleaseDoc>,
+    /// The released private degree sequence, when the request opted in.
+    pub degree_sequence: Option<Vec<f64>>,
+}
+
+impl_json_struct_lenient!(EstimateResult {
+    seed,
+    params,
+    theta,
+    k,
+    objective_value,
+    evaluations,
+    private_statistics,
+    triangle_release,
+    degree_sequence,
+});
+
+impl EstimateResult {
+    /// Projects a library [`PrivateEstimate`] onto the publishable wire document.
+    pub fn from_estimate(estimate: &PrivateEstimate, seed: u64, include_degrees: bool) -> Self {
+        EstimateResult {
+            seed,
+            params: BudgetSpec::of(estimate.params),
+            theta: InitiatorSpec::of(&estimate.fit.theta),
+            k: estimate.fit.k,
+            objective_value: estimate.fit.objective_value,
+            evaluations: estimate.fit.evaluations as u64,
+            private_statistics: estimate.private_statistics,
+            triangle_release: estimate.triangle_release.as_ref().map(|t| TriangleReleaseDoc {
+                value: t.value,
+                beta: t.beta,
+                params: BudgetSpec::of(t.params),
+            }),
+            degree_sequence: include_degrees
+                .then(|| estimate.degree_release.degrees.clone()),
+        }
+    }
+}
+
+/// `202 Accepted` body of a submitted estimation job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitResponse {
+    /// The id to poll at `GET /api/jobs/{id}`.
+    pub job_id: u64,
+    /// The status at submission time (always `Queued`).
+    pub status: JobStatus,
+}
+
+impl_json_struct!(SubmitResponse { job_id, status });
+
+/// `GET /api/jobs/{id}` body: the job record snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResponse {
+    /// The job id.
+    pub job_id: u64,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// The [`EstimateResult`] document, present exactly when `status` is `Done`.
+    pub result: Option<Json>,
+    /// The failure message, present exactly when `status` is `Failed`.
+    pub error: Option<String>,
+}
+
+impl_json_struct_lenient!(JobResponse { job_id, status, result, error });
+
+/// `POST /api/sample`: synchronously sample a synthetic graph from a (public) fitted initiator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleRequest {
+    /// The published initiator to sample from.
+    pub theta: InitiatorSpec,
+    /// The Kronecker order (`2^k` nodes); bounded by the server's configured maximum.
+    pub k: u32,
+    /// Seed for the sampler.
+    pub seed: u64,
+}
+
+impl_json_struct!(SampleRequest { theta, k, seed });
+
+/// `200 OK` body of a sampling request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleResponse {
+    /// Node count of the sampled graph (`2^k`).
+    pub nodes: u64,
+    /// Undirected edge count of the sampled graph.
+    pub edges: u64,
+    /// The sampled graph as a SNAP-format edge list.
+    pub edge_list: String,
+}
+
+impl_json_struct!(SampleResponse { nodes, edges, edge_list });
+
+/// `GET /healthz` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the server can respond at all.
+    pub status: String,
+    /// The serving crate name.
+    pub service: String,
+    /// Total estimation jobs submitted since startup.
+    pub jobs_submitted: u64,
+}
+
+impl_json_struct!(HealthResponse { status, service, jobs_submitted });
+
+/// The body of every non-2xx response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorBody {
+    /// Human-readable description of what was wrong with the request.
+    pub error: String,
+}
+
+impl_json_struct!(ErrorBody { error });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kronpriv_json::{from_str, to_string};
+
+    #[test]
+    fn budget_spec_validation_delegates_to_try_new() {
+        assert!(BudgetSpec { epsilon: 0.2, delta: 0.01 }.validate().is_ok());
+        assert!(BudgetSpec { epsilon: -1.0, delta: 0.01 }.validate().is_err());
+        assert!(BudgetSpec { epsilon: 0.2, delta: 1.0 }.validate().is_err());
+    }
+
+    #[test]
+    fn initiator_spec_validation_checks_ranges() {
+        assert!(InitiatorSpec { a: 0.9, b: 0.5, c: 0.1 }.validate().is_ok());
+        assert!(InitiatorSpec { a: 1.1, b: 0.5, c: 0.1 }.validate().is_err());
+        assert!(InitiatorSpec { a: 0.9, b: f64::NAN, c: 0.1 }.validate().is_err());
+        assert!(InitiatorSpec { a: 0.9, b: 0.5, c: -0.01 }.validate().is_err());
+    }
+
+    #[test]
+    fn estimate_request_parses_with_omitted_optionals() {
+        let body = r#"{
+            "graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 8}},
+            "params": {"epsilon": 1.0, "delta": 0.01},
+            "seed": 7
+        }"#;
+        let req: EstimateRequest = from_str(body).unwrap();
+        assert_eq!(req.seed, 7);
+        assert!(req.options.is_none());
+        assert!(req.include_degree_sequence.is_none());
+        assert!(req.graph.edge_list.is_none());
+        assert_eq!(req.graph.skg.unwrap().k, 8);
+    }
+
+    #[test]
+    fn estimate_result_never_carries_the_exact_triangle_count() {
+        // Build a tiny real estimate and check the wire document's key set directly.
+        use kronpriv::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = sample_fast(&Initiator2::new(0.9, 0.6, 0.3), 7, &SamplerOptions::default(), &mut rng);
+        let est = try_private_estimate(
+            &g,
+            PrivacyParams::new(1.0, 0.01),
+            &PrivateEstimatorOptions::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let doc = EstimateResult::from_estimate(&est, 1, false);
+        let text = to_string(&doc);
+        assert!(!text.contains("\"exact\""), "exact count leaked: {text}");
+        assert!(!text.contains("noisy_degrees"), "raw noisy degrees leaked: {text}");
+        let back: EstimateResult = from_str(&text).unwrap();
+        assert_eq!(back, doc);
+        // Opting into the degree sequence includes exactly the released (post-processed) one.
+        let with_degrees = EstimateResult::from_estimate(&est, 1, true);
+        assert_eq!(with_degrees.degree_sequence.as_ref().unwrap().len(), g.node_count());
+    }
+}

@@ -1,0 +1,62 @@
+//! A minimal blocking HTTP/1.1 client over [`std::net::TcpStream`].
+//!
+//! Used by the integration tests and by `kronpriv-serve --probe`; it speaks exactly the dialect
+//! the server emits (`Connection: close`, `Content-Length`-framed JSON bodies), so it reads to
+//! EOF and then splits the head from the body.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Sends one request and returns `(status, body)`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response"))
+}
+
+/// Splits a full `Connection: close` response into `(status, body)`.
+fn parse_response(raw: &str) -> Option<(u16, String)> {
+    let status: u16 = raw.split_whitespace().nth(1)?.parse().ok()?;
+    let body = raw.split_once("\r\n\r\n")?.1.to_string();
+    Some((status, body))
+}
+
+/// `GET {path}`.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST {path}` with a JSON body.
+pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> io::Result<(u16, String)> {
+    request(addr, "POST", path, Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response_head_and_body() {
+        let raw = "HTTP/1.1 202 Accepted\r\nContent-Length: 2\r\n\r\n{}";
+        assert_eq!(parse_response(raw), Some((202, "{}".to_string())));
+        assert!(parse_response("garbage").is_none());
+    }
+}

@@ -1,0 +1,281 @@
+//! A minimal HTTP/1.1 layer over [`std::net`].
+//!
+//! The build environment has no crates.io access, so there is no hyper/axum to lean on; this
+//! module implements exactly the slice of RFC 9112 the service needs: one request per
+//! connection (the server always answers `Connection: close`), `Content-Length`-framed bodies,
+//! and hard limits on header and body sizes so a misbehaving client cannot exhaust memory.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers), in bytes.
+pub const MAX_HEAD_BYTES: u64 = 16 * 1024;
+/// Upper bound on the number of request headers.
+pub const MAX_HEADERS: usize = 64;
+/// Upper bound on the request body, in bytes (edge lists can be large, but not unbounded).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, ...), uppercase as received.
+    pub method: String,
+    /// The request target path, e.g. `/api/estimate` (any `?query` suffix is kept verbatim).
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lowercased at parse time.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless a `Content-Length` was supplied).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Looks up a header by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The underlying socket failed (including read timeouts and early EOF).
+    Io(io::Error),
+    /// The bytes on the wire were not a well-formed HTTP/1.1 request.
+    Malformed(&'static str),
+    /// The head or the declared body exceeded the configured limits.
+    TooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "I/O error reading request: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge => write!(f, "request exceeds the size limits"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one HTTP/1.1 request from the stream.
+///
+/// The head is read through a [`Read::take`] guard of [`MAX_HEAD_BYTES`]; a head that exhausts
+/// the guard (the final line arrives without its newline) is reported as [`HttpError::TooLarge`].
+/// The body is read only when a valid `Content-Length` is present, and is bounded by
+/// [`MAX_BODY_BYTES`].
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
+    let mut head = reader.by_ref().take(MAX_HEAD_BYTES);
+
+    let request_line = read_head_line(&mut head)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(HttpError::Malformed("empty request line"))?.to_string();
+    let path = parts.next().ok_or(HttpError::Malformed("request line has no target"))?.to_string();
+    let version = parts.next().ok_or(HttpError::Malformed("request line has no version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::Malformed("request target must be origin-form"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_head_line(&mut head)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() == MAX_HEADERS {
+            return Err(HttpError::TooLarge);
+        }
+        let (name, value) =
+            line.split_once(':').ok_or(HttpError::Malformed("header line has no colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut body = Vec::new();
+    let request = Request { method, path, headers, body: Vec::new() };
+    if request.header("transfer-encoding").is_some() {
+        // RFC 9112 §6.1: a server that does not implement a transfer coding must reject it
+        // rather than guess at the framing; this server only speaks Content-Length.
+        return Err(HttpError::Malformed("Transfer-Encoding is not supported"));
+    }
+    if let Some(raw) = request.header("content-length") {
+        let len: usize =
+            raw.parse().map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+        if len > MAX_BODY_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        // Size the buffer by the bytes that actually arrive, not the declared length, so an
+        // attacker declaring a huge Content-Length and sending nothing holds no memory.
+        reader.take(len as u64).read_to_end(&mut body)?;
+        if body.len() < len {
+            return Err(HttpError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the declared body length",
+            )));
+        }
+    }
+    Ok(Request { body, ..request })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line of the request head, without its terminator.
+/// An EOF before any byte of the very first line is reported as `UnexpectedEof`; a line that
+/// ends at the `take` limit without a newline means the head is over budget.
+fn read_head_line(head: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = String::new();
+    let n = head.read_line(&mut line)?;
+    if n == 0 {
+        return Err(HttpError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-request",
+        )));
+    }
+    if !line.ends_with('\n') {
+        return Err(HttpError::TooLarge);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// An HTTP response: a status code plus a JSON body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code (200, 202, 400, 404, ...).
+    pub status: u16,
+    /// The response body; the service always emits `application/json`.
+    pub body: String,
+}
+
+impl Response {
+    /// Builds a JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response { status, body: body.into() }
+    }
+
+    /// Serialises the response (status line, headers, body) onto a writer.
+    pub fn write_to(&self, mut writer: impl Write) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.body.len()
+        )?;
+        writer.write_all(self.body.as_bytes())?;
+        writer.flush()
+    }
+}
+
+/// The reason phrase for the status codes the service emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader as StdBufReader;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Feeds raw bytes through a real localhost socket pair so `read_request` sees a
+    /// `BufReader<TcpStream>` exactly as in production.
+    fn parse_raw(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.write_all(raw).unwrap();
+        drop(client); // close so an under-declared body hits EOF instead of blocking
+        let mut reader = StdBufReader::new(server);
+        read_request(&mut reader)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse_raw(
+            b"POST /api/estimate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/api/estimate");
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse_raw(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        assert!(matches!(parse_raw(b"NONSENSE\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse_raw(b"GET /x SPDY/3\r\n\r\n"),
+            Err(HttpError::Malformed("unsupported HTTP version"))
+        ));
+        assert!(matches!(
+            parse_raw(b"GET http://e.com/x HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed("request target must be origin-form"))
+        ));
+        assert!(matches!(
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: many\r\n\r\n"),
+            Err(HttpError::Malformed("unparseable Content-Length"))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_heads_and_bodies() {
+        let long_header = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(32 * 1024));
+        assert!(matches!(parse_raw(long_header.as_bytes()), Err(HttpError::TooLarge)));
+        let huge_body =
+            format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(parse_raw(huge_body.as_bytes()), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn under_declared_body_is_an_io_error() {
+        let res = parse_raw(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+        assert!(matches!(res, Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_is_rejected_not_misread() {
+        let res = parse_raw(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n",
+        );
+        assert!(matches!(res, Err(HttpError::Malformed("Transfer-Encoding is not supported"))));
+    }
+
+    #[test]
+    fn response_wire_format_is_framed_and_terminated() {
+        let mut out = Vec::new();
+        Response::json(202, "{\"job_id\":1}").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"job_id\":1}"));
+    }
+}

@@ -1,0 +1,247 @@
+//! The in-memory job store: submit → poll → fetch result.
+//!
+//! A private-release estimation can take seconds on a large graph, so `/api/estimate` must not
+//! hold its connection open while Algorithm 1 runs. Instead the router submits a closure here
+//! and immediately returns a job id; the closure runs on a dedicated estimation pool (separate
+//! from the HTTP worker pool, so slow estimations never starve `/healthz` or job polling), and
+//! clients poll `/api/jobs/{id}` until the record flips to `Done` or `Failed`.
+
+use crate::pool::ThreadPool;
+use kronpriv_json::{impl_json_enum, Json};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Default number of finished (`Done`/`Failed`) job records retained for polling. Older
+/// finished records are evicted oldest-first so a long-running server cannot grow without
+/// bound; queued and running jobs are never evicted.
+pub const DEFAULT_RETAINED_JOBS: usize = 1024;
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Submitted, not yet picked up by an estimation worker.
+    Queued,
+    /// An estimation worker is executing it.
+    Running,
+    /// Finished successfully; the result document is available.
+    Done,
+    /// Finished with an error; the error message is available.
+    Failed,
+}
+
+impl_json_enum!(JobStatus { Queued, Running, Done, Failed });
+
+/// A point-in-time copy of one job record, as returned to pollers.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// The job id assigned at submission.
+    pub id: u64,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// The result document (present exactly when `status == Done`).
+    pub result: Option<Json>,
+    /// The failure message (present exactly when `status == Failed`).
+    pub error: Option<String>,
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    status: JobStatus,
+    result: Option<Json>,
+    error: Option<String>,
+}
+
+#[derive(Debug)]
+struct JobTable {
+    next_id: u64,
+    jobs: HashMap<u64, JobRecord>,
+    /// Finished job ids in completion order, for oldest-first eviction.
+    finished: VecDeque<u64>,
+    max_finished: usize,
+}
+
+impl JobTable {
+    fn complete(&mut self, id: u64, outcome: Result<Json, String>) {
+        if let Some(record) = self.jobs.get_mut(&id) {
+            match outcome {
+                Ok(result) => {
+                    record.status = JobStatus::Done;
+                    record.result = Some(result);
+                }
+                Err(message) => {
+                    record.status = JobStatus::Failed;
+                    record.error = Some(message);
+                }
+            }
+            self.finished.push_back(id);
+            while self.finished.len() > self.max_finished {
+                if let Some(oldest) = self.finished.pop_front() {
+                    self.jobs.remove(&oldest);
+                }
+            }
+        }
+    }
+}
+
+/// The store: a job table plus the worker pool that executes submitted jobs.
+///
+/// Dropping the store waits for in-flight jobs to finish (via the pool's graceful shutdown).
+pub struct JobStore {
+    table: Arc<Mutex<JobTable>>,
+    pool: ThreadPool,
+}
+
+impl JobStore {
+    /// Creates a store whose jobs run on `workers` dedicated threads, retaining the
+    /// [`DEFAULT_RETAINED_JOBS`] most recent finished records.
+    pub fn new(workers: usize) -> Self {
+        Self::with_retention(workers, DEFAULT_RETAINED_JOBS)
+    }
+
+    /// Like [`JobStore::new`] with an explicit cap on retained finished records.
+    ///
+    /// # Panics
+    /// Panics if `max_finished == 0` (a finished job must be pollable at least once).
+    pub fn with_retention(workers: usize, max_finished: usize) -> Self {
+        assert!(max_finished > 0, "must retain at least one finished job");
+        JobStore {
+            table: Arc::new(Mutex::new(JobTable {
+                next_id: 0,
+                jobs: HashMap::new(),
+                finished: VecDeque::new(),
+                max_finished,
+            })),
+            pool: ThreadPool::new(workers, "kronpriv-job"),
+        }
+    }
+
+    /// Submits a job and returns its id immediately. The closure's `Ok` document becomes the
+    /// job result; `Err` (or a panic, which is caught) marks the job `Failed`.
+    pub fn submit(
+        &self,
+        work: impl FnOnce() -> Result<Json, String> + Send + 'static,
+    ) -> u64 {
+        let id = {
+            let mut table = self.table.lock().expect("job table poisoned");
+            table.next_id += 1;
+            let id = table.next_id;
+            table
+                .jobs
+                .insert(id, JobRecord { status: JobStatus::Queued, result: None, error: None });
+            id
+        };
+        let table = Arc::clone(&self.table);
+        self.pool.execute(move || {
+            set_status(&table, id, JobStatus::Running);
+            let outcome = panic::catch_unwind(AssertUnwindSafe(work))
+                .unwrap_or_else(|_| Err("job panicked".to_string()));
+            table.lock().expect("job table poisoned").complete(id, outcome);
+        });
+        id
+    }
+
+    /// A snapshot of the job, or `None` for an unknown id.
+    pub fn get(&self, id: u64) -> Option<JobSnapshot> {
+        let table = self.table.lock().expect("job table poisoned");
+        table.jobs.get(&id).map(|record| JobSnapshot {
+            id,
+            status: record.status,
+            result: record.result.clone(),
+            error: record.error.clone(),
+        })
+    }
+
+    /// Total number of jobs ever submitted (reported by `/healthz`).
+    pub fn submitted(&self) -> u64 {
+        self.table.lock().expect("job table poisoned").next_id
+    }
+}
+
+fn set_status(table: &Mutex<JobTable>, id: u64, status: JobStatus) {
+    if let Some(record) = table.lock().expect("job table poisoned").jobs.get_mut(&id) {
+        record.status = status;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    fn wait_done(store: &JobStore, id: u64) -> JobSnapshot {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let snap = store.get(id).expect("job vanished");
+            if matches!(snap.status, JobStatus::Done | JobStatus::Failed) {
+                return snap;
+            }
+            assert!(Instant::now() < deadline, "job {id} never finished");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn submit_poll_fetch_lifecycle() {
+        let store = JobStore::new(2);
+        let id = store.submit(|| Ok(Json::Number(42.0)));
+        let snap = wait_done(&store, id);
+        assert_eq!(snap.status, JobStatus::Done);
+        assert_eq!(snap.result, Some(Json::Number(42.0)));
+        assert_eq!(snap.error, None);
+        assert_eq!(store.submitted(), 1);
+    }
+
+    #[test]
+    fn failures_and_panics_are_recorded_not_fatal() {
+        let store = JobStore::new(1);
+        let failing = store.submit(|| Err("bad input".to_string()));
+        let panicking = store.submit(|| panic!("boom"));
+        let ok = store.submit(|| Ok(Json::Bool(true)));
+        assert_eq!(wait_done(&store, failing).error.as_deref(), Some("bad input"));
+        assert_eq!(wait_done(&store, panicking).error.as_deref(), Some("job panicked"));
+        assert_eq!(wait_done(&store, ok).status, JobStatus::Done);
+    }
+
+    #[test]
+    fn finished_jobs_are_evicted_oldest_first_beyond_the_retention_cap() {
+        let store = JobStore::with_retention(1, 2);
+        let first = store.submit(|| Ok(Json::Number(1.0)));
+        wait_done(&store, first);
+        let second = store.submit(|| Ok(Json::Number(2.0)));
+        wait_done(&store, second);
+        let third = store.submit(|| Ok(Json::Number(3.0)));
+        wait_done(&store, third);
+        assert!(store.get(first).is_none(), "oldest finished job must be evicted");
+        assert!(store.get(second).is_some());
+        assert!(store.get(third).is_some());
+        // The submission counter is unaffected by eviction.
+        assert_eq!(store.submitted(), 3);
+    }
+
+    #[test]
+    fn ids_are_unique_and_unknown_ids_are_none() {
+        let store = JobStore::new(2);
+        let a = store.submit(|| Ok(Json::Null));
+        let b = store.submit(|| Ok(Json::Null));
+        assert_ne!(a, b);
+        assert!(store.get(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn dropping_the_store_waits_for_running_jobs() {
+        let table;
+        {
+            let store = JobStore::new(1);
+            table = Arc::clone(&store.table);
+            for _ in 0..8 {
+                store.submit(|| {
+                    std::thread::sleep(Duration::from_millis(2));
+                    Ok(Json::Null)
+                });
+            }
+        }
+        let table = table.lock().unwrap();
+        assert!(table.jobs.values().all(|r| r.status == JobStatus::Done));
+    }
+}

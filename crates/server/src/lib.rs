@@ -1,0 +1,58 @@
+//! `kronpriv-server` — a std-only HTTP/JSON service that serves private graph releases.
+//!
+//! The library workspace implements Mir & Wright's Algorithm 1; this crate puts it on the
+//! network. Because the build environment has no crates.io access there is no tokio/hyper/axum
+//! to build on, so every layer is hand-rolled on `std`:
+//!
+//! * [`http`] — a minimal HTTP/1.1 request reader / response writer over [`std::net`], with
+//!   hard size limits,
+//! * [`pool`] — a fixed-size worker thread pool with graceful drain-on-drop shutdown,
+//! * [`jobs`] — the in-memory job store (submit → poll → fetch) that keeps long estimations
+//!   off the connection threads,
+//! * [`api`] — the wire request/response types, built with the `kronpriv-json` macros; untrusted
+//!   fields land in `*Spec` types and pass explicit validation before touching the pipeline,
+//! * [`router`] — `(method, path)` dispatch onto the four endpoints,
+//! * [`server`] — the accept loop, connection handling and [`ServerHandle`] lifecycle,
+//! * [`client`] — the tiny blocking HTTP client the integration tests and the `--probe` mode
+//!   drive the server with.
+//!
+//! # Endpoints
+//!
+//! | Method & path        | Purpose                                                        |
+//! |----------------------|----------------------------------------------------------------|
+//! | `GET /healthz`       | liveness + job counter                                         |
+//! | `POST /api/estimate` | submit an Algorithm 1 private-release job (edge list or SKG)   |
+//! | `GET /api/jobs/{id}` | poll a job; carries the result document when finished          |
+//! | `POST /api/sample`   | synchronously sample a synthetic graph from a public initiator |
+//!
+//! See `API.md` at the repository root for request/response examples.
+//!
+//! # Reproducibility over the wire
+//!
+//! Every job is a pure function of its request document: one `StdRng` seeded from the request
+//! `seed` drives the optional SKG realization and all privacy noise, and the JSON writer is
+//! deterministic — identical requests produce byte-identical result documents.
+//!
+//! ```
+//! use kronpriv_server::{client, server::serve_ephemeral};
+//!
+//! let handle = serve_ephemeral(2, 1).unwrap();
+//! let (status, body) = client::get(handle.addr(), "/healthz").unwrap();
+//! assert_eq!(status, 200);
+//! assert!(body.contains("kronpriv-server"));
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod pool;
+pub mod router;
+pub mod server;
+
+pub use jobs::{JobSnapshot, JobStatus, JobStore};
+pub use server::{serve, serve_ephemeral, ServerConfig, ServerHandle};

@@ -1,0 +1,143 @@
+//! A fixed-size worker thread pool with graceful shutdown.
+//!
+//! The classic channel-backed design: jobs are boxed closures pushed onto an [`mpsc`] channel;
+//! each worker holds the shared receiver behind a mutex and loops until the channel closes.
+//! Dropping the pool drops the sender, which lets every worker drain the remaining queue and
+//! exit — so shutdown waits for in-flight work instead of aborting it. A panicking job is
+//! caught and logged rather than killing its worker thread.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of named worker threads.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `size` worker threads named `{name}-{index}`.
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or if the OS refuses to spawn a thread.
+    pub fn new(size: usize, name: &str) -> Self {
+        assert!(size > 0, "a thread pool needs at least one worker");
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("{name}-{index}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("failed to spawn a worker thread")
+            })
+            .collect();
+        ThreadPool { sender: Some(sender), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job. Jobs run in submission order per worker, concurrently across workers.
+    ///
+    /// # Panics
+    /// Panics if called after shutdown began (cannot happen through the public API, which
+    /// consumes the pool on drop).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("thread pool is shutting down")
+            .send(Box::new(job))
+            .expect("all workers exited before shutdown");
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while waiting for a job, never while running one.
+        let job = match receiver.lock().expect("pool receiver poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => break, // every sender dropped: graceful shutdown
+        };
+        // A panicking job must not take its worker down with it; swallow the panic and keep
+        // serving. The payload is already reported on stderr by the default panic hook.
+        let _ = panic::catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_submitted_job_before_shutdown() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(4, "test-pool");
+            assert_eq!(pool.size(), 4);
+            for _ in 0..100 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Dropping the pool here must block until all 100 jobs ran.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn jobs_actually_run_concurrently() {
+        let pool = ThreadPool::new(2, "concurrent");
+        let (tx, rx) = mpsc::channel();
+        // Two jobs that each wait for the other's token: only completes with >= 2 workers.
+        let (a_tx, a_rx) = mpsc::channel();
+        let (b_tx, b_rx) = mpsc::channel();
+        let done = tx.clone();
+        pool.execute(move || {
+            b_tx.send(()).unwrap();
+            a_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            done.send(()).unwrap();
+        });
+        pool.execute(move || {
+            a_tx.send(()).unwrap();
+            b_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_its_worker() {
+        let pool = ThreadPool::new(1, "panics");
+        pool.execute(|| panic!("job blew up"));
+        let (tx, rx) = mpsc::channel();
+        pool.execute(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_sized_pool_is_rejected() {
+        let _ = ThreadPool::new(0, "empty");
+    }
+}

@@ -1,0 +1,375 @@
+//! Request routing: maps `(method, path)` onto handlers and untrusted bodies onto validated
+//! pipeline calls. Every response body is JSON; every client error is a 4xx with an
+//! [`ErrorBody`], never a worker panic.
+
+use crate::api::{
+    ErrorBody, EstimateRequest, EstimateResult, HealthResponse, JobResponse, SampleRequest,
+    SampleResponse, SubmitResponse,
+};
+use crate::http::{Request, Response};
+use crate::jobs::{JobStatus, JobStore};
+use kronpriv::pipeline::{try_private_estimate, validate_estimator_inputs};
+use kronpriv_graph::io::{parse_edge_list_reader, to_edge_list_string};
+use kronpriv_json::{from_str, to_string, ToJson};
+use kronpriv_skg::sample::{sample_fast, SamplerOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shared state the handlers operate on.
+pub struct AppState {
+    /// The estimation job store (owns the estimation worker pool).
+    pub jobs: JobStore,
+    /// Largest Kronecker order `/api/sample` and sampled-SKG inputs accept (`2^k` nodes each).
+    pub max_order: u32,
+}
+
+impl AppState {
+    /// Creates the state with `job_workers` estimation threads.
+    pub fn new(job_workers: usize, max_order: u32) -> Self {
+        AppState { jobs: JobStore::new(job_workers), max_order }
+    }
+}
+
+/// Dispatches one request to its handler.
+pub fn route(state: &AppState, request: &Request) -> Response {
+    let path = request.path.split('?').next().unwrap_or("");
+    match path {
+        "/healthz" => match request.method.as_str() {
+            "GET" => health(state),
+            _ => method_not_allowed("GET"),
+        },
+        "/api/estimate" => match request.method.as_str() {
+            "POST" => estimate(state, request),
+            _ => method_not_allowed("POST"),
+        },
+        "/api/sample" => match request.method.as_str() {
+            "POST" => sample(state, request),
+            _ => method_not_allowed("POST"),
+        },
+        _ => {
+            if let Some(id) = path.strip_prefix("/api/jobs/") {
+                match request.method.as_str() {
+                    "GET" => job(state, id),
+                    _ => method_not_allowed("GET"),
+                }
+            } else {
+                error(404, format!("no route for {path}"))
+            }
+        }
+    }
+}
+
+/// Builds a JSON error response.
+pub fn error(status: u16, message: impl Into<String>) -> Response {
+    Response::json(status, to_string(&ErrorBody { error: message.into() }))
+}
+
+fn method_not_allowed(allowed: &str) -> Response {
+    error(405, format!("method not allowed; use {allowed}"))
+}
+
+fn ok_json<T: ToJson>(status: u16, body: &T) -> Response {
+    Response::json(status, to_string(body))
+}
+
+fn health(state: &AppState) -> Response {
+    ok_json(
+        200,
+        &HealthResponse {
+            status: "ok".to_string(),
+            service: "kronpriv-server".to_string(),
+            jobs_submitted: state.jobs.submitted(),
+        },
+    )
+}
+
+/// Parses a request body as UTF-8 JSON into `T`, or produces the 400 response.
+fn parse_body<T: kronpriv_json::FromJson>(request: &Request) -> Result<T, Response> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| error(400, "request body is not valid UTF-8"))?;
+    from_str::<T>(text).map_err(|e| error(400, format!("invalid request body: {e}")))
+}
+
+fn estimate(state: &AppState, request: &Request) -> Response {
+    let req: EstimateRequest = match parse_body(request) {
+        Ok(req) => req,
+        Err(resp) => return resp,
+    };
+    // Validate everything that does not require touching the (possibly large) graph, so bad
+    // requests are rejected on the connection thread with a 400 instead of failing as jobs.
+    let params = match req.params.validate() {
+        Ok(params) => params,
+        Err(e) => return error(400, e.to_string()),
+    };
+    let options = req.options.unwrap_or_default();
+    if let Err(e) = validate_estimator_inputs(params, &options) {
+        return error(400, e.to_string());
+    }
+    let skg = match (&req.graph.edge_list, &req.graph.skg) {
+        (Some(_), None) => None,
+        (None, Some(skg)) => {
+            if skg.k == 0 || skg.k > state.max_order {
+                return error(
+                    400,
+                    format!("graph.skg.k must be in 1..={}, got {}", state.max_order, skg.k),
+                );
+            }
+            match skg.theta.validate() {
+                Ok(theta) => Some((theta, skg.k)),
+                Err(e) => return error(400, e),
+            }
+        }
+        _ => {
+            return error(400, "graph must specify exactly one of edge_list or skg");
+        }
+    };
+
+    let seed = req.seed;
+    let include_degrees = req.include_degree_sequence.unwrap_or(false);
+    let edge_list = req.graph.edge_list;
+    let job_id = state.jobs.submit(move || {
+        // One seeded RNG drives both the optional SKG realization and the privacy noise, so the
+        // whole job is a pure function of the request document.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = match (&edge_list, skg) {
+            (Some(text), None) => parse_edge_list_reader(text.as_bytes())
+                .map_err(|e| format!("edge list rejected: {e}"))?,
+            (None, Some((theta, k))) => {
+                sample_fast(&theta, k, &SamplerOptions::default(), &mut rng)
+            }
+            _ => unreachable!("graph spec validated before submission"),
+        };
+        let estimate = try_private_estimate(&graph, params, &options, &mut rng)
+            .map_err(|e| format!("estimation rejected: {e}"))?;
+        Ok(EstimateResult::from_estimate(&estimate, seed, include_degrees).to_json())
+    });
+    ok_json(202, &SubmitResponse { job_id, status: JobStatus::Queued })
+}
+
+fn job(state: &AppState, raw_id: &str) -> Response {
+    let id: u64 = match raw_id.parse() {
+        Ok(id) => id,
+        Err(_) => return error(400, format!("job id must be an integer, got {raw_id:?}")),
+    };
+    match state.jobs.get(id) {
+        Some(snapshot) => ok_json(
+            200,
+            &JobResponse {
+                job_id: snapshot.id,
+                status: snapshot.status,
+                result: snapshot.result,
+                error: snapshot.error,
+            },
+        ),
+        None => error(404, format!("no such job: {id}")),
+    }
+}
+
+fn sample(state: &AppState, request: &Request) -> Response {
+    let req: SampleRequest = match parse_body(request) {
+        Ok(req) => req,
+        Err(resp) => return resp,
+    };
+    let theta = match req.theta.validate() {
+        Ok(theta) => theta,
+        Err(e) => return error(400, e),
+    };
+    if req.k == 0 || req.k > state.max_order {
+        return error(400, format!("k must be in 1..={}, got {}", state.max_order, req.k));
+    }
+    let mut rng = StdRng::seed_from_u64(req.seed);
+    let graph = sample_fast(&theta, req.k, &SamplerOptions::default(), &mut rng);
+    ok_json(
+        200,
+        &SampleResponse {
+            nodes: graph.node_count() as u64,
+            edges: graph.edge_count() as u64,
+            edge_list: to_edge_list_string(&graph),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kronpriv_json::Json;
+    use std::time::{Duration, Instant};
+
+    fn state() -> AppState {
+        AppState::new(2, 16)
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn body_json(response: &Response) -> Json {
+        Json::parse(&response.body).expect("response body must be JSON")
+    }
+
+    fn wait_for_job(state: &AppState, id: u64) -> crate::jobs::JobSnapshot {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let snap = state.jobs.get(id).expect("job vanished");
+            if matches!(snap.status, JobStatus::Done | JobStatus::Failed) {
+                return snap;
+            }
+            assert!(Instant::now() < deadline, "job {id} never finished");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    const SKG_BODY: &str = r#"{
+        "graph": {"skg": {"theta": {"a": 0.95, "b": 0.55, "c": 0.2}, "k": 8}},
+        "params": {"epsilon": 1.0, "delta": 0.01},
+        "seed": 11
+    }"#;
+
+    #[test]
+    fn health_reports_ok_and_counts_jobs() {
+        let state = state();
+        let response = route(&state, &request("GET", "/healthz", ""));
+        assert_eq!(response.status, 200);
+        let body = body_json(&response);
+        assert_eq!(body.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(body.get("jobs_submitted").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn estimate_job_runs_to_done_via_polling() {
+        let state = state();
+        let response = route(&state, &request("POST", "/api/estimate", SKG_BODY));
+        assert_eq!(response.status, 202, "{}", response.body);
+        let id = body_json(&response).get("job_id").unwrap().as_f64().unwrap() as u64;
+        let snap = wait_for_job(&state, id);
+        assert_eq!(snap.status, JobStatus::Done, "{:?}", snap.error);
+        let result = snap.result.unwrap();
+        let theta = result.get("theta").unwrap();
+        let a = theta.get("a").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&a));
+        // Poll endpoint renders the same record.
+        let poll = route(&state, &request("GET", &format!("/api/jobs/{id}"), ""));
+        assert_eq!(poll.status, 200);
+        assert_eq!(body_json(&poll).get("status").unwrap().as_str(), Some("Done"));
+    }
+
+    #[test]
+    fn estimate_accepts_inline_edge_lists() {
+        let state = state();
+        // A small but non-trivial graph: a ring plus chords.
+        let mut edges = String::new();
+        for i in 0..64 {
+            edges.push_str(&format!("{} {}\n", i, (i + 1) % 64));
+            edges.push_str(&format!("{} {}\n", i, (i + 7) % 64));
+        }
+        let body = format!(
+            r#"{{"graph": {{"edge_list": {}}}, "params": {{"epsilon": 2.0, "delta": 0.05}}, "seed": 3}}"#,
+            kronpriv_json::to_string(&edges)
+        );
+        let response = route(&state, &request("POST", "/api/estimate", &body));
+        assert_eq!(response.status, 202, "{}", response.body);
+        let id = body_json(&response).get("job_id").unwrap().as_f64().unwrap() as u64;
+        let snap = wait_for_job(&state, id);
+        assert_eq!(snap.status, JobStatus::Done, "{:?}", snap.error);
+    }
+
+    #[test]
+    fn bad_requests_are_400_not_jobs() {
+        let state = state();
+        for (body, needle) in [
+            ("{", "invalid request body"),
+            ("{\"seed\": 1}", "invalid request body"),
+            (
+                r#"{"graph": {}, "params": {"epsilon": 1.0, "delta": 0.01}, "seed": 1}"#,
+                "exactly one of",
+            ),
+            (
+                r#"{"graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 8},
+                    "edge_list": "0 1"},
+                   "params": {"epsilon": 1.0, "delta": 0.01}, "seed": 1}"#,
+                "exactly one of",
+            ),
+            (
+                r#"{"graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 8}},
+                   "params": {"epsilon": -1.0, "delta": 0.01}, "seed": 1}"#,
+                "epsilon must be positive",
+            ),
+            (
+                r#"{"graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 8}},
+                   "params": {"epsilon": 1.0, "delta": 0.0}, "seed": 1}"#,
+                "requires delta > 0",
+            ),
+            (
+                r#"{"graph": {"skg": {"theta": {"a": 1.9, "b": 0.5, "c": 0.2}, "k": 8}},
+                   "params": {"epsilon": 1.0, "delta": 0.01}, "seed": 1}"#,
+                "must lie in [0,1]",
+            ),
+            (
+                r#"{"graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 40}},
+                   "params": {"epsilon": 1.0, "delta": 0.01}, "seed": 1}"#,
+                "graph.skg.k must be in",
+            ),
+        ] {
+            let response = route(&state, &request("POST", "/api/estimate", body));
+            assert_eq!(response.status, 400, "body {body} gave {}", response.body);
+            assert!(response.body.contains(needle), "{} lacks {needle}", response.body);
+        }
+        assert_eq!(state.jobs.submitted(), 0, "a rejected request must not enqueue a job");
+    }
+
+    #[test]
+    fn unparseable_edge_lists_fail_as_jobs_with_a_message() {
+        let state = state();
+        let body = r#"{"graph": {"edge_list": "0 1\nnot numbers\n"},
+                       "params": {"epsilon": 1.0, "delta": 0.01}, "seed": 1}"#;
+        let response = route(&state, &request("POST", "/api/estimate", body));
+        assert_eq!(response.status, 202);
+        let id = body_json(&response).get("job_id").unwrap().as_f64().unwrap() as u64;
+        let snap = wait_for_job(&state, id);
+        assert_eq!(snap.status, JobStatus::Failed);
+        assert!(snap.error.unwrap().contains("edge list rejected"));
+    }
+
+    #[test]
+    fn sample_returns_an_edge_list_synchronously() {
+        let state = state();
+        let body = r#"{"theta": {"a": 0.95, "b": 0.55, "c": 0.2}, "k": 7, "seed": 5}"#;
+        let response = route(&state, &request("POST", "/api/sample", body));
+        assert_eq!(response.status, 200, "{}", response.body);
+        let doc = body_json(&response);
+        assert_eq!(doc.get("nodes").unwrap().as_f64(), Some(128.0));
+        assert!(doc.get("edges").unwrap().as_f64().unwrap() > 0.0);
+        let edge_list = doc.get("edge_list").unwrap().as_str().unwrap();
+        assert!(edge_list.lines().any(|l| !l.starts_with('#')));
+        // Deterministic: the same request gives the same body, byte for byte.
+        let again = route(&state, &request("POST", "/api/sample", body));
+        assert_eq!(again.body, response.body);
+    }
+
+    #[test]
+    fn sample_rejects_bad_theta_and_oversized_k() {
+        let state = state();
+        let bad_theta = r#"{"theta": {"a": 2.0, "b": 0.5, "c": 0.2}, "k": 7, "seed": 5}"#;
+        assert_eq!(route(&state, &request("POST", "/api/sample", bad_theta)).status, 400);
+        let big_k = r#"{"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 31, "seed": 5}"#;
+        assert_eq!(route(&state, &request("POST", "/api/sample", big_k)).status, 400);
+    }
+
+    #[test]
+    fn unknown_routes_ids_and_methods() {
+        let state = state();
+        assert_eq!(route(&state, &request("GET", "/nope", "")).status, 404);
+        assert_eq!(route(&state, &request("GET", "/api/jobs/999", "")).status, 404);
+        assert_eq!(route(&state, &request("GET", "/api/jobs/abc", "")).status, 400);
+        assert_eq!(route(&state, &request("DELETE", "/healthz", "")).status, 405);
+        assert_eq!(route(&state, &request("GET", "/api/estimate", "")).status, 405);
+        assert_eq!(route(&state, &request("PUT", "/api/sample", "")).status, 405);
+        // Query strings are ignored for routing.
+        assert_eq!(route(&state, &request("GET", "/healthz?verbose=1", "")).status, 200);
+    }
+}

@@ -1,0 +1,180 @@
+//! The TCP accept loop, connection handling and graceful shutdown.
+
+use crate::http::{read_request, HttpError};
+use crate::pool::ThreadPool;
+use crate::router::{error, route, AppState};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 asks the OS for an ephemeral port (the bound address is reported by
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// HTTP connection workers (request parsing, routing, synchronous endpoints).
+    pub workers: usize,
+    /// Estimation workers executing `/api/estimate` jobs.
+    pub job_workers: usize,
+    /// Largest Kronecker order accepted by `/api/sample` and sampled-SKG inputs.
+    pub max_order: u32,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            job_workers: 2,
+            max_order: 16,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A handle to a running server: its bound address plus shutdown control.
+///
+/// Dropping the handle shuts the server down gracefully (stop accepting, finish in-flight
+/// connections and estimation jobs, join every thread).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful shutdown and waits for all threads to exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Blocks until the accept loop exits (it only exits on shutdown, so for the standalone
+    /// binary this means "serve forever").
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // The accept loop blocks in `accept(2)`; a throwaway connection wakes it so it can
+            // observe the flag and exit.
+            let _ = TcpStream::connect(self.addr);
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds the listener and spawns the accept loop; returns once the server is ready to accept
+/// connections.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let state = Arc::new(AppState::new(config.job_workers, config.max_order));
+    let pool = ThreadPool::new(config.workers, "kronpriv-http");
+    let flag = Arc::clone(&shutdown);
+    let io_timeout = config.io_timeout;
+    let accept = thread::Builder::new().name("kronpriv-accept".to_string()).spawn(move || {
+        for stream in listener.incoming() {
+            if flag.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => {
+                    // Persistent accept errors (e.g. fd exhaustion) would otherwise busy-spin
+                    // this thread; back off briefly before retrying.
+                    thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            let state = Arc::clone(&state);
+            pool.execute(move || handle_connection(stream, &state, io_timeout));
+        }
+        // `pool` and `state` drop here: workers drain in-flight connections, then the job
+        // store's estimation pool drains in-flight jobs.
+    })?;
+    Ok(ServerHandle { addr, shutdown, accept: Some(accept) })
+}
+
+/// Serves one connection: read a request, route it, write the response, close.
+fn handle_connection(stream: TcpStream, state: &AppState, io_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let mut reader = BufReader::new(stream);
+    let response = match read_request(&mut reader) {
+        Ok(request) => route(state, &request),
+        // The shutdown wake-up connection lands here as an immediate EOF; answering a 408/400
+        // into a closed socket is harmless.
+        Err(HttpError::Io(e)) => error(400, format!("could not read request: {e}")),
+        Err(HttpError::TooLarge) => error(413, "request exceeds the size limits"),
+        Err(e @ HttpError::Malformed(_)) => error(400, e.to_string()),
+    };
+    let _ = response.write_to(reader.into_inner());
+}
+
+/// One-call convenience used by unit tests and docs: serve on an ephemeral localhost port.
+pub fn serve_ephemeral(workers: usize, job_workers: usize) -> io::Result<ServerHandle> {
+    serve(ServerConfig { workers, job_workers, ..ServerConfig::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    #[test]
+    fn serves_health_and_shuts_down_gracefully() {
+        let handle = serve_ephemeral(2, 1).unwrap();
+        let addr = handle.addr();
+        let (status, body) = client::get(addr, "/healthz").unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"ok\""));
+        handle.shutdown();
+        // After shutdown the port no longer accepts requests.
+        assert!(client::get(addr, "/healthz").is_err() || {
+            // A race can let one last connect through while the OS recycles the socket; but a
+            // fresh bind on the same port must now succeed, proving the listener is gone.
+            TcpListener::bind(addr).is_ok()
+        });
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_get_4xx() {
+        use std::io::{Read, Write};
+        let handle = serve_ephemeral(2, 1).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(b"BOGUS\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400 "), "{response}");
+
+        let (status, _) = client::post_json(
+            handle.addr(),
+            "/api/estimate",
+            "{\"this is\": \"not an estimate request\"}",
+        )
+        .unwrap();
+        assert_eq!(status, 400);
+    }
+}

@@ -21,6 +21,28 @@ if [[ "${1:-}" == "--quick" ]]; then
     cargo bench -q --offline -p kronpriv-bench --bench model_kernels -- --quick
     echo "==> example smoke run"
     cargo run -q --release --offline --example quickstart
+
+    echo "==> server smoke run (ephemeral port, healthz + estimate job + sample via --probe)"
+    server_log="$(mktemp)"
+    target/release/kronpriv-serve --addr 127.0.0.1:0 --workers 2 --job-workers 2 \
+        > "$server_log" 2>&1 &
+    server_pid=$!
+    trap 'kill "$server_pid" 2>/dev/null || true; rm -f "$server_log"' EXIT
+    for _ in $(seq 1 100); do
+        grep -q "^listening on " "$server_log" && break
+        sleep 0.1
+    done
+    server_addr="$(sed -n 's#^listening on http://##p' "$server_log" | head -1)"
+    if [[ -z "$server_addr" ]]; then
+        echo "server never reported its address:" >&2
+        cat "$server_log" >&2
+        exit 1
+    fi
+    target/release/kronpriv-serve --probe "$server_addr"
+    kill "$server_pid"
+    wait "$server_pid" 2>/dev/null || true
+    trap - EXIT
+    rm -f "$server_log"
 fi
 
 echo "verify: OK"

@@ -1,0 +1,178 @@
+//! `kronpriv-serve` — launch the kronpriv HTTP/JSON service, or probe a running one.
+//!
+//! ```sh
+//! kronpriv-serve [--addr 127.0.0.1:8080] [--workers 4] [--job-workers 2] [--max-order 16]
+//! kronpriv-serve --probe 127.0.0.1:8080      # health + tiny end-to-end estimate, then exit
+//! ```
+//!
+//! With `--addr 127.0.0.1:0` the OS picks an ephemeral port; the first stdout line always
+//! reports the bound address (`listening on http://<addr>`), which is what
+//! `scripts/verify.sh --quick` scrapes before probing.
+
+use kronpriv_server::{client, serve, ServerConfig};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Mode::Serve(config)) => run_server(config),
+        Ok(Mode::Probe(addr)) => run_probe(addr),
+        Err(message) => {
+            eprintln!("kronpriv-serve: {message}");
+            eprintln!(
+                "usage: kronpriv-serve [--addr HOST:PORT] [--workers N] [--job-workers N] \
+                 [--max-order K] | --probe HOST:PORT"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum Mode {
+    Serve(ServerConfig),
+    Probe(SocketAddr),
+}
+
+fn parse_args(args: &[String]) -> Result<Mode, String> {
+    let mut config = ServerConfig { addr: "127.0.0.1:8080".to_string(), ..ServerConfig::default() };
+    let mut probe: Option<SocketAddr> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?.to_string(),
+            "--workers" => {
+                config.workers = parse_positive(value("--workers")?, "--workers")?;
+            }
+            "--job-workers" => {
+                config.job_workers = parse_positive(value("--job-workers")?, "--job-workers")?;
+            }
+            "--max-order" => {
+                let raw = value("--max-order")?;
+                config.max_order = match raw.parse::<u32>() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        return Err(format!("--max-order: expected a positive u32, got {raw:?}"))
+                    }
+                };
+            }
+            "--probe" => {
+                let raw = value("--probe")?;
+                probe = Some(
+                    raw.parse().map_err(|_| format!("--probe: bad address {raw:?}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(match probe {
+        Some(addr) => Mode::Probe(addr),
+        None => Mode::Serve(config),
+    })
+}
+
+fn parse_positive(raw: &str, flag: &str) -> Result<usize, String> {
+    match raw.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{flag}: expected a positive integer, got {raw:?}")),
+    }
+}
+
+fn run_server(config: ServerConfig) -> ExitCode {
+    let workers = config.workers;
+    let job_workers = config.job_workers;
+    match serve(config) {
+        Ok(handle) => {
+            println!("listening on http://{}", handle.addr());
+            println!(
+                "workers={workers} job-workers={job_workers}; endpoints: GET /healthz, \
+                 POST /api/estimate, GET /api/jobs/{{id}}, POST /api/sample (see API.md)"
+            );
+            handle.wait();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("kronpriv-serve: cannot bind: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Drives a live server end to end: `/healthz`, then a tiny sampled-SKG estimate job polled to
+/// completion, then `/api/sample`. Exits non-zero on any failure — the verify-script smoke test.
+fn run_probe(addr: SocketAddr) -> ExitCode {
+    match probe(addr) {
+        Ok(()) => {
+            println!("probe: OK");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("probe: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn probe(addr: SocketAddr) -> Result<(), String> {
+    let (status, body) =
+        client::get(addr, "/healthz").map_err(|e| format!("healthz request failed: {e}"))?;
+    if status != 200 || !body.contains("\"ok\"") {
+        return Err(format!("healthz returned {status}: {body}"));
+    }
+
+    let request = r#"{
+        "graph": {"skg": {"theta": {"a": 0.95, "b": 0.55, "c": 0.2}, "k": 7}},
+        "params": {"epsilon": 1.0, "delta": 0.01},
+        "seed": 42
+    }"#;
+    let (status, body) = client::post_json(addr, "/api/estimate", request)
+        .map_err(|e| format!("estimate request failed: {e}"))?;
+    if status != 202 {
+        return Err(format!("estimate returned {status}: {body}"));
+    }
+    let job_id = extract_number(&body, "job_id").ok_or(format!("no job_id in {body}"))?;
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let done = loop {
+        let (status, body) = client::get(addr, &format!("/api/jobs/{job_id}"))
+            .map_err(|e| format!("job poll failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("job poll returned {status}: {body}"));
+        }
+        if body.contains("\"Done\"") {
+            break body;
+        }
+        if body.contains("\"Failed\"") {
+            return Err(format!("job failed: {body}"));
+        }
+        if Instant::now() > deadline {
+            return Err(format!("job {job_id} did not finish in time"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    if !done.contains("\"theta\"") {
+        return Err(format!("job result has no theta: {done}"));
+    }
+
+    let sample = r#"{"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 6, "seed": 1}"#;
+    let (status, body) = client::post_json(addr, "/api/sample", sample)
+        .map_err(|e| format!("sample request failed: {e}"))?;
+    if status != 200 || !body.contains("\"edge_list\"") {
+        return Err(format!("sample returned {status}: {body}"));
+    }
+    Ok(())
+}
+
+/// Pulls `"key": <integer>` out of a compact JSON body without a full parse (the probe only
+/// needs the job id, and the binary deliberately leans on the client, not the JSON crate).
+fn extract_number(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let rest = &body[body.find(&needle)? + needle.len()..];
+    let digits: String =
+        rest.trim_start().chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}

@@ -1,0 +1,198 @@
+//! End-to-end test of `kronpriv-server` over live HTTP on localhost: concurrent clients submit
+//! private-release jobs against a small worker pool, poll them to completion, and verify both
+//! the DP results and the byte-level reproducibility guarantee — fully offline.
+
+use kronpriv_json::Json;
+use kronpriv_server::{client, serve, ServerConfig};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn start_server() -> kronpriv_server::ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        job_workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server must bind an ephemeral localhost port")
+}
+
+fn estimate_body(seed: u64, epsilon: f64) -> String {
+    format!(
+        r#"{{"graph": {{"skg": {{"theta": {{"a": 0.95, "b": 0.55, "c": 0.2}}, "k": 8}}}},
+            "params": {{"epsilon": {epsilon}, "delta": 0.01}},
+            "seed": {seed}}}"#
+    )
+}
+
+/// Submits an estimate job and polls it until it is `Done`, returning the raw poll body (for
+/// byte-level comparisons) and its parsed form.
+fn run_job_to_done(addr: SocketAddr, body: &str) -> (String, Json) {
+    let (status, submit_body) =
+        client::post_json(addr, "/api/estimate", body).expect("submit must succeed");
+    assert_eq!(status, 202, "submit response: {submit_body}");
+    let submit = Json::parse(&submit_body).expect("submit body is JSON");
+    assert_eq!(submit.get("status").unwrap().as_str(), Some("Queued"));
+    let job_id = submit.get("job_id").unwrap().as_f64().expect("job_id is a number") as u64;
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, poll_body) =
+            client::get(addr, &format!("/api/jobs/{job_id}")).expect("poll must succeed");
+        assert_eq!(status, 200, "poll response: {poll_body}");
+        let poll = Json::parse(&poll_body).expect("poll body is JSON");
+        match poll.get("status").unwrap().as_str().unwrap() {
+            "Done" => return (poll_body, poll),
+            "Failed" => panic!("job {job_id} failed: {poll_body}"),
+            _ => {
+                assert!(Instant::now() < deadline, "job {job_id} never finished");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn assert_valid_release(result: &Json, expected_epsilon: f64) {
+    let params = result.get("params").expect("result has params");
+    assert_eq!(params.get("epsilon").unwrap().as_f64(), Some(expected_epsilon));
+    assert_eq!(params.get("delta").unwrap().as_f64(), Some(0.01));
+    let theta = result.get("theta").expect("result has theta");
+    let a = theta.get("a").unwrap().as_f64().unwrap();
+    let b = theta.get("b").unwrap().as_f64().unwrap();
+    let c = theta.get("c").unwrap().as_f64().unwrap();
+    for p in [a, b, c] {
+        assert!((0.0..=1.0).contains(&p), "initiator entry {p} out of range");
+    }
+    assert!(a >= c, "canonical form violated: a={a} c={c}");
+    let stats = result.get("private_statistics").unwrap().as_array().unwrap();
+    assert_eq!(stats.len(), 4);
+    for s in stats {
+        let v = s.as_f64().unwrap();
+        assert!(v.is_finite() && v >= 0.0, "private statistic {v}");
+    }
+    // The privacy boundary: the exact triangle count must never appear on the wire.
+    let triangle = result.get("triangle_release").expect("result has triangle_release");
+    assert!(triangle.get("exact").is_none(), "exact triangle count leaked");
+    assert!(triangle.get("value").unwrap().as_f64().is_some());
+}
+
+/// The acceptance scenario: 4 concurrent clients against an HTTP pool of 2 (and 2 estimation
+/// workers), each submitting its own private-release job over a live socket. All four must
+/// receive valid `(ε, δ)`-DP estimates.
+#[test]
+fn four_concurrent_clients_get_valid_releases_from_a_pool_of_two() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let epsilon = 0.5 + 0.5 * i as f64;
+                let (_, poll) = run_job_to_done(addr, &estimate_body(1000 + i, epsilon));
+                (poll, epsilon)
+            })
+        })
+        .collect();
+    for client_thread in clients {
+        let (poll, epsilon) = client_thread.join().expect("client thread must not panic");
+        let result = poll.get("result").expect("done job carries its result");
+        assert_valid_release(result, epsilon);
+    }
+    // All four jobs went through the one shared store.
+    let (_, health) = client::get(addr, "/healthz").unwrap();
+    let health = Json::parse(&health).unwrap();
+    assert_eq!(health.get("jobs_submitted").unwrap().as_f64(), Some(4.0));
+    handle.shutdown();
+}
+
+/// Identical seeds must yield byte-identical JSON result documents over the wire — the paper's
+/// reproducibility, preserved through the network layer.
+#[test]
+fn identical_seeds_give_byte_identical_results_over_http() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let body = estimate_body(42, 1.0);
+    let (_, first_poll) = run_job_to_done(addr, &body);
+    let (_, second_poll) = run_job_to_done(addr, &body);
+    let first = first_poll.get("result").unwrap().to_compact_string();
+    let second = second_poll.get("result").unwrap().to_compact_string();
+    assert_eq!(first, second, "same seed must reproduce the same release byte for byte");
+
+    // A different seed produces different noise (overwhelmingly likely to change the bytes).
+    let (_, other_poll) = run_job_to_done(addr, &estimate_body(43, 1.0));
+    let other = other_poll.get("result").unwrap().to_compact_string();
+    assert_ne!(first, other, "different seeds should not collide");
+    handle.shutdown();
+}
+
+/// An uploaded SNAP edge list goes through the streaming parser and comes back as a release.
+#[test]
+fn edge_list_upload_round_trips_through_the_pipeline() {
+    let handle = start_server();
+    let addr = handle.addr();
+    // Build a two-community graph with plenty of wedges and triangles.
+    let mut edges = String::from("# two communities\n");
+    for i in 0u32..60 {
+        edges.push_str(&format!("{} {}\n", i, (i + 1) % 60));
+        edges.push_str(&format!("{} {}\n", i, (i + 2) % 60));
+        if i % 3 == 0 {
+            edges.push_str(&format!("{} {}\n", i, (i + 30) % 60));
+        }
+    }
+    let body = format!(
+        r#"{{"graph": {{"edge_list": {}}},
+            "params": {{"epsilon": 2.0, "delta": 0.05}},
+            "seed": 7, "include_degree_sequence": true}}"#,
+        kronpriv_json::to_string(&edges)
+    );
+    let (_, poll) = run_job_to_done(addr, &body);
+    let result = poll.get("result").unwrap();
+    let degrees = result.get("degree_sequence").unwrap().as_array().unwrap();
+    assert_eq!(degrees.len(), 60, "one released degree per node");
+    // The raw noisy (pre-postprocessing) sequence stays server-side.
+    assert!(result.get("noisy_degrees").is_none());
+    handle.shutdown();
+}
+
+/// Malformed bodies and bad parameters are 400s; unknown jobs and routes are 404s.
+#[test]
+fn protocol_errors_map_to_4xx_over_live_http() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let (status, body) = client::post_json(addr, "/api/estimate", "{not json").unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(Json::parse(&body).unwrap().get("error").is_some());
+
+    let (status, body) = client::post_json(
+        addr,
+        "/api/estimate",
+        r#"{"graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 8}},
+            "params": {"epsilon": 0.0, "delta": 0.01}, "seed": 1}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("epsilon must be positive"), "{body}");
+
+    let (status, _) = client::get(addr, "/api/jobs/123456").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client::get(addr, "/api/estimate").unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = client::get(addr, "/no/such/route").unwrap();
+    assert_eq!(status, 404);
+    handle.shutdown();
+}
+
+/// `/api/sample` serves synthetic graphs synchronously and deterministically.
+#[test]
+fn sampling_is_synchronous_and_seed_deterministic() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let body = r#"{"theta": {"a": 0.95, "b": 0.55, "c": 0.2}, "k": 8, "seed": 9}"#;
+    let (status, first) = client::post_json(addr, "/api/sample", body).unwrap();
+    assert_eq!(status, 200, "{first}");
+    let doc = Json::parse(&first).unwrap();
+    assert_eq!(doc.get("nodes").unwrap().as_f64(), Some(256.0));
+    assert!(doc.get("edges").unwrap().as_f64().unwrap() > 0.0);
+    let (_, second) = client::post_json(addr, "/api/sample", body).unwrap();
+    assert_eq!(first, second, "sampling must be a pure function of the request");
+    handle.shutdown();
+}
