@@ -1,0 +1,97 @@
+//! The kernel × thread-count micro-benchmark matrix behind `BENCH_kernels.json`.
+//!
+//! Measures the parallelized Algorithm 1 hot paths — triangle counting, the smooth-sensitivity
+//! bound (dominated by the node-partitioned local-sensitivity kernel) and the exact hop plot —
+//! at thread counts {1, 2, 4} on a seeded 2^14-node stochastic Kronecker graph (2^10 under
+//! `--quick`), so the speedup of the parallel layer is measured rather than assumed.
+//!
+//! Run with `cargo bench -p kronpriv-bench --bench kernels` (add `-- --quick` for a smoke run).
+//! With `-- --json PATH` the results are also written as machine-readable JSON — one record
+//! `{kernel, nodes, threads, ns_per_op}` per measurement — which is how
+//! `scripts/verify.sh --quick` tracks the perf trajectory across PRs.
+
+use kronpriv_bench::harness::Harness;
+use kronpriv_dp::smooth_sensitivity_triangles_par;
+use kronpriv_graph::counts::{per_node_triangles_par, triangle_count_par};
+use kronpriv_par::Parallelism;
+use kronpriv_skg::sample::{sample_fast, SamplerOptions};
+use kronpriv_skg::Initiator2;
+use kronpriv_stats::exact_hop_plot_par;
+use kronpriv_json::Json;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Thread counts measured for every kernel.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let mut h = Harness::from_args("kernels");
+    // The paper's headline scale is 2^14 nodes; --quick drops to 2^10 so the verify-script
+    // smoke run stays fast.
+    let k = if quick { 10 } else { 14 };
+    let mut rng = StdRng::seed_from_u64(14);
+    let theta = Initiator2::new(0.99, 0.45, 0.25);
+    let g = sample_fast(&theta, k, &SamplerOptions::default(), &mut rng);
+    let nodes = g.node_count();
+    println!("kernel matrix on a 2^{k}-node SKG ({nodes} nodes, {} edges)", g.edge_count());
+
+    let mut records: Vec<Json> = Vec::new();
+    let run = |h: &mut Harness,
+               records: &mut Vec<Json>,
+               kernel: &str,
+               graph_nodes: usize,
+               threads: usize,
+               routine: &dyn Fn(Parallelism)| {
+        let par = Parallelism::new(threads);
+        h.bench_function(&format!("{kernel}/t{threads}"), |b| b.iter(|| routine(par)));
+        let measured = h.results().last().expect("bench_function just pushed a result");
+        records.push(Json::Object(vec![
+            ("kernel".to_string(), Json::String(kernel.to_string())),
+            ("nodes".to_string(), Json::Number(graph_nodes as f64)),
+            ("threads".to_string(), Json::Number(threads as f64)),
+            ("ns_per_op".to_string(), Json::Number(measured.median.as_nanos() as f64)),
+        ]));
+    };
+
+    for threads in THREADS {
+        run(&mut h, &mut records, "triangle_count", nodes, threads, &|par| {
+            black_box(triangle_count_par(black_box(&g), par));
+        });
+    }
+    for threads in THREADS {
+        run(&mut h, &mut records, "smooth_sensitivity", nodes, threads, &|par| {
+            black_box(smooth_sensitivity_triangles_par(black_box(&g), 0.01, par));
+        });
+    }
+    for threads in THREADS {
+        run(&mut h, &mut records, "per_node_triangles", nodes, threads, &|par| {
+            black_box(per_node_triangles_par(black_box(&g), par));
+        });
+    }
+    // The exact all-sources BFS is quadratic; measure it on a 4× smaller graph so the full
+    // suite stays within its time budget.
+    let mut rng = StdRng::seed_from_u64(15);
+    let small = sample_fast(&theta, k.saturating_sub(2), &SamplerOptions::default(), &mut rng);
+    for threads in THREADS {
+        run(&mut h, &mut records, "exact_hop_plot", small.node_count(), threads, &|par| {
+            black_box(exact_hop_plot_par(black_box(&small), par));
+        });
+    }
+
+    h.report();
+    if let Some(path) = json_path {
+        let doc = Json::Array(records);
+        std::fs::write(&path, doc.to_compact_string())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

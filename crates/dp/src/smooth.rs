@@ -25,31 +25,72 @@
 
 use crate::budget::PrivacyParams;
 use crate::laplace::LaplaceNoise;
-use kronpriv_graph::counts::{common_neighbor_count, exclusive_neighbor_count, triangle_count};
+use kronpriv_graph::counts::{
+    common_neighbor_count, exclusive_neighbor_count, triangle_count_par,
+};
 use kronpriv_graph::Graph;
+use kronpriv_par::Parallelism;
 use rand::Rng;
 use kronpriv_json::impl_json_struct;
-use std::collections::HashMap;
+
+/// Left endpoints (`i` below) per work chunk for the node-partitioned local-sensitivity kernel.
+/// Fixed — never derived from the thread count — so the `max`-merge is over the same chunk set
+/// for any [`Parallelism`]; sized so one chunk carries enough wedge work to amortize a thread
+/// spawn (the executor stays sequential below 4 chunks, i.e. for graphs under ~1k nodes).
+const NODE_CHUNK: usize = 256;
+
+/// Left endpoints per chunk for the quadratic exact kernel, whose per-endpoint cost (`n` pair
+/// evaluations, each scanning the distance-`s` curve) is orders of magnitude higher than the
+/// wedge kernel's — so much smaller chunks already amortize a spawn, and parallelism kicks in
+/// from a few hundred nodes.
+const EXACT_PAIR_CHUNK: usize = 64;
 
 /// Local sensitivity of the triangle count: the largest number of common neighbours over all
-/// node pairs, computed by wedge enumeration in `O(Σ_v d_v²)` time.
+/// node pairs, computed by wedge enumeration in `O(Σ_v d_v²)` time and `O(n)` memory.
 pub fn triangle_local_sensitivity(g: &Graph) -> usize {
-    max_common_neighbors_fast(g)
+    triangle_local_sensitivity_par(g, Parallelism::sequential())
 }
 
-/// Maximum common-neighbour count over all pairs, via wedge enumeration: every wedge `i — v — j`
-/// contributes one common neighbour (`v`) to the pair `{i, j}`.
-fn max_common_neighbors_fast(g: &Graph) -> usize {
-    let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
-    for v in g.nodes() {
-        let neighbors = g.neighbors(v);
-        for (idx, &i) in neighbors.iter().enumerate() {
-            for &j in &neighbors[idx + 1..] {
-                *counts.entry((i, j)).or_insert(0) += 1;
+/// [`triangle_local_sensitivity`] on `par.threads()` compute threads.
+///
+/// Node-partitioned: each worker owns one `O(n)` counter/marker scratch pair and, for every
+/// left endpoint `i` in its chunks, accumulates `a_ij` for all `j > i` by walking the
+/// two-hop neighbourhood of `i` (`i — v — j` wedges). This replaces the old wedge-pair
+/// `HashMap` — which held one entry per wedge pair, `O(Σ_v d_v²)` memory, ~50M entries for a
+/// single degree-10⁴ hub — with `threads × O(n)` memory total. The merge is an integer `max`,
+/// so the result is identical for any thread count.
+pub fn triangle_local_sensitivity_par(g: &Graph, par: Parallelism) -> usize {
+    let n = g.node_count();
+    let (best, _, _) = par.fold_reduce(
+        n,
+        NODE_CHUNK,
+        // (running max, common-neighbour counters indexed by j, touched-j list for cheap reset).
+        || (0usize, vec![0u32; n], Vec::<u32>::new()),
+        |(best, counts, touched), left_endpoints| {
+            for i in left_endpoints {
+                let i = i as u32;
+                for &v in g.neighbors(i) {
+                    let two_hop = g.neighbors(v);
+                    // Neighbour lists are sorted: skip straight to the j > i suffix so each
+                    // unordered pair {i, j} is counted from its smaller endpoint only.
+                    let start = two_hop.partition_point(|&j| j <= i);
+                    for &j in &two_hop[start..] {
+                        if counts[j as usize] == 0 {
+                            touched.push(j);
+                        }
+                        counts[j as usize] += 1;
+                    }
+                }
+                for &j in touched.iter() {
+                    *best = (*best).max(counts[j as usize] as usize);
+                    counts[j as usize] = 0;
+                }
+                touched.clear();
             }
-        }
-    }
-    counts.values().copied().max().unwrap_or(0) as usize
+        },
+        |a, b| if a.0 >= b.0 { a } else { b },
+    );
+    best
 }
 
 /// The exact local sensitivity of `Δ` at distance `s` (the quantity `A(s)(G)` above), evaluated
@@ -79,21 +120,40 @@ pub fn local_sensitivity_at_distance(g: &Graph, s: usize) -> usize {
 /// # Panics
 /// Panics if `beta <= 0`.
 pub fn smooth_sensitivity_triangles_exact(g: &Graph, beta: f64) -> f64 {
+    smooth_sensitivity_triangles_exact_par(g, beta, Parallelism::sequential())
+}
+
+/// [`smooth_sensitivity_triangles_exact`] on `par.threads()` compute threads, partitioned over
+/// the smaller pair endpoint. The merge is an exact `f64::max`, so the result is bit-identical
+/// for any thread count.
+///
+/// # Panics
+/// Panics if `beta <= 0`.
+pub fn smooth_sensitivity_triangles_exact_par(g: &Graph, beta: f64, par: Parallelism) -> f64 {
     assert!(beta > 0.0, "beta must be positive");
     let n = g.node_count();
     if n < 3 {
         return 0.0;
     }
     let cap = (n - 2) as f64;
-    let mut best = 0.0f64;
-    for i in 0..n as u32 {
-        for j in (i + 1)..n as u32 {
-            let a = common_neighbor_count(g, i, j) as f64;
-            let b = exclusive_neighbor_count(g, i, j) as f64;
-            best = best.max(pair_smooth_contribution(a, b, cap, beta));
-        }
-    }
-    best
+    par.map_reduce(
+        n,
+        EXACT_PAIR_CHUNK,
+        |left_endpoints| {
+            let mut best = 0.0f64;
+            for i in left_endpoints {
+                let i = i as u32;
+                for j in (i + 1)..n as u32 {
+                    let a = common_neighbor_count(g, i, j) as f64;
+                    let b = exclusive_neighbor_count(g, i, j) as f64;
+                    best = best.max(pair_smooth_contribution(a, b, cap, beta));
+                }
+            }
+            best
+        },
+        |acc: f64, chunk_best| acc.max(chunk_best),
+        0.0,
+    )
 }
 
 /// `max_s e^{−βs} c_ij(s)` for one pair with common count `a` and exclusive count `b`.
@@ -123,13 +183,23 @@ fn pair_smooth_contribution(a: f64, b: f64, cap: f64, beta: f64) -> f64 {
 /// # Panics
 /// Panics if `beta <= 0`.
 pub fn smooth_sensitivity_triangles(g: &Graph, beta: f64) -> f64 {
+    smooth_sensitivity_triangles_par(g, beta, Parallelism::sequential())
+}
+
+/// [`smooth_sensitivity_triangles`] with the local-sensitivity kernel run on
+/// `par.threads()` compute threads (see [`triangle_local_sensitivity_par`]); the closed-form
+/// maximisation over `s` happens once on the calling thread. Identical for any thread count.
+///
+/// # Panics
+/// Panics if `beta <= 0`.
+pub fn smooth_sensitivity_triangles_par(g: &Graph, beta: f64, par: Parallelism) -> f64 {
     assert!(beta > 0.0, "beta must be positive");
     let n = g.node_count();
     if n < 3 {
         return 0.0;
     }
     let cap = (n - 2) as f64;
-    let ls = triangle_local_sensitivity(g) as f64;
+    let ls = triangle_local_sensitivity_par(g, par) as f64;
     // Maximise e^{-beta s} * min(ls + s, cap) over integer s >= 0. The unconstrained maximiser
     // of e^{-beta s}(ls + s) is s* = 1/beta - ls; check the integers around it and the
     // saturation point.
@@ -178,14 +248,32 @@ pub fn private_triangle_count<R: Rng + ?Sized>(
     exact: bool,
     rng: &mut R,
 ) -> PrivateTriangleCount {
+    private_triangle_count_par(g, params, exact, rng, Parallelism::sequential())
+}
+
+/// [`private_triangle_count`] with the triangle-count and sensitivity kernels run on
+/// `par.threads()` compute threads. All parallel reductions are exact, and the single Laplace
+/// draw happens on the calling thread, so the release is byte-identical for any thread count
+/// given the same RNG state.
+///
+/// # Panics
+/// Panics if `params.delta == 0` (pure DP is impossible for smooth-sensitivity noise with
+/// Laplace tails).
+pub fn private_triangle_count_par<R: Rng + ?Sized>(
+    g: &Graph,
+    params: PrivacyParams,
+    exact: bool,
+    rng: &mut R,
+    par: Parallelism,
+) -> PrivateTriangleCount {
     assert!(params.delta > 0.0, "the smooth-sensitivity triangle release requires delta > 0");
     let beta = params.epsilon / (2.0 * (2.0 / params.delta).ln());
     let ss = if exact {
-        smooth_sensitivity_triangles_exact(g, beta)
+        smooth_sensitivity_triangles_exact_par(g, beta, par)
     } else {
-        smooth_sensitivity_triangles(g, beta)
+        smooth_sensitivity_triangles_par(g, beta, par)
     };
-    let exact_count = triangle_count(g) as f64;
+    let exact_count = triangle_count_par(g, par) as f64;
     let noise = LaplaceNoise::new(1.0);
     let value = exact_count + 2.0 * ss / params.epsilon * noise.sample(rng);
     PrivateTriangleCount { value, exact: exact_count, smooth_sensitivity: ss, beta, params }
@@ -230,6 +318,56 @@ mod tests {
         for seed in 0..5 {
             let g = erdos_renyi_gnp(40, 0.1 + 0.05 * seed as f64, &mut rng);
             assert_eq!(triangle_local_sensitivity(&g), max_common_neighbors(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn star_of_stars_matches_quadratic_reference() {
+        // A hub adjacent to 15 mid-tier nodes and all of their leaves (6 each): the pair
+        // (hub, mid_i) shares mid_i's leaves, so the local sensitivity is exactly 6. Small
+        // enough (hub degree 105) for the O(n²) reference; the hub-heavy scale regression —
+        // where the old wedge-pair HashMap blew up quadratically — is pinned end to end in
+        // tests/parallel_consistency.rs.
+        let (mids, leaves) = (15u32, 6u32);
+        let mut edges = Vec::new();
+        let mut next = mids + 1;
+        for mid in 1..=mids {
+            edges.push((0, mid));
+            for _ in 0..leaves {
+                edges.push((mid, next));
+                edges.push((0, next));
+                next += 1;
+            }
+        }
+        let g = Graph::from_edges(1 + mids as usize + (mids * leaves) as usize, edges);
+        assert_eq!(triangle_local_sensitivity(&g), leaves as usize);
+        assert_eq!(triangle_local_sensitivity(&g), max_common_neighbors(&g));
+    }
+
+    #[test]
+    fn parallel_sensitivity_kernels_are_bit_identical_across_thread_counts() {
+        // 400 nodes ⇒ 7 exact-kernel chunks: enough that the exact kernel genuinely spawns
+        // threads (the wedge kernel's parallel path is exercised at scale in
+        // tests/parallel_consistency.rs) while the O(n²·n) exact scan stays debug-build fast.
+        let mut rng = StdRng::seed_from_u64(0x9A_7001);
+        let g = preferential_attachment(400, 4, &mut rng);
+        let beta = 0.05;
+        let ls = triangle_local_sensitivity(&g);
+        let ss = smooth_sensitivity_triangles(&g, beta);
+        let ss_exact = smooth_sensitivity_triangles_exact(&g, beta);
+        for threads in [1, 2, 8] {
+            let par = Parallelism::new(threads);
+            assert_eq!(triangle_local_sensitivity_par(&g, par), ls, "threads {threads}");
+            assert_eq!(
+                smooth_sensitivity_triangles_par(&g, beta, par).to_bits(),
+                ss.to_bits(),
+                "threads {threads}"
+            );
+            assert_eq!(
+                smooth_sensitivity_triangles_exact_par(&g, beta, par).to_bits(),
+                ss_exact.to_bits(),
+                "threads {threads}"
+            );
         }
     }
 

@@ -16,12 +16,13 @@ use crate::kronmom::{KronMomEstimator, KronMomOptions};
 use crate::objective::{FeatureSelection, MomentObjective};
 use crate::{kronecker_order_for, FittedInitiator};
 use kronpriv_dp::{
-    private_degree_sequence, private_triangle_count, PrivacyParams, PrivateDegreeSequence,
+    private_degree_sequence, private_triangle_count_par, PrivacyParams, PrivateDegreeSequence,
     PrivateTriangleCount,
 };
 use kronpriv_graph::Graph;
+use kronpriv_par::Parallelism;
 use rand::Rng;
-use kronpriv_json::impl_json_struct;
+use kronpriv_json::{impl_json_struct, FromJson, Json, JsonParseError, ToJson};
 
 /// Options for the private estimator.
 #[derive(Debug, Clone, Copy)]
@@ -46,17 +47,52 @@ pub struct PrivateEstimatorOptions {
     /// deployments that need the feature-selection *decision* itself to be data-independent can
     /// set the threshold to `0.0` (always keep a positive `Δ̃`) or use `degrees_only`.
     pub triangle_signal_threshold: f64,
+    /// Compute threads for the parallelized kernels (triangle count, smooth sensitivity);
+    /// `0` means one thread per available hardware thread. The kernels are deterministic for
+    /// any thread count (see `kronpriv-par`), so this is purely a performance knob: the fitted
+    /// estimate is byte-identical whatever the value.
+    pub compute_threads: usize,
     /// Options forwarded to the KronMom minimisation.
     pub kronmom: KronMomOptions,
 }
 
-impl_json_struct!(PrivateEstimatorOptions {
-    degree_budget_fraction,
-    exact_smooth_sensitivity,
-    degrees_only,
-    triangle_signal_threshold,
-    kronmom,
-});
+// Hand-rolled (rather than `impl_json_struct!`) so `compute_threads` may be *omitted* by older
+// clients — absent means 0 ("auto") — while the pre-existing fields stay required.
+impl ToJson for PrivateEstimatorOptions {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("degree_budget_fraction".to_string(), self.degree_budget_fraction.to_json()),
+            ("exact_smooth_sensitivity".to_string(), self.exact_smooth_sensitivity.to_json()),
+            ("degrees_only".to_string(), self.degrees_only.to_json()),
+            ("triangle_signal_threshold".to_string(), self.triangle_signal_threshold.to_json()),
+            ("compute_threads".to_string(), self.compute_threads.to_json()),
+            ("kronmom".to_string(), self.kronmom.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PrivateEstimatorOptions {
+    fn from_json(value: &Json) -> Result<Self, JsonParseError> {
+        let required = |field: &'static str| {
+            value
+                .get(field)
+                .ok_or_else(|| JsonParseError::missing_field("PrivateEstimatorOptions", field))
+        };
+        Ok(PrivateEstimatorOptions {
+            degree_budget_fraction: FromJson::from_json(required("degree_budget_fraction")?)?,
+            exact_smooth_sensitivity: FromJson::from_json(required("exact_smooth_sensitivity")?)?,
+            degrees_only: FromJson::from_json(required("degrees_only")?)?,
+            triangle_signal_threshold: FromJson::from_json(
+                required("triangle_signal_threshold")?,
+            )?,
+            compute_threads: match value.get("compute_threads") {
+                Some(raw) => FromJson::from_json(raw)?,
+                None => 0,
+            },
+            kronmom: FromJson::from_json(required("kronmom")?)?,
+        })
+    }
+}
 
 impl Default for PrivateEstimatorOptions {
     fn default() -> Self {
@@ -65,8 +101,16 @@ impl Default for PrivateEstimatorOptions {
             exact_smooth_sensitivity: false,
             degrees_only: false,
             triangle_signal_threshold: 2.0,
+            compute_threads: 0,
             kronmom: KronMomOptions::default(),
         }
+    }
+}
+
+impl PrivateEstimatorOptions {
+    /// The resolved [`Parallelism`] for the compute kernels (`0` ⇒ auto).
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism::new(self.compute_threads)
     }
 }
 
@@ -150,10 +194,16 @@ impl PrivateEstimator {
         let degree_budget = PrivacyParams::pure(params.epsilon * frac);
         let degree_release = private_degree_sequence(g, degree_budget, rng);
 
-        // Step 5: (ε·(1-frac), δ)-DP triangle count.
+        // Step 5: (ε·(1-frac), δ)-DP triangle count. The parallel kernels are deterministic
+        // for any thread count, so the release is a pure function of (graph, budget, rng).
         let triangle_budget = PrivacyParams::new(params.epsilon * (1.0 - frac), params.delta);
-        let triangle_release =
-            private_triangle_count(g, triangle_budget, self.options.exact_smooth_sensitivity, rng);
+        let triangle_release = private_triangle_count_par(
+            g,
+            triangle_budget,
+            self.options.exact_smooth_sensitivity,
+            rng,
+            self.options.parallelism(),
+        );
 
         // Step 6: moment matching on the private statistics. Negative noisy counts are clamped
         // to zero — a postprocessing step that costs no privacy and keeps the objective sane.
@@ -301,6 +351,45 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(14);
         let options = PrivateEstimatorOptions { degree_budget_fraction: 1.5, ..Default::default() };
         let _ = PrivateEstimator::new(options).fit(&g, PrivacyParams::paper_default(), &mut rng);
+    }
+
+    #[test]
+    fn options_json_defaults_compute_threads_when_omitted() {
+        // Round trip: the field serializes and comes back.
+        let options = PrivateEstimatorOptions { compute_threads: 3, ..Default::default() };
+        let text = kronpriv_json::to_string(&options);
+        assert!(text.contains("\"compute_threads\":3"), "{text}");
+        let back: PrivateEstimatorOptions = kronpriv_json::from_str(&text).unwrap();
+        assert_eq!(back.compute_threads, 3);
+        // Back-compat: a pre-parallel-layer options document (no compute_threads) still parses,
+        // defaulting to 0 ("auto").
+        let legacy = text.replace("\"compute_threads\":3,", "");
+        let back: PrivateEstimatorOptions = kronpriv_json::from_str(&legacy).unwrap();
+        assert_eq!(back.compute_threads, 0);
+        // Required fields are still required.
+        let missing = legacy.replace("\"degrees_only\":false,", "");
+        assert!(kronpriv_json::from_str::<PrivateEstimatorOptions>(&missing).is_err());
+    }
+
+    #[test]
+    fn compute_thread_count_never_changes_the_estimate() {
+        let (_, g) = synthetic_graph(9, 30);
+        let fit_with = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(31);
+            let options =
+                PrivateEstimatorOptions { compute_threads: threads, ..Default::default() };
+            PrivateEstimator::new(options).fit(&g, PrivacyParams::paper_default(), &mut rng)
+        };
+        let reference = fit_with(1);
+        for threads in [2usize, 8] {
+            let est = fit_with(threads);
+            assert_eq!(est.fit.theta, reference.fit.theta, "threads {threads}");
+            assert_eq!(est.private_statistics, reference.private_statistics);
+            let (a, b) =
+                (est.triangle_release.unwrap(), reference.triangle_release.clone().unwrap());
+            assert_eq!(a.value.to_bits(), b.value.to_bits(), "threads {threads}");
+            assert_eq!(a.smooth_sensitivity.to_bits(), b.smooth_sensitivity.to_bits());
+        }
     }
 
     #[test]

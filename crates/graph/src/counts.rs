@@ -17,6 +17,12 @@
 
 use crate::graph::Graph;
 use kronpriv_json::impl_json_struct;
+use kronpriv_par::Parallelism;
+
+/// Edges per work chunk for the edge-partitioned kernels. Fixed (never derived from the thread
+/// count) so chunk boundaries — and therefore results — are identical for any [`Parallelism`];
+/// sized so one chunk (~a thousand sorted-list intersections) amortizes a thread spawn.
+const EDGE_CHUNK: usize = 1024;
 
 /// The four observed statistics `(E, H, T, Δ)` used for moment matching.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,15 +71,32 @@ impl MatchingStatistics {
 }
 
 /// Number of hairpins (wedges) from a degree sequence: `Σ C(d_i, 2)`.
+///
+/// Each term is accumulated in `f64` from the start: the integer product `d·(d−1)` overflows
+/// `usize` for hub degrees ≳ 2³² on 64-bit targets and already at `d ≈ 65'000` on 32-bit ones,
+/// whereas `f64` represents the binomials of any realistic degree to full relative precision.
 pub fn hairpin_count(degrees: &[usize]) -> f64 {
-    degrees.iter().map(|&d| (d * d.saturating_sub(1)) as f64 / 2.0).sum()
+    degrees
+        .iter()
+        .map(|&d| {
+            let d = d as f64;
+            d * (d - 1.0) / 2.0
+        })
+        .sum()
 }
 
 /// Number of tripins (3-stars) from a degree sequence: `Σ C(d_i, 3)`.
+///
+/// Accumulated in `f64` like [`hairpin_count`]: the integer product `d·(d−1)·(d−2)` overflows
+/// `usize` for hub degrees ≳ 2.6 million (and on 32-bit targets at `d ≈ 1'626`). Degrees 0–2
+/// contribute exactly 0.0 because one factor is exactly zero.
 pub fn tripin_count(degrees: &[usize]) -> f64 {
     degrees
         .iter()
-        .map(|&d| (d * d.saturating_sub(1) * d.saturating_sub(2)) as f64 / 6.0)
+        .map(|&d| {
+            let d = d as f64;
+            d * (d - 1.0) * (d - 2.0) / 6.0
+        })
         .sum()
 }
 
@@ -83,37 +106,72 @@ pub fn tripin_count(degrees: &[usize]) -> f64 {
 /// neighbours `w > v`. Runtime is `O(Σ_e min(d_u, d_v))`, comfortably fast for the graphs the
 /// paper evaluates.
 pub fn triangle_count(g: &Graph) -> u64 {
-    let mut total = 0u64;
-    for &(u, v) in g.edges() {
-        total += count_common_neighbors_above(g, u, v, v);
-    }
-    total
+    triangle_count_par(g, Parallelism::sequential())
+}
+
+/// [`triangle_count`] on `par.threads()` compute threads, edge-partitioned: each fixed chunk of
+/// the canonical edge list sums its common-neighbour counts independently and the partial sums
+/// are combined in chunk order, so the result equals the sequential count for any thread count.
+pub fn triangle_count_par(g: &Graph, par: Parallelism) -> u64 {
+    let edges = g.edges();
+    par.map_reduce(
+        edges.len(),
+        EDGE_CHUNK,
+        |range| {
+            edges[range]
+                .iter()
+                .map(|&(u, v)| count_common_neighbors_above(g, u, v, v))
+                .sum::<u64>()
+        },
+        |acc: u64, partial| acc + partial,
+        0,
+    )
 }
 
 /// Number of triangles incident to each node.
 pub fn per_node_triangles(g: &Graph) -> Vec<u64> {
-    let mut counts = vec![0u64; g.node_count()];
-    for &(u, v) in g.edges() {
-        let (mut i, mut j) = (0usize, 0usize);
-        let (nu, nv) = (g.neighbors(u), g.neighbors(v));
-        while i < nu.len() && j < nv.len() {
-            match nu[i].cmp(&nv[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    let w = nu[i];
-                    if w > v {
-                        counts[u as usize] += 1;
-                        counts[v as usize] += 1;
-                        counts[w as usize] += 1;
+    per_node_triangles_par(g, Parallelism::sequential())
+}
+
+/// [`per_node_triangles`] on `par.threads()` compute threads. Edge-partitioned with one `O(n)`
+/// counter array per worker; the per-worker arrays are merged element-wise, which is exact
+/// (integer sums), so the result is identical for any thread count.
+pub fn per_node_triangles_par(g: &Graph, par: Parallelism) -> Vec<u64> {
+    let edges = g.edges();
+    let n = g.node_count();
+    par.fold_reduce(
+        edges.len(),
+        EDGE_CHUNK,
+        || vec![0u64; n],
+        |counts, range| {
+            for &(u, v) in &edges[range] {
+                let (mut i, mut j) = (0usize, 0usize);
+                let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+                while i < nu.len() && j < nv.len() {
+                    match nu[i].cmp(&nv[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            let w = nu[i];
+                            if w > v {
+                                counts[u as usize] += 1;
+                                counts[v as usize] += 1;
+                                counts[w as usize] += 1;
+                            }
+                            i += 1;
+                            j += 1;
+                        }
                     }
-                    i += 1;
-                    j += 1;
                 }
             }
-        }
-    }
-    counts
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        },
+    )
 }
 
 /// Number of common neighbours of `u` and `v` (the quantity `a_{ij}` in the smooth-sensitivity
@@ -312,6 +370,37 @@ mod tests {
         let before = triangle_count(&g);
         let after = triangle_count(&g.with_edge_added(0, 1));
         assert_eq!(after - before, common as u64);
+    }
+
+    #[test]
+    fn hairpin_and_tripin_counts_survive_hub_degrees_past_the_usize_product_range() {
+        // d·(d−1)·(d−2) overflows u64 (and wraps/panics in usize) for d ≳ 2.6M; the f64
+        // accumulation must instead return the exact binomial. 3·10⁶ is a plausible hub degree
+        // for the "millions of users" graphs the roadmap targets.
+        let d = 3_000_000usize;
+        let df = d as f64;
+        assert_eq!(hairpin_count(&[d]), df * (df - 1.0) / 2.0);
+        assert_eq!(tripin_count(&[d]), df * (df - 1.0) * (df - 2.0) / 6.0);
+        assert!(tripin_count(&[d]) > 4.4e18, "must exceed u64::MAX/4 territory");
+        // Small degrees keep their exact closed forms (and degrees 0–2 contribute nothing).
+        assert_eq!(hairpin_count(&[0, 1, 2, 3]), 1.0 + 3.0);
+        assert_eq!(tripin_count(&[0, 1, 2, 3, 4]), 1.0 + 4.0);
+    }
+
+    #[test]
+    fn parallel_triangle_kernels_match_sequential_for_any_thread_count() {
+        let mut rng = StdRng::seed_from_u64(0xC0_7004);
+        for _ in 0..8 {
+            let edges = rand_edges(&mut rng, 60, 600);
+            let g = Graph::from_edges(60, edges);
+            let count = triangle_count(&g);
+            let per_node = per_node_triangles(&g);
+            for threads in [1usize, 2, 8] {
+                let par = kronpriv_par::Parallelism::new(threads);
+                assert_eq!(triangle_count_par(&g, par), count, "threads {threads}");
+                assert_eq!(per_node_triangles_par(&g, par), per_node, "threads {threads}");
+            }
+        }
     }
 
     // Former proptest properties, now deterministic seeded loops.

@@ -154,20 +154,23 @@ impl GraphBuilder {
         GraphBuilder { n, edges: BTreeSet::new() }
     }
 
-    /// Adds the undirected edge `{u, v}`. Self-loops are silently ignored.
+    /// Adds the undirected edge `{u, v}`. Self-loops are silently ignored. Returns `true` iff
+    /// the edge was new (not a self-loop and not already present), so samplers that count
+    /// distinct edges can use the builder as their only store instead of keeping a parallel
+    /// dedup set.
     ///
     /// # Panics
     /// Panics if an endpoint is `>= n`.
-    pub fn add_edge(&mut self, u: u32, v: u32) {
+    pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
         assert!(
             (u as usize) < self.n && (v as usize) < self.n,
             "edge ({u},{v}) out of bounds for {} nodes",
             self.n
         );
         if u == v {
-            return;
+            return false;
         }
-        self.edges.insert((u.min(v), u.max(v)));
+        self.edges.insert((u.min(v), u.max(v)))
     }
 
     /// Number of distinct undirected edges added so far.
@@ -273,6 +276,17 @@ mod tests {
     fn builder_rejects_out_of_range_edge() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn add_edge_reports_whether_the_edge_was_new() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(0, 1), "first insertion is new");
+        assert!(!b.add_edge(1, 0), "reversed duplicate is not");
+        assert!(!b.add_edge(0, 1), "exact duplicate is not");
+        assert!(!b.add_edge(2, 2), "self-loop is dropped");
+        assert!(b.add_edge(1, 2));
+        assert_eq!(b.edge_count(), 2);
     }
 
     #[test]

@@ -2,7 +2,13 @@
 //! reachable-pair counts behind the paper's hop plot.
 
 use crate::graph::Graph;
+use kronpriv_par::Parallelism;
 use std::collections::VecDeque;
+
+/// BFS sources per work chunk for [`reachable_pairs_by_hops_par`]. Fixed (independent of the
+/// thread count) so the per-chunk histograms — and their exact integer merge — are identical
+/// for any [`Parallelism`].
+const SOURCE_CHUNK: usize = 32;
 
 /// BFS distances (in hops) from `source` to every node; unreachable nodes get `None`.
 pub fn bfs_distances(g: &Graph, source: u32) -> Vec<Option<u32>> {
@@ -92,17 +98,39 @@ pub fn effective_diameter_exact(g: &Graph) -> u32 {
 /// therefore equals the number of nodes. The vector stops growing once all reachable pairs are
 /// covered.
 pub fn reachable_pairs_by_hops(g: &Graph) -> Vec<u64> {
+    reachable_pairs_by_hops_par(g, Parallelism::sequential())
+}
+
+/// [`reachable_pairs_by_hops`] on `par.threads()` compute threads, source-partitioned: each
+/// fixed chunk of BFS sources builds its own per-distance histogram and the histograms are
+/// summed element-wise (exact integer addition), so the curve is identical for any thread count.
+pub fn reachable_pairs_by_hops_par(g: &Graph, par: Parallelism) -> Vec<u64> {
     let n = g.node_count();
-    let mut per_hop: Vec<u64> = Vec::new();
-    for u in 0..n as u32 {
-        for d in bfs_distances(g, u).into_iter().flatten() {
-            let d = d as usize;
-            if per_hop.len() <= d {
-                per_hop.resize(d + 1, 0);
+    let per_hop = par.fold_reduce(
+        n,
+        SOURCE_CHUNK,
+        Vec::<u64>::new,
+        |histogram, sources| {
+            for u in sources {
+                for d in bfs_distances(g, u as u32).into_iter().flatten() {
+                    let d = d as usize;
+                    if histogram.len() <= d {
+                        histogram.resize(d + 1, 0);
+                    }
+                    histogram[d] += 1;
+                }
             }
-            per_hop[d] += 1;
-        }
-    }
+        },
+        |mut a, b| {
+            if a.len() < b.len() {
+                a.resize(b.len(), 0);
+            }
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        },
+    );
     // Convert the per-distance histogram into a cumulative count.
     let mut cumulative = 0u64;
     per_hop

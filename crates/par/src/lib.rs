@@ -1,0 +1,377 @@
+//! `kronpriv-par` — a deterministic parallel compute layer over [`std::thread::scope`].
+//!
+//! The hot kernels of Algorithm 1 (triangle counting, the smooth-sensitivity bound, the
+//! structural-agreement statistics) are all "map a pure function over an index range, combine
+//! the pieces" computations. This crate runs them on multiple threads while keeping one hard
+//! guarantee: **the result is byte-identical for every thread count**, including one. That
+//! guarantee is what lets the rest of the workspace (seeded experiments, the server's
+//! identical-seed ⇒ identical-response contract) treat the thread count as a pure performance
+//! knob.
+//!
+//! Determinism comes from two rules, both enforced here rather than by callers:
+//!
+//! 1. **Fixed chunk boundaries.** The index range is split into chunks whose boundaries depend
+//!    only on the range length and the caller's chunk size — never on the thread count. Threads
+//!    *claim* chunks dynamically (so load imbalance costs nothing), but the set of chunks is the
+//!    same for 1 thread and for 64.
+//! 2. **Reduction in chunk order.** [`Parallelism::map_reduce`] folds the per-chunk results in
+//!    chunk index order on the calling thread, so even non-associative combines (floating-point
+//!    sums) give the same answer regardless of which thread computed which chunk.
+//!
+//! [`Parallelism::fold_reduce`] trades the second rule for memory: each *worker* folds chunks
+//! into one private accumulator (e.g. an `O(n)` counter array) and the accumulators are merged
+//! afterwards. Which chunks land in which accumulator does depend on scheduling, so that entry
+//! point requires an associative **and commutative** merge (integer sums, `max`, bitwise or) —
+//! exactly the merges the workspace kernels use — and then the same byte-identical guarantee
+//! holds.
+//!
+//! Worker panics are re-raised on the calling thread (after all workers have been joined), so
+//! existing panic containment — e.g. the server job store's `catch_unwind` — keeps working.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Minimum number of chunks before threads are spawned at all. Below this the input is too
+/// small for thread spawn/join (tens of microseconds) to amortize, so both entry points take
+/// their sequential path — a decision that depends only on `(len, chunk_size)`, never on the
+/// thread count, so it cannot break the determinism guarantee (the sequential path is the
+/// reference the parallel path must match anyway).
+const MIN_PARALLEL_CHUNKS: usize = 4;
+
+/// The compute-thread knob: how many worker threads a kernel may use.
+///
+/// `Parallelism` is deliberately cheap to copy and carries no pool: every `map_reduce` /
+/// `fold_reduce` call spawns scoped threads and joins them before returning. For the kernel
+/// sizes this workspace cares about (milliseconds to minutes of work) spawn cost is noise, and
+/// scoped threads keep the API free of lifetimes and shutdown protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: NonZeroUsize,
+}
+
+impl Parallelism {
+    /// Creates a knob for exactly `threads` workers; `0` means "ask the OS"
+    /// (see [`Parallelism::auto`]).
+    pub fn new(threads: usize) -> Self {
+        match NonZeroUsize::new(threads) {
+            Some(threads) => Parallelism { threads },
+            None => Self::auto(),
+        }
+    }
+
+    /// One worker per available hardware thread ([`std::thread::available_parallelism`]),
+    /// falling back to 1 when the OS cannot say.
+    pub fn auto() -> Self {
+        let threads = thread::available_parallelism()
+            .unwrap_or(NonZeroUsize::MIN);
+        Parallelism { threads }
+    }
+
+    /// Exactly one worker: the kernels degenerate to their plain sequential loops (no threads
+    /// are spawned), which is also the reference the determinism tests compare against.
+    pub fn sequential() -> Self {
+        Parallelism { threads: NonZeroUsize::MIN }
+    }
+
+    /// The configured worker count (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Deterministic chunked map-reduce over `0..len`.
+    ///
+    /// `map` is applied to each fixed chunk (the last one may be short) and must be a pure
+    /// function of its range; `fold` combines the per-chunk results **in chunk order** on the
+    /// calling thread, starting from `init`. Because the chunk boundaries depend only on
+    /// `len` and `chunk_size`, the result is byte-identical for every thread count even when
+    /// `fold` is not associative (floating-point accumulation).
+    pub fn map_reduce<M, A>(
+        &self,
+        len: usize,
+        chunk_size: usize,
+        map: impl Fn(Range<usize>) -> M + Sync,
+        mut fold: impl FnMut(A, M) -> A,
+        init: A,
+    ) -> A
+    where
+        M: Send,
+    {
+        let chunk_size = chunk_size.max(1);
+        let chunks = len.div_ceil(chunk_size);
+        let workers = self.threads().min(chunks);
+        if workers <= 1 || chunks < MIN_PARALLEL_CHUNKS {
+            let mut acc = init;
+            for c in 0..chunks {
+                acc = fold(acc, map(chunk_range(c, chunk_size, len)));
+            }
+            return acc;
+        }
+
+        let mut slots: Vec<Option<M>> = Vec::with_capacity(chunks);
+        slots.resize_with(chunks, || None);
+        let next = AtomicUsize::new(0);
+        let per_worker = run_workers(workers, || {
+            let mut out: Vec<(usize, M)> = Vec::new();
+            loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    break;
+                }
+                out.push((c, map(chunk_range(c, chunk_size, len))));
+            }
+            out
+        });
+        for (c, m) in per_worker.into_iter().flatten() {
+            slots[c] = Some(m);
+        }
+        slots
+            .into_iter()
+            .fold(init, |acc, m| fold(acc, m.expect("every chunk was claimed exactly once")))
+    }
+
+    /// Chunked fold with one private accumulator **per worker**, for kernels whose natural
+    /// accumulator is large (an `O(n)` counter array) and whose merge is cheap.
+    ///
+    /// Each worker builds an accumulator with `identity`, folds every chunk it claims into it
+    /// via `fold_chunk`, and the per-worker accumulators are merged left-to-right in worker
+    /// order with `merge`. Chunk boundaries are fixed exactly as in
+    /// [`Parallelism::map_reduce`], but chunk→worker assignment is dynamic, so the result is
+    /// thread-count-independent **iff `merge` is associative and commutative** and `fold_chunk`
+    /// commutes across chunks (true for the element-wise integer sums, `max`es and bitwise ors
+    /// the workspace kernels use). With one worker this is the plain sequential fold and
+    /// `merge` is never called.
+    pub fn fold_reduce<A>(
+        &self,
+        len: usize,
+        chunk_size: usize,
+        identity: impl Fn() -> A + Sync,
+        fold_chunk: impl Fn(&mut A, Range<usize>) + Sync,
+        mut merge: impl FnMut(A, A) -> A,
+    ) -> A
+    where
+        A: Send,
+    {
+        let chunk_size = chunk_size.max(1);
+        let chunks = len.div_ceil(chunk_size);
+        let workers = self.threads().min(chunks.max(1));
+        if workers <= 1 || chunks < MIN_PARALLEL_CHUNKS {
+            let mut acc = identity();
+            for c in 0..chunks {
+                fold_chunk(&mut acc, chunk_range(c, chunk_size, len));
+            }
+            return acc;
+        }
+
+        let next = AtomicUsize::new(0);
+        let accs = run_workers(workers, || {
+            let mut acc = identity();
+            loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    break;
+                }
+                fold_chunk(&mut acc, chunk_range(c, chunk_size, len));
+            }
+            acc
+        });
+        let mut accs = accs.into_iter();
+        let first = accs.next().expect("at least one worker ran");
+        accs.fold(first, &mut merge)
+    }
+}
+
+impl Default for Parallelism {
+    /// Defaults to [`Parallelism::auto`]: results never depend on the thread count, so the
+    /// fastest setting is the safe default.
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// The fixed boundaries of chunk `c`: a pure function of `(c, chunk_size, len)`.
+fn chunk_range(c: usize, chunk_size: usize, len: usize) -> Range<usize> {
+    let start = c * chunk_size;
+    start..(start + chunk_size).min(len)
+}
+
+/// Spawns `workers` scoped threads running `work`, joins them all, and returns their results in
+/// worker order. If any worker panicked, every other worker is still joined first and then the
+/// first panic (in worker order) is resumed on the calling thread.
+fn run_workers<T: Send>(workers: usize, work: impl Fn() -> T + Sync) -> Vec<T> {
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers).map(|_| scope.spawn(&work)).collect();
+        let mut results = Vec::with_capacity(workers);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(value) => results.push(value),
+                Err(payload) => {
+                    if panic.is_none() {
+                        panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        results
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn thread_counts_resolve() {
+        assert_eq!(Parallelism::sequential().threads(), 1);
+        assert_eq!(Parallelism::new(7).threads(), 7);
+        assert!(Parallelism::new(0).threads() >= 1);
+        assert!(Parallelism::auto().threads() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::auto());
+    }
+
+    #[test]
+    fn map_reduce_sums_integers_for_any_thread_count() {
+        let expected: u64 = (0..10_000u64).sum();
+        for threads in [1, 2, 3, 8, 32] {
+            let par = Parallelism::new(threads);
+            let got = par.map_reduce(
+                10_000,
+                97,
+                |range| range.map(|i| i as u64).sum::<u64>(),
+                |acc: u64, m| acc + m,
+                0,
+            );
+            assert_eq!(got, expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_bit_identical_for_float_folds() {
+        // A deliberately non-associative fold: floating-point accumulation of values at wildly
+        // different magnitudes. Chunk-order reduction must make every thread count agree with
+        // the single-threaded chunked fold bit for bit.
+        let value =
+            |i: usize| ((i % 17) as f64).exp() * if i.is_multiple_of(3) { 1e-12 } else { 1e3 };
+        let fold = |par: Parallelism| {
+            par.map_reduce(
+                5_000,
+                61,
+                |range| range.map(value).sum::<f64>(),
+                |acc: f64, m| acc + m,
+                0.0,
+            )
+        };
+        let reference = fold(Parallelism::sequential());
+        for threads in [2, 5, 16] {
+            assert_eq!(
+                fold(Parallelism::new(threads)).to_bits(),
+                reference.to_bits(),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_reduce_visits_every_chunk_exactly_once() {
+        for threads in [1, 4] {
+            let par = Parallelism::new(threads);
+            let ranges = par.map_reduce(
+                103,
+                10,
+                |range| vec![range],
+                |mut acc: Vec<Range<usize>>, m| {
+                    acc.extend(m);
+                    acc
+                },
+                Vec::new(),
+            );
+            // Chunk-order reduction ⇒ the ranges tile 0..103 in order.
+            assert_eq!(ranges.len(), 11);
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, 103);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential_for_commutative_merges() {
+        // Element-wise histogram accumulation: the shape the per-node kernels use.
+        let reference = Parallelism::sequential().fold_reduce(
+            1_000,
+            13,
+            || vec![0u64; 10],
+            |acc, range| {
+                for i in range {
+                    acc[i % 10] += (i as u64) % 7;
+                }
+            },
+            |a, _b| a,
+        );
+        for threads in [2, 8] {
+            let got = Parallelism::new(threads).fold_reduce(
+                1_000,
+                13,
+                || vec![0u64; 10],
+                |acc, range| {
+                    for i in range {
+                        acc[i % 10] += (i as u64) % 7;
+                    }
+                },
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+            assert_eq!(got, reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_ranges_return_the_identity() {
+        let par = Parallelism::new(4);
+        assert_eq!(par.map_reduce(0, 8, |_| 1u32, |a: u32, m| a + m, 0), 0);
+        assert_eq!(par.fold_reduce(0, 8, || 41u32, |acc, _| *acc += 1, |a, b| a + b), 41);
+    }
+
+    #[test]
+    fn oversized_thread_counts_and_tiny_inputs_work() {
+        let par = Parallelism::new(64);
+        let got = par.map_reduce(3, 1000, |range| range.len(), |a: usize, m| a + m, 0);
+        assert_eq!(got, 3);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        for threads in [1, 4] {
+            let par = Parallelism::new(threads);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                par.map_reduce(
+                    100,
+                    10,
+                    |range| {
+                        if range.contains(&55) {
+                            panic!("kernel exploded");
+                        }
+                        range.len()
+                    },
+                    |a: usize, m| a + m,
+                    0,
+                )
+            }));
+            assert!(result.is_err(), "threads {threads}");
+        }
+    }
+}

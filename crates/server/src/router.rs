@@ -21,12 +21,17 @@ pub struct AppState {
     pub jobs: JobStore,
     /// Largest Kronecker order `/api/sample` and sampled-SKG inputs accept (`2^k` nodes each).
     pub max_order: u32,
+    /// Compute threads per estimation job (`0` = auto); enforced over request options because
+    /// the kernels are thread-count-deterministic, so only resources — never results — are at
+    /// stake.
+    pub compute_threads: usize,
 }
 
 impl AppState {
-    /// Creates the state with `job_workers` estimation threads.
-    pub fn new(job_workers: usize, max_order: u32) -> Self {
-        AppState { jobs: JobStore::new(job_workers), max_order }
+    /// Creates the state with `job_workers` estimation threads, each job running its compute
+    /// kernels on `compute_threads` threads (`0` = one per hardware thread).
+    pub fn new(job_workers: usize, max_order: u32, compute_threads: usize) -> Self {
+        AppState { jobs: JobStore::new(job_workers), max_order, compute_threads }
     }
 }
 
@@ -101,7 +106,11 @@ fn estimate(state: &AppState, request: &Request) -> Response {
         Ok(params) => params,
         Err(e) => return error(400, e.to_string()),
     };
-    let options = req.options.unwrap_or_default();
+    let mut options = req.options.unwrap_or_default();
+    // The server owns its compute resources: the configured thread count overrides whatever the
+    // request carried. Safe because the parallel kernels are deterministic for any thread
+    // count, so this cannot change the result document.
+    options.compute_threads = state.compute_threads;
     if let Err(e) = validate_estimator_inputs(params, &options) {
         return error(400, e.to_string());
     }
@@ -196,7 +205,7 @@ mod tests {
     use std::time::{Duration, Instant};
 
     fn state() -> AppState {
-        AppState::new(2, 16)
+        AppState::new(2, 16, 0)
     }
 
     fn request(method: &str, path: &str, body: &str) -> Request {
@@ -256,6 +265,22 @@ mod tests {
         let poll = route(&state, &request("GET", &format!("/api/jobs/{id}"), ""));
         assert_eq!(poll.status, 200);
         assert_eq!(body_json(&poll).get("status").unwrap().as_str(), Some("Done"));
+    }
+
+    #[test]
+    fn compute_thread_config_never_changes_job_results() {
+        // The same request against a 1-thread server and a 4-thread server must produce the
+        // exact same result document — the determinism contract of the parallel layer.
+        let run = |compute_threads: usize| {
+            let state = AppState::new(1, 16, compute_threads);
+            let response = route(&state, &request("POST", "/api/estimate", SKG_BODY));
+            assert_eq!(response.status, 202, "{}", response.body);
+            let id = body_json(&response).get("job_id").unwrap().as_f64().unwrap() as u64;
+            let snap = wait_for_job(&state, id);
+            assert_eq!(snap.status, JobStatus::Done, "{:?}", snap.error);
+            kronpriv_json::to_string(&snap.result.unwrap())
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Estimation workers executing `/api/estimate` jobs.
     pub job_workers: usize,
+    /// Compute threads each estimation job may use for the parallel kernels (triangle count,
+    /// smooth sensitivity); `0` means one per available hardware thread. The kernels are
+    /// deterministic for any thread count, so this knob never changes a job's result — it is
+    /// server-side resource control only, which is also why the server enforces it over
+    /// whatever a request's `options.compute_threads` says.
+    pub compute_threads: usize,
     /// Largest Kronecker order accepted by `/api/sample` and sampled-SKG inputs.
     pub max_order: u32,
     /// Per-connection socket read/write timeout.
@@ -32,6 +38,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             job_workers: 2,
+            compute_threads: 0,
             max_order: 16,
             io_timeout: Duration::from_secs(10),
         }
@@ -90,7 +97,8 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let state = Arc::new(AppState::new(config.job_workers, config.max_order));
+    let state =
+        Arc::new(AppState::new(config.job_workers, config.max_order, config.compute_threads));
     let pool = ThreadPool::new(config.workers, "kronpriv-http");
     let flag = Arc::clone(&shutdown);
     let io_timeout = config.io_timeout;

@@ -6,9 +6,10 @@
 //! connected; nodes of degree < 2 have coefficient 0 by convention. The paper plots the average
 //! of `c_i` over all nodes of each degree, on log–log axes.
 
-use kronpriv_graph::counts::per_node_triangles;
+use kronpriv_graph::counts::per_node_triangles_par;
 use kronpriv_graph::Graph;
 use kronpriv_json::impl_json_struct;
+use kronpriv_par::Parallelism;
 use std::collections::BTreeMap;
 
 /// One point of the clustering-by-degree curve.
@@ -26,7 +27,14 @@ impl_json_struct!(ClusteringPoint { degree, average_clustering, count });
 
 /// Local clustering coefficient of every node.
 pub fn clustering_coefficients(g: &Graph) -> Vec<f64> {
-    let triangles = per_node_triangles(g);
+    clustering_coefficients_par(g, Parallelism::sequential())
+}
+
+/// [`clustering_coefficients`] with the per-node triangle counts computed on `par.threads()`
+/// compute threads (see `per_node_triangles_par`); the coefficient of each node is then a pure
+/// per-node function, so the result is identical for any thread count.
+pub fn clustering_coefficients_par(g: &Graph, par: Parallelism) -> Vec<f64> {
+    let triangles = per_node_triangles_par(g, par);
     g.degrees()
         .iter()
         .zip(&triangles)

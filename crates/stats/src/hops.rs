@@ -7,9 +7,10 @@
 //! sketch repetitions. The approximate variant exists so the library remains usable on graphs
 //! well beyond the paper's scale; tests check it tracks the exact curve.
 
-use kronpriv_graph::traversal::reachable_pairs_by_hops;
+use kronpriv_graph::traversal::reachable_pairs_by_hops_par;
 use kronpriv_graph::Graph;
 use kronpriv_json::impl_json_struct;
+use kronpriv_par::Parallelism;
 use rand::Rng;
 
 /// Options for [`approximate_hop_plot`].
@@ -33,7 +34,14 @@ impl Default for HopPlotOptions {
 /// (including `u = v` at distance 0, following the convention of the paper's plots which start
 /// at the node count).
 pub fn exact_hop_plot(g: &Graph) -> Vec<u64> {
-    reachable_pairs_by_hops(g)
+    exact_hop_plot_par(g, Parallelism::sequential())
+}
+
+/// [`exact_hop_plot`] on `par.threads()` compute threads: the all-sources BFS is partitioned
+/// over fixed source chunks and the per-chunk distance histograms are summed exactly, so the
+/// curve is identical for any thread count.
+pub fn exact_hop_plot_par(g: &Graph, par: Parallelism) -> Vec<u64> {
+    reachable_pairs_by_hops_par(g, par)
 }
 
 /// Approximate hop plot using Flajolet–Martin neighbourhood sketches.
@@ -45,6 +53,20 @@ pub fn approximate_hop_plot<R: Rng + ?Sized>(
     g: &Graph,
     options: &HopPlotOptions,
     rng: &mut R,
+) -> Vec<f64> {
+    approximate_hop_plot_par(g, options, rng, Parallelism::sequential())
+}
+
+/// [`approximate_hop_plot`] with the per-hop mask propagation run on `par.threads()` compute
+/// threads, sketch-parallel: each sketch's bitmask layer propagates independently (a pure
+/// function of the previous hop's layers), and the layers are collected in sketch order. Mask
+/// initialisation consumes the RNG in the same sequential order regardless of the thread
+/// count, so the curve is byte-identical for any [`Parallelism`].
+pub fn approximate_hop_plot_par<R: Rng + ?Sized>(
+    g: &Graph,
+    options: &HopPlotOptions,
+    rng: &mut R,
+    par: Parallelism,
 ) -> Vec<f64> {
     let n = g.node_count();
     if n == 0 {
@@ -82,17 +104,34 @@ pub fn approximate_hop_plot<R: Rng + ?Sized>(
     let mut curve = vec![n as f64];
     let mut previous_total = n as f64;
     for _hop in 1..=options.max_hops {
-        // Propagate: every node ORs in its neighbours' masks.
-        for layer in masks.iter_mut() {
-            let snapshot = layer.clone();
-            for v in 0..n {
-                let mut acc = snapshot[v];
-                for &w in g.neighbors(v as u32) {
-                    acc |= snapshot[w as usize];
-                }
-                layer[v] = acc;
-            }
-        }
+        // Propagate: every node ORs in its neighbours' masks. Each sketch layer is a pure
+        // function of the previous hop's layer, so the sketches fan out across threads; the
+        // chunk-order reduction reassembles them in sketch order.
+        masks = par.map_reduce(
+            sketches,
+            1,
+            |sketch_range| {
+                sketch_range
+                    .map(|s| {
+                        let previous = &masks[s];
+                        (0..n)
+                            .map(|v| {
+                                let mut acc = previous[v];
+                                for &w in g.neighbors(v as u32) {
+                                    acc |= previous[w as usize];
+                                }
+                                acc
+                            })
+                            .collect::<Vec<u64>>()
+                    })
+                    .collect::<Vec<Vec<u64>>>()
+            },
+            |mut acc: Vec<Vec<u64>>, chunk| {
+                acc.extend(chunk);
+                acc
+            },
+            Vec::with_capacity(sketches),
+        );
         let total = estimate_total(&masks).max(previous_total);
         curve.push(total);
         // Stop once the curve has saturated (no growth beyond numerical noise).

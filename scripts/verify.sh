@@ -19,6 +19,13 @@ cargo clippy --offline --all-targets -- -D warnings
 if [[ "${1:-}" == "--quick" ]]; then
     echo "==> bench harness smoke run"
     cargo bench -q --offline -p kronpriv-bench --bench model_kernels -- --quick
+
+    echo "==> kernel micro-benchmark matrix (writes BENCH_kernels.json)"
+    # Machine-readable perf trajectory: one {kernel, nodes, threads, ns_per_op} record per
+    # measurement, so kernel regressions across PRs show up in the checked JSON.
+    cargo bench -q --offline -p kronpriv-bench --bench kernels -- --quick \
+        --json "$PWD/BENCH_kernels.json"
+    test -s BENCH_kernels.json || { echo "BENCH_kernels.json was not written" >&2; exit 1; }
     echo "==> example smoke run"
     cargo run -q --release --offline --example quickstart
 

@@ -1,9 +1,14 @@
 //! `kronpriv-serve` — launch the kronpriv HTTP/JSON service, or probe a running one.
 //!
 //! ```sh
-//! kronpriv-serve [--addr 127.0.0.1:8080] [--workers 4] [--job-workers 2] [--max-order 16]
+//! kronpriv-serve [--addr 127.0.0.1:8080] [--workers 4] [--job-workers 2] \
+//!                [--compute-threads 0] [--max-order 16]
 //! kronpriv-serve --probe 127.0.0.1:8080      # health + tiny end-to-end estimate, then exit
 //! ```
+//!
+//! `--compute-threads N` caps the parallel kernels (triangle count, smooth sensitivity) each
+//! estimation job may use; `0` (the default) means one thread per available hardware thread.
+//! The kernels are deterministic for any thread count, so the flag never changes results.
 //!
 //! With `--addr 127.0.0.1:0` the OS picks an ephemeral port; the first stdout line always
 //! reports the bound address (`listening on http://<addr>`), which is what
@@ -23,7 +28,7 @@ fn main() -> ExitCode {
             eprintln!("kronpriv-serve: {message}");
             eprintln!(
                 "usage: kronpriv-serve [--addr HOST:PORT] [--workers N] [--job-workers N] \
-                 [--max-order K] | --probe HOST:PORT"
+                 [--compute-threads N] [--max-order K] | --probe HOST:PORT"
             );
             ExitCode::from(2)
         }
@@ -50,6 +55,13 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
             }
             "--job-workers" => {
                 config.job_workers = parse_positive(value("--job-workers")?, "--job-workers")?;
+            }
+            "--compute-threads" => {
+                // 0 is meaningful here ("auto"), unlike the worker-count flags.
+                let raw = value("--compute-threads")?;
+                config.compute_threads = raw.parse::<usize>().map_err(|_| {
+                    format!("--compute-threads: expected a non-negative integer, got {raw:?}")
+                })?;
             }
             "--max-order" => {
                 let raw = value("--max-order")?;
@@ -85,12 +97,14 @@ fn parse_positive(raw: &str, flag: &str) -> Result<usize, String> {
 fn run_server(config: ServerConfig) -> ExitCode {
     let workers = config.workers;
     let job_workers = config.job_workers;
+    let compute_threads = config.compute_threads;
     match serve(config) {
         Ok(handle) => {
             println!("listening on http://{}", handle.addr());
             println!(
-                "workers={workers} job-workers={job_workers}; endpoints: GET /healthz, \
-                 POST /api/estimate, GET /api/jobs/{{id}}, POST /api/sample (see API.md)"
+                "workers={workers} job-workers={job_workers} compute-threads={compute_threads} \
+                 (0=auto); endpoints: GET /healthz, POST /api/estimate, GET /api/jobs/{{id}}, \
+                 POST /api/sample (see API.md)"
             );
             handle.wait();
             ExitCode::SUCCESS
