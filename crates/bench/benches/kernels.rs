@@ -1,23 +1,28 @@
 //! The kernel × thread-count micro-benchmark matrix behind `BENCH_kernels.json`.
 //!
 //! Measures the parallelized Algorithm 1 hot paths — triangle counting, the smooth-sensitivity
-//! bound (dominated by the node-partitioned local-sensitivity kernel) and the exact hop plot —
-//! at thread counts {1, 2, 4} on a seeded 2^14-node stochastic Kronecker graph (2^10 under
-//! `--quick`), so the speedup of the parallel layer is measured rather than assumed.
+//! bound (dominated by the node-partitioned local-sensitivity kernel), the exact hop plot, the
+//! multistart moment-matching fit and the isotonic degree post-processing — at thread counts
+//! {1, 2, 4} on a seeded 2^14-node stochastic Kronecker graph (2^10 under `--quick`), so the
+//! speedup of the parallel layer is measured rather than assumed.
 //!
 //! Run with `cargo bench -p kronpriv-bench --bench kernels` (add `-- --quick` for a smoke run).
 //! With `-- --json PATH` the results are also written as machine-readable JSON — one record
 //! `{kernel, nodes, threads, ns_per_op}` per measurement — which is how
-//! `scripts/verify.sh --quick` tracks the perf trajectory across PRs.
+//! `scripts/verify.sh --quick` tracks the perf trajectory across PRs (and what
+//! `bench_check` guards against a committed `BENCH_baseline.json`).
 
 use kronpriv_bench::harness::Harness;
-use kronpriv_dp::smooth_sensitivity_triangles_par;
+use kronpriv_dp::{isotonic_increasing_par, smooth_sensitivity_triangles_par, LaplaceNoise};
+use kronpriv_estimate::MomentObjective;
 use kronpriv_graph::counts::{per_node_triangles_par, triangle_count_par};
+use kronpriv_graph::MatchingStatistics;
+use kronpriv_json::Json;
+use kronpriv_optim::{multistart_minimize_par, Bounds, MultistartOptions};
 use kronpriv_par::Parallelism;
 use kronpriv_skg::sample::{sample_fast, SamplerOptions};
 use kronpriv_skg::Initiator2;
 use kronpriv_stats::exact_hop_plot_par;
-use kronpriv_json::Json;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -28,11 +33,7 @@ const THREADS: [usize; 3] = [1, 2, 4];
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
 
     let mut h = Harness::from_args("kernels");
     // The paper's headline scale is 2^14 nodes; --quick drops to 2^10 so the verify-script
@@ -84,6 +85,39 @@ fn main() {
     for threads in THREADS {
         run(&mut h, &mut records, "exact_hop_plot", small.node_count(), threads, &|par| {
             black_box(exact_hop_plot_par(black_box(&small), par));
+        });
+    }
+
+    // The fitting-stage hot paths (this is where the end-to-end runtime of Algorithm 1 now
+    // goes, the counting kernels being parallel since PR 3). `fit_multistart` is the full
+    // grid-seeded multistart Nelder–Mead on the graph's observed moments.
+    let stats = MatchingStatistics::of_graph(&g);
+    let objective = MomentObjective::standard(&stats, k);
+    let fit_opts = MultistartOptions::default();
+    let fit_bounds = Bounds::unit(3);
+    let extra_starts = vec![vec![0.99, 0.5, 0.2]];
+    for threads in THREADS {
+        run(&mut h, &mut records, "fit_multistart", nodes, threads, &|par| {
+            black_box(multistart_minimize_par(
+                |p| objective.evaluate_params(p),
+                &fit_bounds,
+                &extra_starts,
+                &fit_opts,
+                par,
+            ));
+        });
+    }
+
+    // The isotonic (PAVA) constrained-inference pass of the private degree release, on a
+    // synthetic noisy sorted sequence long enough to span many parallel blocks.
+    let iso_len = if quick { 1 << 13 } else { 1 << 16 };
+    let mut rng = StdRng::seed_from_u64(16);
+    let noise = LaplaceNoise::new(20.0);
+    let noisy: Vec<f64> =
+        (0..iso_len).map(|i| (i as f64).sqrt() + noise.sample(&mut rng)).collect();
+    for threads in THREADS {
+        run(&mut h, &mut records, "isotonic_postprocess", iso_len, threads, &|par| {
+            black_box(isotonic_increasing_par(black_box(&noisy), par));
         });
     }
 

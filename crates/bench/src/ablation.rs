@@ -12,8 +12,8 @@ use kronpriv::experiment::write_json;
 use kronpriv::prelude::*;
 use kronpriv_dp::smooth_sensitivity_triangles;
 use kronpriv_estimate::{DistanceKind, MomentObjective, NormalizationKind};
-use rand::rngs::StdRng;
 use kronpriv_json::impl_json_struct;
+use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// One point of the smooth-sensitivity growth study.
@@ -44,7 +44,10 @@ impl_json_struct!(SmoothSensitivityPoint {
 
 /// A1: smooth sensitivity of the triangle count as a function of SKG size, for the paper's
 /// synthetic initiator.
-pub fn smooth_sensitivity_growth(k_range: std::ops::RangeInclusive<u32>, seed: u64) -> Vec<SmoothSensitivityPoint> {
+pub fn smooth_sensitivity_growth(
+    k_range: std::ops::RangeInclusive<u32>,
+    seed: u64,
+) -> Vec<SmoothSensitivityPoint> {
     let theta = Initiator2::new(0.99, 0.45, 0.25);
     let epsilon_share = 0.1;
     let delta = 0.01;
@@ -153,9 +156,8 @@ pub fn objective_grid(k: u32, seed: u64) -> Vec<ObjectiveGridCell> {
             (NormalizationKind::Expected, "NormE"),
             (NormalizationKind::ExpectedSquared, "NormE2"),
         ] {
-            let objective = MomentObjective::standard(&stats, kk)
-                .with_distance(dist)
-                .with_normalization(norm);
+            let objective =
+                MomentObjective::standard(&stats, kk).with_distance(dist).with_normalization(norm);
             let fit = KronMomEstimator::default().fit_objective(&objective);
             out.push(ObjectiveGridCell {
                 distance: dist_name.to_string(),
@@ -212,10 +214,8 @@ mod tests {
         // makes this a coin flip — the triangle count of an SKG realization is tiny and noisy).
         let cells = objective_grid(12, 4);
         assert_eq!(cells.len(), 8);
-        let default_cell = cells
-            .iter()
-            .find(|c| c.distance == "DistSq" && c.normalization == "NormF2")
-            .unwrap();
+        let default_cell =
+            cells.iter().find(|c| c.distance == "DistSq" && c.normalization == "NormF2").unwrap();
         // The paper's default combination recovers the truth well...
         assert!(default_cell.recovery_error < 0.1, "{default_cell:?}");
         // ...and is no worse than the worst combination by a wide margin (the robustness claim).

@@ -18,7 +18,10 @@ fn main() {
     if which == "smooth-sensitivity" || which == "all" {
         let max_k: u32 = get("--max-k").and_then(|v| v.parse().ok()).unwrap_or(14);
         println!("=== A1: smooth sensitivity of Δ vs SKG size (Θ = [0.99 0.45; 0.45 0.25]) ===");
-        println!("{:>3} {:>8} {:>8} {:>10} {:>6} {:>10}", "k", "nodes", "edges", "triangles", "LS", "SS_β");
+        println!(
+            "{:>3} {:>8} {:>8} {:>10} {:>6} {:>10}",
+            "k", "nodes", "edges", "triangles", "LS", "SS_β"
+        );
         for p in smooth_sensitivity_growth(8..=max_k, 1) {
             println!(
                 "{:>3} {:>8} {:>8} {:>10.0} {:>6} {:>10.2}",

@@ -36,11 +36,7 @@ fn main() {
             "network {} ({}): estimates {:?}",
             result.network,
             if result.real_data { "real data" } else { "stand-in" },
-            result
-                .estimates
-                .iter()
-                .map(|(l, t)| format!("{l}: {t}"))
-                .collect::<Vec<_>>()
+            result.estimates.iter().map(|(l, t)| format!("{l}: {t}")).collect::<Vec<_>>()
         );
         println!("panel comparisons against the original:");
         for cmp in &result.comparisons {

@@ -6,8 +6,8 @@
 use crate::{kronfit_options, paper_budget, profile_options};
 use kronpriv::experiment::{write_json, write_series};
 use kronpriv::prelude::*;
-use rand::rngs::StdRng;
 use kronpriv_json::impl_json_struct;
+use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
 
@@ -101,8 +101,7 @@ impl_json_struct!(FigureResult {
 pub fn run_figure(figure: u32, options: &FigureOptions) -> FigureResult {
     let dataset = dataset_for_figure(figure)
         .unwrap_or_else(|| panic!("figure number must be 1-4, got {figure}"));
-    let (original, real_data) =
-        dataset.load_or_generate(options.data_dir.as_deref(), options.seed);
+    let (original, real_data) = dataset.load_or_generate(options.data_dir.as_deref(), options.seed);
     let mut rng = StdRng::seed_from_u64(options.seed ^ (figure as u64) << 8);
 
     // Fit the three estimators.
@@ -186,19 +185,12 @@ fn write_figure_outputs(result: &FigureResult) {
             .collect();
         let _ = write_series(&experiment, &format!("{tag}_hopplot"), "hops\tpairs", &hop);
         // (b) degree distribution
-        let deg: Vec<(f64, f64)> = profile
-            .degree_distribution
-            .iter()
-            .map(|p| (p.degree as f64, p.count as f64))
-            .collect();
+        let deg: Vec<(f64, f64)> =
+            profile.degree_distribution.iter().map(|p| (p.degree as f64, p.count as f64)).collect();
         let _ = write_series(&experiment, &format!("{tag}_degree"), "degree\tcount", &deg);
         // (c) scree plot
-        let scree: Vec<(f64, f64)> = profile
-            .scree
-            .iter()
-            .enumerate()
-            .map(|(rank, &sv)| ((rank + 1) as f64, sv))
-            .collect();
+        let scree: Vec<(f64, f64)> =
+            profile.scree.iter().enumerate().map(|(rank, &sv)| ((rank + 1) as f64, sv)).collect();
         let _ = write_series(&experiment, &format!("{tag}_scree"), "rank\tsingular value", &scree);
         // (d) network value
         let nv: Vec<(f64, f64)> = profile
@@ -214,7 +206,8 @@ fn write_figure_outputs(result: &FigureResult) {
             .iter()
             .map(|p| (p.degree as f64, p.average_clustering))
             .collect();
-        let _ = write_series(&experiment, &format!("{tag}_clustering"), "degree\tavg clustering", &cc);
+        let _ =
+            write_series(&experiment, &format!("{tag}_clustering"), "degree\tavg clustering", &cc);
     }
 }
 
@@ -235,12 +228,8 @@ mod tests {
     fn quick_figure_two_produces_all_panels() {
         // AS20 is the smallest stand-in; run the full figure pipeline in quick mode and check
         // every series exists and the private synthetic tracks the original's shape.
-        let options = FigureOptions {
-            quick: true,
-            expected_realizations: 2,
-            seed: 5,
-            data_dir: None,
-        };
+        let options =
+            FigureOptions { quick: true, expected_realizations: 2, seed: 5, data_dir: None };
         let result = run_figure(2, &options);
         assert_eq!(result.network, "AS20");
         assert_eq!(result.profiles.len(), 4);
@@ -254,8 +243,7 @@ mod tests {
         }
         // The private synthetic graph's degree distribution should stay close to the original's
         // (the paper's Figure 2(b) claim).
-        let private_cmp =
-            result.comparisons.iter().find(|c| c.candidate == "Private").unwrap();
+        let private_cmp = result.comparisons.iter().find(|c| c.candidate == "Private").unwrap();
         assert!(
             private_cmp.degree_distribution_distance < 0.3,
             "degree KS distance {}",

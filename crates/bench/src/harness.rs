@@ -104,8 +104,8 @@ impl Harness {
         }
         per_iteration.sort_unstable();
 
-        let mean_nanos =
-            per_iteration.iter().map(Duration::as_nanos).sum::<u128>() / per_iteration.len() as u128;
+        let mean_nanos = per_iteration.iter().map(Duration::as_nanos).sum::<u128>()
+            / per_iteration.len() as u128;
         let result = BenchResult {
             name: name.to_string(),
             samples: per_iteration.len(),

@@ -5,8 +5,8 @@ use crate::{format_theta, kronfit_options, paper_budget};
 use kronpriv::experiment::{render_table, write_json};
 use kronpriv::prelude::*;
 use kronpriv_datasets::Table1Row;
-use rand::rngs::StdRng;
 use kronpriv_json::impl_to_json_struct;
+use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
 
@@ -83,8 +83,7 @@ pub fn run_table1(options: &Table1Options) -> Vec<MeasuredRow> {
         let mut sum = [0.0f64; 3];
         for rep in 0..reps {
             let mut noise_rng = StdRng::seed_from_u64(options.seed + 7 * rep as u64 + 1);
-            let est =
-                PrivateEstimator::default().fit(&graph, paper_budget(), &mut noise_rng);
+            let est = PrivateEstimator::default().fit(&graph, paper_budget(), &mut noise_rng);
             let arr = est.fit.theta.as_array();
             for i in 0..3 {
                 sum[i] += arr[i] / reps as f64;
@@ -136,7 +135,9 @@ pub fn report_table1(rows: &[MeasuredRow]) -> String {
         })
         .collect();
     let mut out = render_table(&header, &body);
-    out.push_str("\n(*) documented stand-in generated from the paper's Table 1 parameters; see DESIGN.md.\n");
+    out.push_str(
+        "\n(*) documented stand-in generated from the paper's Table 1 parameters; see DESIGN.md.\n",
+    );
     if let Ok(path) = write_json("table1", "measured", &rows.to_vec()) {
         out.push_str(&format!("structured results written to {}\n", path.display()));
     }
@@ -169,8 +170,7 @@ mod tests {
         // EXPERIMENTS.md and asserted only as a loose sanity band (the third direction is close
         // to unidentifiable without triangles, which is precisely why Algorithm 1 releases Δ̃).
         for row in &rows {
-            let row_sum_gap = ((row.private.a + row.private.b)
-                - (row.kronmom.a + row.kronmom.b))
+            let row_sum_gap = ((row.private.a + row.private.b) - (row.kronmom.a + row.kronmom.b))
                 .abs()
                 .max(((row.private.b + row.private.c) - (row.kronmom.b + row.kronmom.c)).abs());
             assert!(

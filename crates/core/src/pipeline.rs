@@ -7,9 +7,9 @@ use kronpriv_estimate::{
     PrivateEstimate, PrivateEstimator, PrivateEstimatorOptions,
 };
 use kronpriv_graph::Graph;
+use kronpriv_json::impl_json_struct;
 use kronpriv_skg::sample::{sample_fast, SamplerOptions};
 use rand::Rng;
-use kronpriv_json::impl_json_struct;
 
 /// A pipeline precondition violation, reported instead of a worker-thread panic.
 ///

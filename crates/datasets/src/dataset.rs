@@ -9,11 +9,11 @@
 use crate::table1::{paper_table1, synthetic_source_parameters, Table1Row};
 use kronpriv_graph::io::read_edge_list;
 use kronpriv_graph::Graph;
+use kronpriv_json::{impl_json_enum, impl_to_json_struct};
 use kronpriv_skg::sample::{sample_fast, SamplerOptions};
 use kronpriv_skg::Initiator2;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use kronpriv_json::{impl_json_enum, impl_to_json_struct};
 use std::path::Path;
 
 /// The four evaluation graphs of the paper.

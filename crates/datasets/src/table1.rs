@@ -6,8 +6,8 @@
 //! benchmark harness prints next to the values measured by this reproduction (EXPERIMENTS.md
 //! records both).
 
-use kronpriv_skg::Initiator2;
 use kronpriv_json::impl_to_json_struct;
+use kronpriv_skg::Initiator2;
 
 /// One row of the paper's Table 1.
 #[derive(Debug, Clone, PartialEq)]

@@ -16,12 +16,18 @@
 use crate::budget::PrivacyParams;
 use crate::laplace::LaplaceNoise;
 use kronpriv_graph::Graph;
-use kronpriv_linalg::isotonic_increasing;
 use kronpriv_json::impl_json_struct;
+use kronpriv_linalg::{isotonic_increasing, IsotonicBlocks};
+use kronpriv_par::Parallelism;
 use rand::Rng;
 
 /// Global sensitivity of the sorted degree sequence under addition/removal of one edge.
 pub const DEGREE_SEQUENCE_SENSITIVITY: f64 = 2.0;
+
+/// Fixed block length of the parallel PAVA pass. Like every `kronpriv-par` kernel the chunk
+/// boundaries depend only on the input length — never on the thread count — so the projection
+/// is byte-identical for 1 thread and for 64.
+const ISOTONIC_CHUNK: usize = 1024;
 
 /// The output of the private degree-sequence mechanism.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,12 +65,7 @@ impl PrivateDegreeSequence {
     /// the accuracy experiments.
     pub fn l2_error(&self, reference: &[f64]) -> f64 {
         assert_eq!(self.degrees.len(), reference.len(), "length mismatch");
-        self.degrees
-            .iter()
-            .zip(reference)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.degrees.iter().zip(reference).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 }
 
@@ -93,6 +94,58 @@ pub fn private_degree_sequence_from_sorted<R: Rng + ?Sized>(
     let noise = LaplaceNoise::new(DEGREE_SEQUENCE_SENSITIVITY / params.epsilon);
     let noisy: Vec<f64> = sorted_degrees.iter().map(|&d| d + noise.sample(rng)).collect();
     let fitted = isotonic_increasing(&noisy);
+    PrivateDegreeSequence { degrees: fitted, noisy_degrees: noisy, params }
+}
+
+/// The block-parallel constrained-inference pass: the same L2 projection onto the monotone cone
+/// as [`isotonic_increasing`], decomposed over fixed [`ISOTONIC_CHUNK`]-length blocks. Each
+/// block's PAVA solution is computed independently (the independent descending runs inside a
+/// block never interact with other blocks until the merge) and the per-block
+/// [`IsotonicBlocks`] stacks are merged **in index order** on the calling thread, pooling only
+/// at the seams.
+///
+/// Byte-identical for every thread count (fixed chunk boundaries, chunk-order merge). Against
+/// the element-at-a-time [`isotonic_increasing`] pass the result can differ by float
+/// associativity in the pooled means (last ulp) — the regression tests pin the two to an
+/// `1e-9` band — because pooling across a seam adds pre-pooled block sums instead of summing
+/// the elements one at a time.
+pub fn isotonic_increasing_par(values: &[f64], par: Parallelism) -> Vec<f64> {
+    par.map_reduce(
+        values.len(),
+        ISOTONIC_CHUNK,
+        |range| IsotonicBlocks::of(&values[range]),
+        |acc: IsotonicBlocks, blocks| acc.merge(blocks),
+        IsotonicBlocks::new(),
+    )
+    .expand()
+}
+
+/// Parallel form of [`private_degree_sequence`]: identical mechanism and privacy accounting,
+/// with the isotonic post-processing running on `par` threads via [`isotonic_increasing_par`].
+/// The release is a pure function of `(graph, params, rng)` — the thread count never changes
+/// the output. This is the form Algorithm 1's estimator calls.
+pub fn private_degree_sequence_par<R: Rng + ?Sized>(
+    g: &Graph,
+    params: PrivacyParams,
+    rng: &mut R,
+    par: Parallelism,
+) -> PrivateDegreeSequence {
+    let mut sorted: Vec<f64> = g.degrees().iter().map(|&d| d as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    private_degree_sequence_from_sorted_par(&sorted, params, rng, par)
+}
+
+/// Parallel form of [`private_degree_sequence_from_sorted`]; see
+/// [`private_degree_sequence_par`].
+pub fn private_degree_sequence_from_sorted_par<R: Rng + ?Sized>(
+    sorted_degrees: &[f64],
+    params: PrivacyParams,
+    rng: &mut R,
+    par: Parallelism,
+) -> PrivateDegreeSequence {
+    let noise = LaplaceNoise::new(DEGREE_SEQUENCE_SENSITIVITY / params.epsilon);
+    let noisy: Vec<f64> = sorted_degrees.iter().map(|&d| d + noise.sample(rng)).collect();
+    let fitted = isotonic_increasing_par(&noisy, par);
     PrivateDegreeSequence { degrees: fitted, noisy_degrees: noisy, params }
 }
 
@@ -189,8 +242,7 @@ mod tests {
         // deterministic formulas of Fact 4.6.
         let sorted = vec![1.0, 1.0, 2.0, 3.0, 5.0];
         let mut rng = StdRng::seed_from_u64(9);
-        let rel =
-            private_degree_sequence_from_sorted(&sorted, PrivacyParams::pure(1e12), &mut rng);
+        let rel = private_degree_sequence_from_sorted(&sorted, PrivacyParams::pure(1e12), &mut rng);
         assert!((rel.edge_count() - 6.0).abs() < 1e-6);
         // H = 0.5 * (0 + 0 + 2 + 6 + 20) = 14, T = (0 + 0 + 0 + 6 + 60)/6 = 11.
         assert!((rel.hairpin_count() - 14.0).abs() < 1e-6);
@@ -222,9 +274,67 @@ mod tests {
     #[test]
     fn release_is_reproducible_given_a_seed() {
         let g = star(20);
-        let a = private_degree_sequence(&g, PrivacyParams::pure(0.5), &mut StdRng::seed_from_u64(42));
-        let b = private_degree_sequence(&g, PrivacyParams::pure(0.5), &mut StdRng::seed_from_u64(42));
+        let a =
+            private_degree_sequence(&g, PrivacyParams::pure(0.5), &mut StdRng::seed_from_u64(42));
+        let b =
+            private_degree_sequence(&g, PrivacyParams::pure(0.5), &mut StdRng::seed_from_u64(42));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_isotonic_matches_the_sequential_reference() {
+        // The block-parallel pass must reproduce the element-at-a-time projection up to float
+        // associativity, on inputs long enough to span several chunks with pooled runs crossing
+        // the chunk seams.
+        let mut rng = StdRng::seed_from_u64(11);
+        let noise = LaplaceNoise::new(20.0);
+        let noisy: Vec<f64> = (0..5 * ISOTONIC_CHUNK + 37)
+            .map(|i| (i as f64).sqrt() + noise.sample(&mut rng))
+            .collect();
+        let reference = isotonic_increasing(&noisy);
+        let par = isotonic_increasing_par(&noisy, Parallelism::new(4));
+        assert_eq!(par.len(), reference.len());
+        assert!(par.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        for (i, (a, b)) in par.iter().zip(&reference).enumerate() {
+            assert!((a - b).abs() < 1e-9, "index {i}: parallel {a} vs sequential {b}");
+        }
+        // The projection preserves the sum whichever way it is computed.
+        assert!((par.iter().sum::<f64>() - noisy.iter().sum::<f64>()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_isotonic_is_bit_identical_for_all_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let noise = LaplaceNoise::new(5.0);
+        let noisy: Vec<f64> =
+            (0..6000).map(|i| (i as f64) * 0.01 + noise.sample(&mut rng)).collect();
+        let reference = isotonic_increasing_par(&noisy, Parallelism::sequential());
+        for threads in [2usize, 8] {
+            let got = isotonic_increasing_par(&noisy, Parallelism::new(threads));
+            assert_eq!(got.len(), reference.len());
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_release_is_invariant_under_the_thread_knob() {
+        let g = preferential_attachment(3000, 3, &mut StdRng::seed_from_u64(13));
+        let release = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(14);
+            private_degree_sequence_par(
+                &g,
+                PrivacyParams::pure(0.1),
+                &mut rng,
+                Parallelism::new(threads),
+            )
+        };
+        let reference = release(1);
+        assert!(reference.degrees.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        for threads in [2usize, 8] {
+            assert_eq!(release(threads), reference, "threads {threads}");
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@ impl LaplaceNoise {
     /// Panics if the scale is negative or not finite. A zero scale is permitted and produces a
     /// point mass at zero, which is convenient for "no-noise" baselines in ablations.
     pub fn new(scale: f64) -> Self {
-        assert!(scale.is_finite() && scale >= 0.0, "Laplace scale must be non-negative, got {scale}");
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "Laplace scale must be non-negative, got {scale}"
+        );
         LaplaceNoise { scale }
     }
 
@@ -163,8 +166,7 @@ mod tests {
         let noisy = laplace_mechanism(&answers, 2.0, 0.5, &mut rng);
         // Noise scale should be 4.0, so variance 32.
         let residuals: Vec<f64> = noisy.iter().map(|x| x - 100.0).collect();
-        let var: f64 =
-            residuals.iter().map(|x| x * x).sum::<f64>() / residuals.len() as f64;
+        let var: f64 = residuals.iter().map(|x| x * x).sum::<f64>() / residuals.len() as f64;
         assert!((var - 32.0).abs() / 32.0 < 0.1, "var {var}");
     }
 

@@ -25,13 +25,11 @@
 
 use crate::budget::PrivacyParams;
 use crate::laplace::LaplaceNoise;
-use kronpriv_graph::counts::{
-    common_neighbor_count, exclusive_neighbor_count, triangle_count_par,
-};
+use kronpriv_graph::counts::{common_neighbor_count, exclusive_neighbor_count, triangle_count_par};
 use kronpriv_graph::Graph;
+use kronpriv_json::impl_json_struct;
 use kronpriv_par::Parallelism;
 use rand::Rng;
-use kronpriv_json::impl_json_struct;
 
 /// Left endpoints (`i` below) per work chunk for the node-partitioned local-sensitivity kernel.
 /// Fixed — never derived from the thread count — so the `max`-merge is over the same chunk set

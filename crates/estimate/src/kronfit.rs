@@ -19,9 +19,9 @@
 
 use crate::{kronecker_order_for, FittedInitiator};
 use kronpriv_graph::Graph;
+use kronpriv_json::impl_json_struct;
 use kronpriv_skg::Initiator2;
 use rand::Rng;
-use kronpriv_json::impl_json_struct;
 
 /// Options for the KronFit estimator.
 #[derive(Debug, Clone, Copy)]
@@ -195,17 +195,14 @@ impl KronFitEstimator {
             for i in 0..3 {
                 params[i] += radius * gradient[i] / max_component;
             }
-            theta = clamp_theta(&Initiator2::clamped(params[0], params[1], params[2]),
-                                self.options.min_parameter);
+            theta = clamp_theta(
+                &Initiator2::clamped(params[0], params[1], params[2]),
+                self.options.min_parameter,
+            );
         }
 
         let final_ll = self.log_likelihood(g, &theta, k, &assignment);
-        FittedInitiator {
-            theta: theta.canonicalized(),
-            k,
-            objective_value: -final_ll,
-            evaluations,
-        }
+        FittedInitiator { theta: theta.canonicalized(), k, objective_value: -final_ll, evaluations }
     }
 
     /// Approximate log-likelihood of `g` under `theta` for the current assignment.
@@ -385,18 +382,8 @@ mod tests {
             let mut minus = theta.as_array();
             plus[i] += h;
             minus[i] -= h;
-            let ll_plus = estimator.log_likelihood(
-                &g,
-                &Initiator2::from_array(plus),
-                7,
-                &asg,
-            );
-            let ll_minus = estimator.log_likelihood(
-                &g,
-                &Initiator2::from_array(minus),
-                7,
-                &asg,
-            );
+            let ll_plus = estimator.log_likelihood(&g, &Initiator2::from_array(plus), 7, &asg);
+            let ll_minus = estimator.log_likelihood(&g, &Initiator2::from_array(minus), 7, &asg);
             let numerical = (ll_plus - ll_minus) / (2.0 * h);
             let rel = (grad[i] - numerical).abs() / numerical.abs().max(1.0);
             assert!(rel < 1e-3, "component {i}: analytic {} numeric {numerical}", grad[i]);
@@ -436,8 +423,7 @@ mod tests {
         let estimator = KronFitEstimator::default();
         let theta = Initiator2::new(0.9, 0.5, 0.2);
         let n_padded = 1 << 8;
-        let identity_ll =
-            estimator.log_likelihood(&g, &theta, 8, &Assignment::identity(n_padded));
+        let identity_ll = estimator.log_likelihood(&g, &theta, 8, &Assignment::identity(n_padded));
         let mut asg = Assignment::identity(n_padded);
         // Scramble with a fixed pseudo-random pass of transpositions.
         for i in 0..n_padded {

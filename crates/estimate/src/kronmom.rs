@@ -9,9 +9,10 @@
 use crate::objective::MomentObjective;
 use crate::{kronecker_order_for, FittedInitiator};
 use kronpriv_graph::{Graph, MatchingStatistics};
-use kronpriv_optim::{multistart_minimize, Bounds, MultistartOptions, NelderMeadOptions};
+use kronpriv_json::impl_json_struct_with_defaults;
+use kronpriv_optim::{multistart_minimize_par, Bounds, MultistartOptions, NelderMeadOptions};
+use kronpriv_par::Parallelism;
 use kronpriv_skg::Initiator2;
-use kronpriv_json::impl_json_struct;
 
 /// Options for the KronMom fit.
 #[derive(Debug, Clone, Copy)]
@@ -22,13 +23,37 @@ pub struct KronMomOptions {
     pub refine_top: usize,
     /// Maximum objective evaluations per Nelder–Mead run.
     pub max_evaluations: usize,
+    /// Compute threads for the parallel fitting stage (grid scan + Nelder–Mead restarts);
+    /// `0` means one thread per available hardware thread. The parallel optimiser is
+    /// bit-identical for every thread count, so this is purely a performance knob. When the fit
+    /// runs inside `PrivateEstimator`, that estimator's own `compute_threads` governs the whole
+    /// pipeline and overrides this field.
+    pub compute_threads: usize,
 }
 
-impl_json_struct!(KronMomOptions { grid_points_per_axis, refine_top, max_evaluations });
+// `compute_threads` may be *omitted* by older clients — absent means 0 ("auto") — while the
+// pre-existing fields stay required. Same wire-compatibility treatment as
+// `PrivateEstimatorOptions`.
+impl_json_struct_with_defaults!(KronMomOptions {
+    required: { grid_points_per_axis, refine_top, max_evaluations },
+    defaults: { compute_threads: 0 },
+});
 
 impl Default for KronMomOptions {
     fn default() -> Self {
-        KronMomOptions { grid_points_per_axis: 7, refine_top: 5, max_evaluations: 4000 }
+        KronMomOptions {
+            grid_points_per_axis: 7,
+            refine_top: 5,
+            max_evaluations: 4000,
+            compute_threads: 0,
+        }
+    }
+}
+
+impl KronMomOptions {
+    /// The resolved [`Parallelism`] for the fitting stage (`0` ⇒ auto).
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism::new(self.compute_threads)
     }
 }
 
@@ -73,8 +98,17 @@ impl KronMomEstimator {
         // Extra start: a "typical" real-network corner (high a, moderate b, low c), which is
         // where all of the paper's fits land; cheap insurance against a coarse grid.
         let extra = vec![vec![0.99, 0.5, 0.2]];
-        let result =
-            multistart_minimize(|p| objective.evaluate_params(p), &bounds, &extra, &opts);
+        // The objective moves behind an `Arc` so the per-restart workers of the parallel
+        // multistart share the observed statistics without copying or locking; the optimiser
+        // is bit-identical for every thread count, so `compute_threads` never changes the fit.
+        let shared = objective.clone().into_shared();
+        let result = multistart_minimize_par(
+            move |p| shared.evaluate_params(p),
+            &bounds,
+            &extra,
+            &opts,
+            self.options.parallelism(),
+        );
         let theta =
             Initiator2::clamped(result.point[0], result.point[1], result.point[2]).canonicalized();
         FittedInitiator {
@@ -156,15 +190,10 @@ mod tests {
             (DistanceKind::Squared, NormalizationKind::Expected),
             (DistanceKind::Absolute, NormalizationKind::Observed),
         ] {
-            let objective = MomentObjective::standard(&stats, k)
-                .with_distance(dist)
-                .with_normalization(norm);
+            let objective =
+                MomentObjective::standard(&stats, k).with_distance(dist).with_normalization(norm);
             let fit = KronMomEstimator::default().fit_objective(&objective);
-            assert!(
-                fit.theta.distance(&truth) < 0.05,
-                "{dist:?}/{norm:?} -> {:?}",
-                fit.theta
-            );
+            assert!(fit.theta.distance(&truth) < 0.05, "{dist:?}/{norm:?} -> {:?}", fit.theta);
         }
     }
 
@@ -181,5 +210,46 @@ mod tests {
         let truth = Initiator2::new(0.9, 0.4, 0.2);
         let fit = KronMomEstimator::default().fit_statistics(&stats_from_moments(&truth, 10), 10);
         assert!(fit.evaluations > 7 * 7 * 7, "at least the seeding grid must be counted");
+    }
+
+    #[test]
+    fn fit_is_bit_identical_for_all_thread_counts() {
+        // The fitting stage must honour the same contract as the counting kernels: the thread
+        // knob is purely a performance control.
+        let truth = Initiator2::new(0.99, 0.45, 0.25);
+        let stats = stats_from_moments(&truth, 12);
+        let fit_with = |threads: usize| {
+            let options = KronMomOptions { compute_threads: threads, ..Default::default() };
+            KronMomEstimator::new(options).fit_statistics(&stats, 12)
+        };
+        let reference = fit_with(1);
+        for threads in [2usize, 8] {
+            let fit = fit_with(threads);
+            assert_eq!(fit.theta.a.to_bits(), reference.theta.a.to_bits(), "threads {threads}");
+            assert_eq!(fit.theta.b.to_bits(), reference.theta.b.to_bits(), "threads {threads}");
+            assert_eq!(fit.theta.c.to_bits(), reference.theta.c.to_bits(), "threads {threads}");
+            assert_eq!(
+                fit.objective_value.to_bits(),
+                reference.objective_value.to_bits(),
+                "threads {threads}"
+            );
+            assert_eq!(fit.evaluations, reference.evaluations, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn options_json_defaults_compute_threads_when_omitted() {
+        let options = KronMomOptions { compute_threads: 5, ..Default::default() };
+        let text = kronpriv_json::to_string(&options);
+        assert!(text.contains("\"compute_threads\":5"), "{text}");
+        let back: KronMomOptions = kronpriv_json::from_str(&text).unwrap();
+        assert_eq!(back.compute_threads, 5);
+        // Back-compat: a pre-parallel-fitting options document still parses, defaulting to 0.
+        let legacy = text.replace(",\"compute_threads\":5", "");
+        let back: KronMomOptions = kronpriv_json::from_str(&legacy).unwrap();
+        assert_eq!(back.compute_threads, 0);
+        // The pre-existing fields remain required.
+        let missing = legacy.replace("\"refine_top\":5,", "");
+        assert!(kronpriv_json::from_str::<KronMomOptions>(&missing).is_err());
     }
 }

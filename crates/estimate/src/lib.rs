@@ -24,7 +24,7 @@ pub mod private;
 
 pub use kronfit::{KronFitEstimator, KronFitOptions};
 pub use kronmom::{KronMomEstimator, KronMomOptions};
-pub use objective::{DistanceKind, MomentObjective, NormalizationKind};
+pub use objective::{DistanceKind, MomentObjective, NormalizationKind, SharedMomentObjective};
 pub use private::{PrivateEstimate, PrivateEstimator, PrivateEstimatorOptions};
 
 use kronpriv_json::impl_json_struct;

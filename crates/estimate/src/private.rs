@@ -16,13 +16,13 @@ use crate::kronmom::{KronMomEstimator, KronMomOptions};
 use crate::objective::{FeatureSelection, MomentObjective};
 use crate::{kronecker_order_for, FittedInitiator};
 use kronpriv_dp::{
-    private_degree_sequence, private_triangle_count_par, PrivacyParams, PrivateDegreeSequence,
+    private_degree_sequence_par, private_triangle_count_par, PrivacyParams, PrivateDegreeSequence,
     PrivateTriangleCount,
 };
 use kronpriv_graph::Graph;
+use kronpriv_json::{impl_json_struct, impl_json_struct_with_defaults};
 use kronpriv_par::Parallelism;
 use rand::Rng;
-use kronpriv_json::{impl_json_struct, FromJson, Json, JsonParseError, ToJson};
 
 /// Options for the private estimator.
 #[derive(Debug, Clone, Copy)]
@@ -47,52 +47,30 @@ pub struct PrivateEstimatorOptions {
     /// deployments that need the feature-selection *decision* itself to be data-independent can
     /// set the threshold to `0.0` (always keep a positive `Δ̃`) or use `degrees_only`.
     pub triangle_signal_threshold: f64,
-    /// Compute threads for the parallelized kernels (triangle count, smooth sensitivity);
-    /// `0` means one thread per available hardware thread. The kernels are deterministic for
-    /// any thread count (see `kronpriv-par`), so this is purely a performance knob: the fitted
-    /// estimate is byte-identical whatever the value.
+    /// Compute threads for the parallelized stages — the counting kernels (triangle count,
+    /// smooth sensitivity), the isotonic degree post-processing, and the moment-matching fit
+    /// (grid scan + Nelder–Mead restarts); `0` means one thread per available hardware thread.
+    /// Every stage is deterministic for any thread count (see `kronpriv-par`), so this is
+    /// purely a performance knob: the fitted estimate is byte-identical whatever the value.
+    /// This pipeline-level knob overrides `kronmom.compute_threads`, so one setting governs
+    /// Algorithm 1 end to end.
     pub compute_threads: usize,
     /// Options forwarded to the KronMom minimisation.
     pub kronmom: KronMomOptions,
 }
 
-// Hand-rolled (rather than `impl_json_struct!`) so `compute_threads` may be *omitted* by older
-// clients — absent means 0 ("auto") — while the pre-existing fields stay required.
-impl ToJson for PrivateEstimatorOptions {
-    fn to_json(&self) -> Json {
-        Json::Object(vec![
-            ("degree_budget_fraction".to_string(), self.degree_budget_fraction.to_json()),
-            ("exact_smooth_sensitivity".to_string(), self.exact_smooth_sensitivity.to_json()),
-            ("degrees_only".to_string(), self.degrees_only.to_json()),
-            ("triangle_signal_threshold".to_string(), self.triangle_signal_threshold.to_json()),
-            ("compute_threads".to_string(), self.compute_threads.to_json()),
-            ("kronmom".to_string(), self.kronmom.to_json()),
-        ])
-    }
-}
-
-impl FromJson for PrivateEstimatorOptions {
-    fn from_json(value: &Json) -> Result<Self, JsonParseError> {
-        let required = |field: &'static str| {
-            value
-                .get(field)
-                .ok_or_else(|| JsonParseError::missing_field("PrivateEstimatorOptions", field))
-        };
-        Ok(PrivateEstimatorOptions {
-            degree_budget_fraction: FromJson::from_json(required("degree_budget_fraction")?)?,
-            exact_smooth_sensitivity: FromJson::from_json(required("exact_smooth_sensitivity")?)?,
-            degrees_only: FromJson::from_json(required("degrees_only")?)?,
-            triangle_signal_threshold: FromJson::from_json(
-                required("triangle_signal_threshold")?,
-            )?,
-            compute_threads: match value.get("compute_threads") {
-                Some(raw) => FromJson::from_json(raw)?,
-                None => 0,
-            },
-            kronmom: FromJson::from_json(required("kronmom")?)?,
-        })
-    }
-}
+// `compute_threads` may be *omitted* by older clients — absent means 0 ("auto") — while the
+// pre-existing fields stay required (defaulted fields serialize after the required ones).
+impl_json_struct_with_defaults!(PrivateEstimatorOptions {
+    required: {
+        degree_budget_fraction,
+        exact_smooth_sensitivity,
+        degrees_only,
+        triangle_signal_threshold,
+        kronmom,
+    },
+    defaults: { compute_threads: 0 },
+});
 
 impl Default for PrivateEstimatorOptions {
     fn default() -> Self {
@@ -162,16 +140,21 @@ impl PrivateEstimator {
         rng: &mut R,
     ) -> PrivateEstimate {
         let frac = self.options.degree_budget_fraction;
-        assert!(
-            frac > 0.0 && frac < 1.0,
-            "degree_budget_fraction must be in (0,1), got {frac}"
-        );
+        assert!(frac > 0.0 && frac < 1.0, "degree_budget_fraction must be in (0,1), got {frac}");
         let k = kronecker_order_for(g.node_count());
-        let kronmom = KronMomEstimator::new(self.options.kronmom);
+        let par = self.options.parallelism();
+        // One knob governs the whole pipeline: the estimator-level thread count is threaded
+        // into the fitting stage too (every stage is thread-count-deterministic, so this only
+        // affects speed).
+        let kronmom = KronMomEstimator::new(KronMomOptions {
+            compute_threads: self.options.compute_threads,
+            ..self.options.kronmom
+        });
 
         if self.options.degrees_only {
             // Spend everything on the degree sequence and drop Δ from the objective.
-            let degree_release = private_degree_sequence(g, PrivacyParams::pure(params.epsilon), rng);
+            let degree_release =
+                private_degree_sequence_par(g, PrivacyParams::pure(params.epsilon), rng, par);
             let observed = [
                 degree_release.edge_count(),
                 degree_release.hairpin_count(),
@@ -190,9 +173,10 @@ impl PrivateEstimator {
             };
         }
 
-        // Step 2: (ε·frac, 0)-DP degree sequence.
+        // Step 2: (ε·frac, 0)-DP degree sequence, with the isotonic post-processing running on
+        // the parallel executor (thread-count-deterministic like every other stage).
         let degree_budget = PrivacyParams::pure(params.epsilon * frac);
-        let degree_release = private_degree_sequence(g, degree_budget, rng);
+        let degree_release = private_degree_sequence_par(g, degree_budget, rng, par);
 
         // Step 5: (ε·(1-frac), δ)-DP triangle count. The parallel kernels are deterministic
         // for any thread count, so the release is a pure function of (graph, budget, rng).
@@ -202,7 +186,7 @@ impl PrivateEstimator {
             triangle_budget,
             self.options.exact_smooth_sensitivity,
             rng,
-            self.options.parallelism(),
+            par,
         );
 
         // Step 6: moment matching on the private statistics. Negative noisy counts are clamped
@@ -362,8 +346,8 @@ mod tests {
         let back: PrivateEstimatorOptions = kronpriv_json::from_str(&text).unwrap();
         assert_eq!(back.compute_threads, 3);
         // Back-compat: a pre-parallel-layer options document (no compute_threads) still parses,
-        // defaulting to 0 ("auto").
-        let legacy = text.replace("\"compute_threads\":3,", "");
+        // defaulting to 0 ("auto"). Defaulted fields serialize last, hence the leading comma.
+        let legacy = text.replace(",\"compute_threads\":3", "");
         let back: PrivateEstimatorOptions = kronpriv_json::from_str(&legacy).unwrap();
         assert_eq!(back.compute_threads, 0);
         // Required fields are still required.

@@ -118,10 +118,7 @@ pub fn triangle_count_par(g: &Graph, par: Parallelism) -> u64 {
         edges.len(),
         EDGE_CHUNK,
         |range| {
-            edges[range]
-                .iter()
-                .map(|&(u, v)| count_common_neighbors_above(g, u, v, v))
-                .sum::<u64>()
+            edges[range].iter().map(|&(u, v)| count_common_neighbors_above(g, u, v, v)).sum::<u64>()
         },
         |acc: u64, partial| acc + partial,
         0,

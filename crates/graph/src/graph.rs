@@ -132,8 +132,7 @@ impl Graph {
     /// Returns a copy of the graph with the undirected edge `{u, v}` removed (no-op if absent).
     pub fn with_edge_removed(&self, u: u32, v: u32) -> Graph {
         let key = (u.min(v), u.max(v));
-        let edges: Vec<(u32, u32)> =
-            self.edges.iter().copied().filter(|&e| e != key).collect();
+        let edges: Vec<(u32, u32)> = self.edges.iter().copied().filter(|&e| e != key).collect();
         Graph::from_edges(self.node_count(), edges)
     }
 }

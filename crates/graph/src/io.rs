@@ -199,10 +199,7 @@ mod tests {
         b.sort_unstable();
         // The isolated-node caveat: nodes with no edges never appear in the output.
         assert_eq!(a.iter().filter(|&&d| d > 0).count(), b.len());
-        assert_eq!(
-            a.into_iter().filter(|&d| d > 0).collect::<Vec<_>>(),
-            b
-        );
+        assert_eq!(a.into_iter().filter(|&d| d > 0).collect::<Vec<_>>(), b);
     }
 
     #[test]

@@ -225,10 +225,9 @@ impl<V: ToJson> ToJson for BTreeMap<String, V> {
 impl<V: FromJson> FromJson for BTreeMap<String, V> {
     fn from_json(value: &Json) -> Result<Self, JsonParseError> {
         match value {
-            Json::Object(fields) => fields
-                .iter()
-                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
-                .collect(),
+            Json::Object(fields) => {
+                fields.iter().map(|(k, v)| Ok((k.clone(), V::from_json(v)?))).collect()
+            }
             other => Err(JsonParseError::unexpected("object", &other.to_compact_string())),
         }
     }

@@ -210,6 +210,62 @@ macro_rules! impl_json_struct_lenient {
     };
 }
 
+/// Like [`impl_json_struct!`], but fields in the `defaults` block may be absent from the
+/// parsed object and then take the given default — the serde `#[serde(default)]` shape for
+/// non-`Option` fields. This is the wire-compatibility tool for *adding* a field to an
+/// established document type: old documents (without the field) keep parsing, new documents
+/// round-trip it. Serialization always emits every field, required first, defaulted last.
+///
+/// ```
+/// # use kronpriv_json::{impl_json_struct_with_defaults, from_str, to_string};
+/// #[derive(Debug, PartialEq)]
+/// struct Opts { size: u64, threads: u64 }
+/// impl_json_struct_with_defaults!(Opts {
+///     required: { size },
+///     defaults: { threads: 0 },
+/// });
+///
+/// let old: Opts = from_str("{\"size\": 7}").unwrap();
+/// assert_eq!(old, Opts { size: 7, threads: 0 });
+/// let new: Opts = from_str(&to_string(&Opts { size: 7, threads: 4 })).unwrap();
+/// assert_eq!(new.threads, 4);
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct_with_defaults {
+    ($ty:ident {
+        required: { $($field:ident),+ $(,)? },
+        defaults: { $($dfield:ident: $default:expr),+ $(,)? } $(,)?
+    }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Object(vec![
+                    $( (stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)), )+
+                    $( (stringify!($dfield).to_string(), $crate::ToJson::to_json(&self.$dfield)), )+
+                ])
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Json) -> Result<Self, $crate::JsonParseError> {
+                Ok($ty {
+                    $( $field: $crate::FromJson::from_json(
+                        value.get(stringify!($field)).ok_or_else(|| {
+                            $crate::JsonParseError::missing_field(
+                                stringify!($ty),
+                                stringify!($field),
+                            )
+                        })?,
+                    )?, )+
+                    $( $dfield: match value.get(stringify!($dfield)) {
+                        Some(raw) => $crate::FromJson::from_json(raw)?,
+                        None => $default,
+                    }, )+
+                })
+            }
+        }
+    };
+}
+
 /// Implements only [`ToJson`] for a plain struct — for types that cannot round-trip (e.g.
 /// `&'static str` fields, which have no owned deserialization target).
 #[macro_export]
@@ -338,6 +394,29 @@ mod tests {
         assert_eq!(v, Lenient { seed: 1, label: Some("a".into()) });
         let back: Lenient = from_str(&to_string(&v)).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Versioned {
+        name: String,
+        retries: u32,
+    }
+    impl_json_struct_with_defaults!(Versioned {
+        required: { name },
+        defaults: { retries: 3 },
+    });
+
+    #[test]
+    fn defaulted_fields_fill_in_when_absent_and_round_trip_when_present() {
+        let old: Versioned = from_str("{\"name\": \"a\"}").unwrap();
+        assert_eq!(old, Versioned { name: "a".into(), retries: 3 });
+        let v = Versioned { name: "b".into(), retries: 9 };
+        let back: Versioned = from_str(&to_string(&v)).unwrap();
+        assert_eq!(back, v);
+        // Required fields are still required...
+        assert!(from_str::<Versioned>("{\"retries\": 1}").is_err());
+        // ...and a present-but-mistyped defaulted field is an error, not the default.
+        assert!(from_str::<Versioned>("{\"name\": \"a\", \"retries\": \"x\"}").is_err());
     }
 
     #[test]

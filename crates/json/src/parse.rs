@@ -268,11 +268,9 @@ impl<'a> Parser<'a> {
                 return Err(self.error("expected digits in exponent"));
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
-        text.parse::<f64>()
-            .map(Json::Number)
-            .map_err(|_| self.error("number out of range"))
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>().map(Json::Number).map_err(|_| self.error("number out of range"))
     }
 
     fn consume_digits(&mut self) -> usize {

@@ -8,36 +8,93 @@
 //! algorithm. The post-processing step is what makes the noisy degree sequence accurate enough
 //! to drive the moment-matching estimator in the paper.
 
-/// Computes the (unweighted) isotonic regression of `values` under a non-decreasing constraint:
-/// the vector `y` minimising `Σ (y_i - values_i)²` subject to `y_0 ≤ y_1 ≤ … ≤ y_{n-1}`.
-pub fn isotonic_increasing(values: &[f64]) -> Vec<f64> {
-    // Each block stores (sum, count): the pooled mean is sum / count.
-    let mut block_sum: Vec<f64> = Vec::with_capacity(values.len());
-    let mut block_count: Vec<usize> = Vec::with_capacity(values.len());
+/// The pooled-block state of a (partial) PAVA pass: a stack of maximal non-decreasing blocks,
+/// each stored as `(sum, count)` so the pooled mean is `sum / count`.
+///
+/// The point of exposing the block form is that it is **mergeable**: the isotonic regression of
+/// a concatenation `L ++ R` equals the blocks of `L` with the blocks of `R` appended one at a
+/// time under the usual pooling rule — pooling can only happen at the seam, because the blocks
+/// of `R` are non-decreasing among themselves. That makes PAVA decomposable over independent
+/// sub-ranges: solve each sub-range, then merge the block lists left to right (the parallel
+/// degree post-processing in `kronpriv-dp` does exactly this). Block sums are added when blocks
+/// pool, so a merged result can differ from the element-at-a-time pass by float associativity
+/// (last-ulp), but for a *fixed* decomposition it is fully deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IsotonicBlocks {
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+}
 
-    for &v in values {
-        block_sum.push(v);
-        block_count.push(1);
-        // Pool while the last block's mean is below the previous block's mean.
-        while block_sum.len() >= 2 {
-            let n = block_sum.len();
-            let mean_last = block_sum[n - 1] / block_count[n - 1] as f64;
-            let mean_prev = block_sum[n - 2] / block_count[n - 2] as f64;
+impl IsotonicBlocks {
+    /// An empty block stack (the identity for [`IsotonicBlocks::merge`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the element-at-a-time PAVA pass over `values`.
+    pub fn of(values: &[f64]) -> Self {
+        let mut blocks = IsotonicBlocks {
+            sums: Vec::with_capacity(values.len()),
+            counts: Vec::with_capacity(values.len()),
+        };
+        for &v in values {
+            blocks.push_block(v, 1);
+        }
+        blocks
+    }
+
+    /// Appends one already-pooled block and restores the invariant by pooling backwards while
+    /// the last block's mean is below the previous block's mean.
+    fn push_block(&mut self, sum: f64, count: usize) {
+        self.sums.push(sum);
+        self.counts.push(count);
+        while self.sums.len() >= 2 {
+            let n = self.sums.len();
+            let mean_last = self.sums[n - 1] / self.counts[n - 1] as f64;
+            let mean_prev = self.sums[n - 2] / self.counts[n - 2] as f64;
             if mean_prev <= mean_last {
                 break;
             }
-            let (s, c) = (block_sum.pop().unwrap(), block_count.pop().unwrap());
-            *block_sum.last_mut().unwrap() += s;
-            *block_count.last_mut().unwrap() += c;
+            let (s, c) = (self.sums.pop().unwrap(), self.counts.pop().unwrap());
+            *self.sums.last_mut().unwrap() += s;
+            *self.counts.last_mut().unwrap() += c;
         }
     }
 
-    let mut out = Vec::with_capacity(values.len());
-    for (s, c) in block_sum.iter().zip(&block_count) {
-        let mean = s / *c as f64;
-        out.extend(std::iter::repeat_n(mean, *c));
+    /// Appends the blocks of `right` (the solution of the values immediately following this
+    /// stack's values) and returns the combined stack — the PAVA solution of the concatenation.
+    pub fn merge(mut self, right: IsotonicBlocks) -> Self {
+        for (s, c) in right.sums.into_iter().zip(right.counts) {
+            self.push_block(s, c);
+        }
+        self
     }
-    out
+
+    /// Total number of input values covered by the stack.
+    pub fn len(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// True if no values have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Expands the block stack into the fitted vector: each block's mean, repeated.
+    pub fn expand(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        for (s, c) in self.sums.iter().zip(&self.counts) {
+            let mean = s / *c as f64;
+            out.extend(std::iter::repeat_n(mean, *c));
+        }
+        out
+    }
+}
+
+/// Computes the (unweighted) isotonic regression of `values` under a non-decreasing constraint:
+/// the vector `y` minimising `Σ (y_i - values_i)²` subject to `y_0 ≤ y_1 ≤ … ≤ y_{n-1}`.
+pub fn isotonic_increasing(values: &[f64]) -> Vec<f64> {
+    IsotonicBlocks::of(values).expand()
 }
 
 /// Isotonic regression under a non-increasing constraint, implemented by reversing, running the
@@ -106,6 +163,36 @@ mod tests {
         assert!(out.windows(2).all(|w| w[0] >= w[1] - 1e-12));
         // Sum is preserved by the projection.
         assert!((out.iter().sum::<f64>() - v.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_blocks_match_the_sequential_pass_on_any_split() {
+        // The mergeability claim behind the parallel degree post-processing: solving two halves
+        // and merging the block stacks equals the one-pass solution up to float associativity.
+        let mut rng = StdRng::seed_from_u64(0x150_7005);
+        for _ in 0..64 {
+            let len = rng.gen_range(2..80usize);
+            let v = rand_vec(&mut rng, len, -100.0, 100.0);
+            let split = rng.gen_range(1..len);
+            let merged =
+                IsotonicBlocks::of(&v[..split]).merge(IsotonicBlocks::of(&v[split..])).expand();
+            let reference = isotonic_increasing(&v);
+            assert_eq!(merged.len(), reference.len());
+            for (a, b) in merged.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-9, "split {split}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let v = [3.0, 1.0, 2.0, 0.5];
+        let blocks = IsotonicBlocks::of(&v);
+        assert_eq!(blocks.clone().merge(IsotonicBlocks::new()), blocks);
+        assert_eq!(IsotonicBlocks::new().merge(blocks.clone()), blocks);
+        assert_eq!(blocks.len(), 4);
+        assert!(!blocks.is_empty());
+        assert!(IsotonicBlocks::new().is_empty());
     }
 
     // Former proptest properties, now driven by a seeded RNG for deterministic offline runs.

@@ -237,8 +237,9 @@ mod regression_tests {
         sort_by_magnitude_positive_first(&mut values);
         assert_eq!(values, vec![2.0, -2.0, 1.0 - 0.9e-9, -1.0, -(1.0 + 0.9e-9), 0.5]);
         // Longer chain where every adjacent pair is within tolerance: one run, value-descending.
-        let mut chain: Vec<f64> =
-            (0..200).map(|i| (1.0 + i as f64 * 1e-10) * if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let mut chain: Vec<f64> = (0..200)
+            .map(|i| (1.0 + i as f64 * 1e-10) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         sort_by_magnitude_positive_first(&mut chain);
         assert!(chain.windows(2).all(|w| w[0] >= w[1]), "run must be value-descending");
     }

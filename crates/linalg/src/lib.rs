@@ -28,7 +28,7 @@ pub mod util;
 pub mod vector;
 
 pub use csr::CsrMatrix;
-pub use isotonic::{isotonic_decreasing, isotonic_increasing};
+pub use isotonic::{isotonic_decreasing, isotonic_increasing, IsotonicBlocks};
 pub use lanczos::{lanczos_eigenvalues, LanczosOptions};
 pub use power::{principal_eigenpair, top_eigenpairs, PowerIterationOptions};
 pub use tridiag::symmetric_tridiagonal_eigenvalues;

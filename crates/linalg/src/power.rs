@@ -44,9 +44,7 @@ pub struct EigenPair {
 
 /// Infinity norm (maximum absolute row sum) of `a`, used as the spectral shift.
 fn infinity_norm(a: &CsrMatrix) -> f64 {
-    (0..a.rows())
-        .map(|r| a.row(r).map(|(_, v)| v.abs()).sum::<f64>())
-        .fold(0.0_f64, f64::max)
+    (0..a.rows()).map(|r| a.row(r).map(|(_, v)| v.abs()).sum::<f64>()).fold(0.0_f64, f64::max)
 }
 
 /// Computes the `k` algebraically largest eigenpairs of the symmetric matrix `a`, sorted by

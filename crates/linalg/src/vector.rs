@@ -66,10 +66,7 @@ pub fn orthogonalize_against(x: &mut [f64], basis: &[Vec<f64>]) {
 /// Panics if the slices have different lengths.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0_f64, f64::max)
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0_f64, f64::max)
 }
 
 #[cfg(test)]

@@ -5,6 +5,11 @@
 //! then refines the most promising cells with Nelder–Mead. This module provides the scan.
 
 use crate::nelder_mead::Bounds;
+use kronpriv_par::Parallelism;
+
+/// Lattice indices per chunk of the parallel scan. Fixed (thread-count-independent) so the
+/// evaluation set decomposes identically for every `Parallelism`.
+const GRID_CHUNK: usize = 32;
 
 /// One evaluated grid point.
 #[derive(Debug, Clone)]
@@ -13,6 +18,34 @@ pub struct GridPoint {
     pub point: Vec<f64>,
     /// Objective value at the point.
     pub value: f64,
+}
+
+/// The coordinates of lattice point `index` (row-major with the first axis fastest — the same
+/// enumeration order for the sequential and the parallel scan, so the two produce bit-identical
+/// coordinates).
+fn lattice_point(index: usize, bounds: &Bounds, points_per_axis: usize) -> Vec<f64> {
+    let mut rest = index;
+    (0..bounds.dim())
+        .map(|i| {
+            let digit = rest % points_per_axis;
+            rest /= points_per_axis;
+            let t = digit as f64 / (points_per_axis - 1) as f64;
+            bounds.lower[i] + t * (bounds.upper[i] - bounds.lower[i])
+        })
+        .collect()
+}
+
+fn check_grid_arguments(bounds: &Bounds, points_per_axis: usize) -> usize {
+    assert!(bounds.dim() > 0, "cannot grid-search a zero-dimensional problem");
+    assert!(points_per_axis >= 2, "need at least two points per axis");
+    points_per_axis.pow(bounds.dim() as u32)
+}
+
+/// Sorts evaluated lattice points by increasing value; the sort is stable, so equal-valued
+/// points stay in lattice-enumeration order (the tie-break the multistart seeding relies on).
+fn sort_grid(mut results: Vec<GridPoint>) -> Vec<GridPoint> {
+    results.sort_by(|a, b| a.value.partial_cmp(&b.value).unwrap());
+    results
 }
 
 /// Evaluates `f` on a regular lattice with `points_per_axis` points per axis (endpoints
@@ -29,34 +62,52 @@ pub fn grid_search<F: FnMut(&[f64]) -> f64>(
     bounds: &Bounds,
     points_per_axis: usize,
 ) -> Vec<GridPoint> {
-    let dim = bounds.dim();
-    assert!(dim > 0, "cannot grid-search a zero-dimensional problem");
-    assert!(points_per_axis >= 2, "need at least two points per axis");
-
-    let total = points_per_axis.pow(dim as u32);
+    let total = check_grid_arguments(bounds, points_per_axis);
     let mut results = Vec::with_capacity(total);
-    let mut index = vec![0usize; dim];
-    for _ in 0..total {
-        let point: Vec<f64> = (0..dim)
-            .map(|i| {
-                let t = index[i] as f64 / (points_per_axis - 1) as f64;
-                bounds.lower[i] + t * (bounds.upper[i] - bounds.lower[i])
-            })
-            .collect();
+    for index in 0..total {
+        let point = lattice_point(index, bounds, points_per_axis);
         let raw = f(&point);
         let value = if raw.is_nan() { f64::INFINITY } else { raw };
         results.push(GridPoint { point, value });
-        // Odometer increment.
-        for digit in index.iter_mut() {
-            *digit += 1;
-            if *digit < points_per_axis {
-                break;
-            }
-            *digit = 0;
-        }
     }
-    results.sort_by(|a, b| a.value.partial_cmp(&b.value).unwrap());
-    results
+    sort_grid(results)
+}
+
+/// Parallel form of [`grid_search`]: the lattice is split into fixed [`GRID_CHUNK`]-sized index
+/// chunks evaluated concurrently and concatenated in chunk order, so the output — including the
+/// stable-sort order of equal-valued points — is **bit-identical** to the sequential scan for
+/// every thread count. Requires `Fn` (not `FnMut`): the objective is shared by the workers, so
+/// it must be a pure function of the point.
+///
+/// # Panics
+/// Panics if `points_per_axis < 2` or the dimension is zero.
+pub fn grid_search_par(
+    f: impl Fn(&[f64]) -> f64 + Sync,
+    bounds: &Bounds,
+    points_per_axis: usize,
+    par: Parallelism,
+) -> Vec<GridPoint> {
+    let total = check_grid_arguments(bounds, points_per_axis);
+    let results = par.map_reduce(
+        total,
+        GRID_CHUNK,
+        |range| {
+            range
+                .map(|index| {
+                    let point = lattice_point(index, bounds, points_per_axis);
+                    let raw = f(&point);
+                    let value = if raw.is_nan() { f64::INFINITY } else { raw };
+                    GridPoint { point, value }
+                })
+                .collect::<Vec<_>>()
+        },
+        |mut acc: Vec<GridPoint>, chunk| {
+            acc.extend(chunk);
+            acc
+        },
+        Vec::with_capacity(total),
+    );
+    sort_grid(results)
 }
 
 #[cfg(test)]
@@ -99,11 +150,7 @@ mod tests {
 
     #[test]
     fn nan_values_sort_last() {
-        let pts = grid_search(
-            |x| if x[0] < 0.5 { f64::NAN } else { x[0] },
-            &Bounds::unit(1),
-            5,
-        );
+        let pts = grid_search(|x| if x[0] < 0.5 { f64::NAN } else { x[0] }, &Bounds::unit(1), 5);
         assert!(pts.first().unwrap().value.is_finite());
         assert!(pts.last().unwrap().value.is_infinite());
     }
@@ -120,5 +167,38 @@ mod tests {
     #[should_panic(expected = "at least two points")]
     fn rejects_degenerate_grids() {
         let _ = grid_search(|x| x[0], &Bounds::unit(1), 1);
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical_to_sequential_for_all_thread_counts() {
+        // A non-trivial multimodal objective over a 3D lattice large enough to span many
+        // chunks; includes exact value ties (the objective only depends on two coordinates) so
+        // the stable tie-break order is exercised.
+        let f =
+            |x: &[f64]| ((x[0] - 0.3).abs() * 10.0).round() + ((x[1] - 0.7).abs() * 10.0).round();
+        let bounds = Bounds::unit(3);
+        let reference = grid_search(f, &bounds, 9);
+        for threads in [1usize, 2, 8] {
+            let got = grid_search_par(f, &bounds, 9, Parallelism::new(threads));
+            assert_eq!(got.len(), reference.len(), "threads {threads}");
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "threads {threads}");
+                assert_eq!(a.point.len(), b.point.len());
+                for (pa, pb) in a.point.iter().zip(&b.point) {
+                    assert_eq!(pa.to_bits(), pb.to_bits(), "threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scan_handles_nan_like_sequential() {
+        let f = |x: &[f64]| if x[0] < 0.5 { f64::NAN } else { x[0] };
+        let seq = grid_search(f, &Bounds::unit(1), 129);
+        let par = grid_search_par(f, &Bounds::unit(1), 129, Parallelism::new(4));
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+        assert!(par.last().unwrap().value.is_infinite());
     }
 }

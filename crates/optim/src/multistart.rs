@@ -1,8 +1,17 @@
 //! Multi-start minimisation: coarse grid scan followed by Nelder–Mead refinement of the most
 //! promising starting points. This is the driver the KronMom and private estimators call.
+//!
+//! Two forms are provided. [`multistart_minimize`] is the original sequential driver over an
+//! arbitrary `FnMut` objective. [`multistart_minimize_par`] runs the grid scan and every
+//! Nelder–Mead restart as independent chunked tasks on a [`Parallelism`]; because each restart
+//! is a deterministic function of its start point and the per-restart outcomes are reduced in
+//! start-index order with a lowest-objective / lowest-index tie-break, the parallel driver
+//! returns **bit-identical** results for every thread count — and bit-identical to the
+//! sequential driver on the same (pure) objective.
 
-use crate::grid::grid_search;
+use crate::grid::{grid_search, grid_search_par, GridPoint};
 use crate::nelder_mead::{nelder_mead, Bounds, NelderMeadOptions, OptimizationResult};
+use kronpriv_par::Parallelism;
 
 /// Options for [`multistart_minimize`].
 #[derive(Debug, Clone, Copy)]
@@ -25,31 +34,35 @@ impl Default for MultistartOptions {
     }
 }
 
-/// Minimises `f` over `bounds`: evaluates a coarse grid, refines the `refine_top` best grid
-/// points with Nelder–Mead (plus any caller-provided extra starting points) and returns the best
-/// result found.
-pub fn multistart_minimize<F: FnMut(&[f64]) -> f64>(
-    mut f: F,
+/// The refinement start list: the `refine_top` best grid points followed by the caller's extra
+/// starts (projected into the box). Shared by the sequential and parallel drivers so their
+/// restart sets — and therefore their results — are identical.
+fn collect_starts(
+    grid: &[GridPoint],
     bounds: &Bounds,
     extra_starts: &[Vec<f64>],
     options: &MultistartOptions,
-) -> OptimizationResult {
-    let grid = grid_search(&mut f, bounds, options.grid_points_per_axis);
-    let mut starts: Vec<Vec<f64>> = grid
-        .iter()
-        .take(options.refine_top.max(1))
-        .map(|p| p.point.clone())
-        .collect();
+) -> Vec<Vec<f64>> {
+    let mut starts: Vec<Vec<f64>> =
+        grid.iter().take(options.refine_top.max(1)).map(|p| p.point.clone()).collect();
     for s in extra_starts {
         let mut s = s.clone();
         bounds.project(&mut s);
         starts.push(s);
     }
+    starts
+}
 
+/// Folds per-restart outcomes **in start-index order**, keeping the strictly-better result —
+/// i.e. the lowest objective value, with ties broken towards the lowest start index. This is
+/// the same selection rule as the sequential loop, stated once so both drivers share it.
+fn select_best(
+    outcomes: impl IntoIterator<Item = OptimizationResult>,
+    grid_evaluations: usize,
+) -> OptimizationResult {
     let mut best: Option<OptimizationResult> = None;
-    let mut total_evaluations = grid.len();
-    for start in &starts {
-        let result = nelder_mead(&mut f, start, bounds, &options.nelder_mead);
+    let mut total_evaluations = grid_evaluations;
+    for result in outcomes {
         total_evaluations += result.evaluations;
         let replace = match &best {
             None => true,
@@ -62,6 +75,60 @@ pub fn multistart_minimize<F: FnMut(&[f64]) -> f64>(
     let mut best = best.expect("at least one start point is always refined");
     best.evaluations = total_evaluations;
     best
+}
+
+/// Minimises `f` over `bounds`: evaluates a coarse grid, refines the `refine_top` best grid
+/// points with Nelder–Mead (plus any caller-provided extra starting points) and returns the best
+/// result found.
+pub fn multistart_minimize<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    bounds: &Bounds,
+    extra_starts: &[Vec<f64>],
+    options: &MultistartOptions,
+) -> OptimizationResult {
+    let grid = grid_search(&mut f, bounds, options.grid_points_per_axis);
+    let starts = collect_starts(&grid, bounds, extra_starts, options);
+    let outcomes =
+        starts.iter().map(|start| nelder_mead(&mut f, start, bounds, &options.nelder_mead));
+    // `select_best` needs the outcomes one at a time while `f` is mutably borrowed by the
+    // iterator, so collect first.
+    let outcomes: Vec<OptimizationResult> = outcomes.collect();
+    select_best(outcomes, grid.len())
+}
+
+/// Parallel form of [`multistart_minimize`]: the seeding grid is scanned with
+/// [`grid_search_par`] and every Nelder–Mead restart runs as an independent chunked task on
+/// `par`. Each restart is a pure function of its start point, the per-restart outcomes are
+/// reduced in start-index order, and ties in the final objective value are broken towards the
+/// lowest start index — so the result (point, value and evaluation count) is **bit-identical**
+/// for every thread count, and bit-identical to the sequential driver. Requires a `Fn + Sync`
+/// objective: workers share `f` by reference and need no locking.
+pub fn multistart_minimize_par(
+    f: impl Fn(&[f64]) -> f64 + Sync,
+    bounds: &Bounds,
+    extra_starts: &[Vec<f64>],
+    options: &MultistartOptions,
+    par: Parallelism,
+) -> OptimizationResult {
+    let grid = grid_search_par(&f, bounds, options.grid_points_per_axis, par);
+    let starts = collect_starts(&grid, bounds, extra_starts, options);
+    // One restart per chunk: restarts are few (single digits) and each is orders of magnitude
+    // heavier than the chunk bookkeeping, so the finest decomposition gives the best balance.
+    let outcomes = par.map_reduce(
+        starts.len(),
+        1,
+        |range| {
+            range
+                .map(|i| nelder_mead(&f, &starts[i], bounds, &options.nelder_mead))
+                .collect::<Vec<_>>()
+        },
+        |mut acc: Vec<OptimizationResult>, chunk| {
+            acc.extend(chunk);
+            acc
+        },
+        Vec::with_capacity(starts.len()),
+    );
+    select_best(outcomes, grid.len())
 }
 
 #[cfg(test)]
@@ -78,8 +145,7 @@ mod tests {
             let global = (x[0] - 0.8).powi(2) + (x[1] - 0.8).powi(2);
             local.min(global)
         };
-        let result =
-            multistart_minimize(f, &Bounds::unit(2), &[], &MultistartOptions::default());
+        let result = multistart_minimize(f, &Bounds::unit(2), &[], &MultistartOptions::default());
         assert!((result.point[0] - 0.8).abs() < 1e-3, "{:?}", result.point);
         assert!((result.point[1] - 0.8).abs() < 1e-3, "{:?}", result.point);
         assert!(result.value < 1e-6);
@@ -113,8 +179,7 @@ mod tests {
             refine_top: 2,
             nelder_mead: NelderMeadOptions { max_evaluations: 30, ..Default::default() },
         };
-        let result =
-            multistart_minimize(|x| x[0] * x[0], &Bounds::unit(1), &[], &opts);
+        let result = multistart_minimize(|x| x[0] * x[0], &Bounds::unit(1), &[], &opts);
         assert!(result.evaluations >= 4, "grid evaluations should be counted");
         assert!(result.evaluations <= 4 + 2 * 40, "refinements are budget-limited");
     }
@@ -134,15 +199,69 @@ mod tests {
     }
 
     #[test]
+    fn parallel_driver_is_bit_identical_to_sequential_for_all_thread_counts() {
+        let f = |x: &[f64]| {
+            let local = (x[0] - 0.2).powi(2) + (x[1] - 0.2).powi(2) + 0.05;
+            let global = (x[0] - 0.8).powi(2) + (x[1] - 0.8).powi(2);
+            local.min(global)
+        };
+        let bounds = Bounds::unit(2);
+        let opts = MultistartOptions::default();
+        let reference = multistart_minimize(f, &bounds, &[vec![0.5, 0.1]], &opts);
+        for threads in [1usize, 2, 8] {
+            let got = multistart_minimize_par(
+                f,
+                &bounds,
+                &[vec![0.5, 0.1]],
+                &opts,
+                Parallelism::new(threads),
+            );
+            assert_eq!(got.value.to_bits(), reference.value.to_bits(), "threads {threads}");
+            assert_eq!(got.evaluations, reference.evaluations, "threads {threads}");
+            for (a, b) in got.point.iter().zip(&reference.point) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_objective_ties_break_towards_the_lowest_index_start() {
+        // Two flat-bottomed wells that both reach exactly 0.0, so several restarts tie on the
+        // final objective value. The deterministic rule — lowest objective, then lowest start
+        // index — must pick the same well for every thread count (and for the sequential
+        // driver): the left well, because the stable grid sort puts its seed first.
+        let f = |x: &[f64]| {
+            let d = (x[0] - 0.25).abs().min((x[0] - 0.75).abs());
+            (d - 0.1).max(0.0)
+        };
+        let bounds = Bounds::unit(1);
+        let opts = MultistartOptions {
+            grid_points_per_axis: 5, // lattice {0, 0.25, 0.5, 0.75, 1}: seeds in both wells
+            refine_top: 2,
+            nelder_mead: NelderMeadOptions::default(),
+        };
+        let reference = multistart_minimize(f, &bounds, &[], &opts);
+        assert_eq!(reference.value, 0.0);
+        assert!(reference.point[0] < 0.5, "tie must resolve to the left well: {reference:?}");
+        for threads in [1usize, 2, 8] {
+            let got = multistart_minimize_par(f, &bounds, &[], &opts, Parallelism::new(threads));
+            assert_eq!(got.value, 0.0, "threads {threads}");
+            assert_eq!(
+                got.point[0].to_bits(),
+                reference.point[0].to_bits(),
+                "threads {threads}: {got:?}"
+            );
+        }
+    }
+
+    #[test]
     fn three_dimensional_recovery_matches_target() {
         // Structured like the (a, b, c) fitting problem: recover a known triple from a smooth
         // discrepancy function.
         let target = [0.99, 0.45, 0.25];
-        let f = |x: &[f64]| {
-            x.iter().zip(&target).map(|(xi, ti)| (xi - ti) * (xi - ti)).sum::<f64>()
-        };
-        let result =
-            multistart_minimize(f, &Bounds::unit(3), &[], &MultistartOptions::default());
+        let f =
+            |x: &[f64]| x.iter().zip(&target).map(|(xi, ti)| (xi - ti) * (xi - ti)).sum::<f64>();
+        let result = multistart_minimize(f, &Bounds::unit(3), &[], &MultistartOptions::default());
         for (p, t) in result.point.iter().zip(&target) {
             assert!((p - t).abs() < 1e-3, "{:?}", result.point);
         }

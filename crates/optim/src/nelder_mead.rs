@@ -108,8 +108,7 @@ struct BoxTransform {
 
 impl BoxTransform {
     fn new(bounds: &Bounds) -> Self {
-        let width: Vec<f64> =
-            bounds.upper.iter().zip(&bounds.lower).map(|(u, l)| u - l).collect();
+        let width: Vec<f64> = bounds.upper.iter().zip(&bounds.lower).map(|(u, l)| u - l).collect();
         BoxTransform { lower: bounds.lower.clone(), width }
     }
 
@@ -239,12 +238,7 @@ fn run_simplex<F: FnMut(&[f64]) -> f64>(
         let f_spread = values[dim] - values[0];
         let x_spread = simplex[1..]
             .iter()
-            .map(|v| {
-                v.iter()
-                    .zip(&simplex[0])
-                    .map(|(a, b)| (a - b).abs())
-                    .fold(0.0_f64, f64::max)
-            })
+            .map(|v| v.iter().zip(&simplex[0]).map(|(a, b)| (a - b).abs()).fold(0.0_f64, f64::max))
             .fold(0.0_f64, f64::max);
         if f_spread.abs() <= options.f_tolerance && x_spread <= options.x_tolerance {
             converged = true;
@@ -300,9 +294,8 @@ fn run_simplex<F: FnMut(&[f64]) -> f64>(
         }
     }
 
-    let best_idx = (0..values.len())
-        .min_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap())
-        .unwrap();
+    let best_idx =
+        (0..values.len()).min_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap()).unwrap();
     (simplex[best_idx].clone(), values[best_idx], converged)
 }
 

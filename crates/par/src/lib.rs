@@ -18,6 +18,10 @@
 //!    chunk index order on the calling thread, so even non-associative combines (floating-point
 //!    sums) give the same answer regardless of which thread computed which chunk.
 //!
+//! [`Parallelism::try_map_reduce`] extends the first entry point to fallible per-chunk tasks:
+//! the error that comes back is always the one from the lowest-index failing chunk, so even the
+//! failure mode is byte-identical for every thread count.
+//!
 //! [`Parallelism::fold_reduce`] trades the second rule for memory: each *worker* folds chunks
 //! into one private accumulator (e.g. an `O(n)` counter array) and the accumulators are merged
 //! afterwards. Which chunks land in which accumulator does depend on scheduling, so that entry
@@ -67,8 +71,7 @@ impl Parallelism {
     /// One worker per available hardware thread ([`std::thread::available_parallelism`]),
     /// falling back to 1 when the OS cannot say.
     pub fn auto() -> Self {
-        let threads = thread::available_parallelism()
-            .unwrap_or(NonZeroUsize::MIN);
+        let threads = thread::available_parallelism().unwrap_or(NonZeroUsize::MIN);
         Parallelism { threads }
     }
 
@@ -95,11 +98,45 @@ impl Parallelism {
         len: usize,
         chunk_size: usize,
         map: impl Fn(Range<usize>) -> M + Sync,
-        mut fold: impl FnMut(A, M) -> A,
+        fold: impl FnMut(A, M) -> A,
         init: A,
     ) -> A
     where
         M: Send,
+    {
+        // Infallible tasks are the `Result`-free view of the fallible entry point, so the two
+        // cannot drift apart.
+        match self.try_map_reduce(
+            len,
+            chunk_size,
+            |range| Ok::<M, std::convert::Infallible>(map(range)),
+            fold,
+            init,
+        ) {
+            Ok(acc) => acc,
+        }
+    }
+
+    /// Deterministic chunked map-reduce for **fallible** per-chunk tasks.
+    ///
+    /// Like [`Parallelism::map_reduce`], but `map` may fail. On success every chunk result is
+    /// folded in chunk order; on failure the returned error is the one produced by the
+    /// **lowest-index failing chunk**, which keeps the outcome byte-identical for every thread
+    /// count. To preserve that guarantee every chunk is evaluated even after a failure has been
+    /// observed — errors are expected to be exceptional, so the wasted work does not matter; a
+    /// caller that needs cheap early exit should encode the failure in `M` and short-circuit in
+    /// `fold` instead.
+    pub fn try_map_reduce<M, A, E>(
+        &self,
+        len: usize,
+        chunk_size: usize,
+        map: impl Fn(Range<usize>) -> Result<M, E> + Sync,
+        mut fold: impl FnMut(A, M) -> A,
+        init: A,
+    ) -> Result<A, E>
+    where
+        M: Send,
+        E: Send,
     {
         let chunk_size = chunk_size.max(1);
         let chunks = len.div_ceil(chunk_size);
@@ -107,16 +144,16 @@ impl Parallelism {
         if workers <= 1 || chunks < MIN_PARALLEL_CHUNKS {
             let mut acc = init;
             for c in 0..chunks {
-                acc = fold(acc, map(chunk_range(c, chunk_size, len)));
+                acc = fold(acc, map(chunk_range(c, chunk_size, len))?);
             }
-            return acc;
+            return Ok(acc);
         }
 
-        let mut slots: Vec<Option<M>> = Vec::with_capacity(chunks);
+        let mut slots: Vec<Option<Result<M, E>>> = Vec::with_capacity(chunks);
         slots.resize_with(chunks, || None);
         let next = AtomicUsize::new(0);
         let per_worker = run_workers(workers, || {
-            let mut out: Vec<(usize, M)> = Vec::new();
+            let mut out: Vec<(usize, Result<M, E>)> = Vec::new();
             loop {
                 let c = next.fetch_add(1, Ordering::Relaxed);
                 if c >= chunks {
@@ -129,9 +166,11 @@ impl Parallelism {
         for (c, m) in per_worker.into_iter().flatten() {
             slots[c] = Some(m);
         }
-        slots
-            .into_iter()
-            .fold(init, |acc, m| fold(acc, m.expect("every chunk was claimed exactly once")))
+        let mut acc = init;
+        for m in slots {
+            acc = fold(acc, m.expect("every chunk was claimed exactly once")?);
+        }
+        Ok(acc)
     }
 
     /// Chunked fold with one private accumulator **per worker**, for kernels whose natural
@@ -337,6 +376,56 @@ mod tests {
             );
             assert_eq!(got, reference, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn try_map_reduce_folds_successes_in_chunk_order() {
+        for threads in [1, 2, 8] {
+            let par = Parallelism::new(threads);
+            let got: Result<Vec<usize>, ()> = par.try_map_reduce(
+                100,
+                9,
+                |range| Ok(range.start),
+                |mut acc: Vec<usize>, start| {
+                    acc.push(start);
+                    acc
+                },
+                Vec::new(),
+            );
+            let expected: Vec<usize> = (0..100).step_by(9).collect();
+            assert_eq!(got.unwrap(), expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn try_map_reduce_reports_the_lowest_index_error_for_any_thread_count() {
+        // Chunks 3 and 7 both fail; every thread count must report chunk 3's error, matching
+        // the sequential scan.
+        for threads in [1, 2, 8] {
+            let par = Parallelism::new(threads);
+            let got: Result<usize, String> = par.try_map_reduce(
+                100,
+                10,
+                |range| {
+                    let chunk = range.start / 10;
+                    if chunk == 3 || chunk == 7 {
+                        Err(format!("chunk {chunk} failed"))
+                    } else {
+                        Ok(range.len())
+                    }
+                },
+                |acc: usize, m| acc + m,
+                0,
+            );
+            assert_eq!(got.unwrap_err(), "chunk 3 failed", "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn try_map_reduce_empty_range_is_ok() {
+        let got: Result<u32, ()> =
+            Parallelism::new(4).try_map_reduce(0, 8, |_| Err(()), |a: u32, m: u32| a + m, 7);
+        assert_eq!(got.unwrap(), 7);
     }
 
     #[test]

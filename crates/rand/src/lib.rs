@@ -93,10 +93,7 @@ pub trait Rng: RngCore {
     /// Panics if `denominator == 0` or `numerator > denominator`.
     fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
         assert!(denominator > 0, "gen_ratio: zero denominator");
-        assert!(
-            numerator <= denominator,
-            "gen_ratio: {numerator}/{denominator} exceeds 1"
-        );
+        assert!(numerator <= denominator, "gen_ratio: {numerator}/{denominator} exceeds 1");
         distributions::uniform_u64(self, denominator as u64) < numerator as u64
     }
 }

@@ -17,9 +17,7 @@ pub struct StdRng {
 
 impl SeedableRng for StdRng {
     fn seed_from_u64(state: u64) -> Self {
-        Self {
-            inner: Xoshiro256PlusPlus::seed_from_u64(state),
-        }
+        Self { inner: Xoshiro256PlusPlus::seed_from_u64(state) }
     }
 }
 

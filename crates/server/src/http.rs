@@ -211,10 +211,9 @@ mod tests {
 
     #[test]
     fn parses_a_post_with_body() {
-        let req = parse_raw(
-            b"POST /api/estimate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
-        )
-        .unwrap();
+        let req =
+            parse_raw(b"POST /api/estimate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+                .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/api/estimate");
         assert_eq!(req.header("HOST"), Some("x"));

@@ -118,10 +118,7 @@ impl JobStore {
 
     /// Submits a job and returns its id immediately. The closure's `Ok` document becomes the
     /// job result; `Err` (or a panic, which is caught) marks the job `Failed`.
-    pub fn submit(
-        &self,
-        work: impl FnOnce() -> Result<Json, String> + Send + 'static,
-    ) -> u64 {
+    pub fn submit(&self, work: impl FnOnce() -> Result<Json, String> + Send + 'static) -> u64 {
         let id = {
             let mut table = self.table.lock().expect("job table poisoned");
             table.next_id += 1;

@@ -20,8 +20,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Estimation workers executing `/api/estimate` jobs.
     pub job_workers: usize,
-    /// Compute threads each estimation job may use for the parallel kernels (triangle count,
-    /// smooth sensitivity); `0` means one per available hardware thread. The kernels are
+    /// Compute threads each estimation job may use for its parallel stages — the counting
+    /// kernels (triangle count, smooth sensitivity), the isotonic degree post-processing and
+    /// the moment-matching fit; `0` means one per available hardware thread. Every stage is
     /// deterministic for any thread count, so this knob never changes a job's result — it is
     /// server-side resource control only, which is also why the server enforces it over
     /// whatever a request's `options.compute_threads` says.
@@ -160,11 +161,13 @@ mod tests {
         assert!(body.contains("\"ok\""));
         handle.shutdown();
         // After shutdown the port no longer accepts requests.
-        assert!(client::get(addr, "/healthz").is_err() || {
-            // A race can let one last connect through while the OS recycles the socket; but a
-            // fresh bind on the same port must now succeed, proving the listener is gone.
-            TcpListener::bind(addr).is_ok()
-        });
+        assert!(
+            client::get(addr, "/healthz").is_err() || {
+                // A race can let one last connect through while the OS recycles the socket; but a
+                // fresh bind on the same port must now succeed, proving the listener is gone.
+                TcpListener::bind(addr).is_ok()
+            }
+        );
     }
 
     #[test]

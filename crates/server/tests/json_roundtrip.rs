@@ -48,10 +48,9 @@ fn estimate_request_reports_missing_required_fields() {
     let err = from_str::<EstimateRequest>(r#"{"graph": {}, "seed": 1}"#).unwrap_err();
     assert!(err.to_string().contains("epsilon"), "{err}");
     // `seed` is required too (null is not a u64).
-    let err = from_str::<EstimateRequest>(
-        r#"{"graph": {}, "params": {"epsilon": 1.0, "delta": 0.01}}"#,
-    )
-    .unwrap_err();
+    let err =
+        from_str::<EstimateRequest>(r#"{"graph": {}, "params": {"epsilon": 1.0, "delta": 0.01}}"#)
+            .unwrap_err();
     assert!(err.to_string().contains("number"), "{err}");
 }
 
@@ -110,19 +109,13 @@ fn job_and_submit_responses_round_trip() {
 
 #[test]
 fn sample_and_health_round_trip() {
-    let sample_req = SampleRequest {
-        theta: InitiatorSpec { a: 0.9, b: 0.5, c: 0.2 },
-        k: 10,
-        seed: 77,
-    };
+    let sample_req =
+        SampleRequest { theta: InitiatorSpec { a: 0.9, b: 0.5, c: 0.2 }, k: 10, seed: 77 };
     let back: SampleRequest = from_str(&to_string(&sample_req)).unwrap();
     assert_eq!(back, sample_req);
 
-    let sample_resp = SampleResponse {
-        nodes: 1024,
-        edges: 2981,
-        edge_list: "# 1024 nodes\n0\t1\n".to_string(),
-    };
+    let sample_resp =
+        SampleResponse { nodes: 1024, edges: 2981, edge_list: "# 1024 nodes\n0\t1\n".to_string() };
     let back: SampleResponse = from_str(&to_string(&sample_resp)).unwrap();
     assert_eq!(back, sample_resp);
 

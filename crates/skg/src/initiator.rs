@@ -110,9 +110,7 @@ impl Initiator2 {
     pub fn dense_power(&self, k: u32) -> Vec<Vec<f64>> {
         assert!(k <= 12, "dense_power is only supported for k <= 12");
         let n = self.node_count(k);
-        (0..n)
-            .map(|u| (0..n).map(|v| self.edge_probability(k, u, v)).collect())
-            .collect()
+        (0..n).map(|u| (0..n).map(|v| self.edge_probability(k, u, v)).collect()).collect()
     }
 
     /// Euclidean distance between two parameter vectors, used to compare estimates against the

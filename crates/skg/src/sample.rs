@@ -106,12 +106,7 @@ fn quadrant_weights(theta: &Initiator2) -> [f64; 4] {
         // is zero, but keep them well-formed.
         return [0.25, 0.5, 0.75, 1.0];
     }
-    [
-        theta.a / total,
-        (theta.a + theta.b) / total,
-        (theta.a + 2.0 * theta.b) / total,
-        1.0,
-    ]
+    [theta.a / total, (theta.a + theta.b) / total, (theta.a + 2.0 * theta.b) / total, 1.0]
 }
 
 /// Descends `k` levels of the Kronecker recursion, picking one of the four initiator quadrants

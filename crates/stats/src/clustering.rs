@@ -38,13 +38,7 @@ pub fn clustering_coefficients_par(g: &Graph, par: Parallelism) -> Vec<f64> {
     g.degrees()
         .iter()
         .zip(&triangles)
-        .map(|(&d, &t)| {
-            if d < 2 {
-                0.0
-            } else {
-                2.0 * t as f64 / (d as f64 * (d as f64 - 1.0))
-            }
-        })
+        .map(|(&d, &t)| if d < 2 { 0.0 } else { 2.0 * t as f64 / (d as f64 * (d as f64 - 1.0)) })
         .collect()
 }
 

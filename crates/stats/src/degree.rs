@@ -62,15 +62,18 @@ pub fn degree_distribution_distance(a: &Graph, b: &Graph) -> f64 {
         // between listed degrees).
         c.iter().rev().find(|&&(deg, _)| deg <= d).map_or_else(
             || c.first().map_or(0.0, |&(_, f)| f),
-            |&(deg, f)| if deg == d { f } else { c.iter().find(|&&(dg, _)| dg > d).map_or(0.0, |&(_, g)| g) },
+            |&(deg, f)| {
+                if deg == d {
+                    f
+                } else {
+                    c.iter().find(|&&(dg, _)| dg > d).map_or(0.0, |&(_, g)| g)
+                }
+            },
         )
     };
     let degrees: Vec<usize> =
         ca.iter().map(|&(d, _)| d).chain(cb.iter().map(|&(d, _)| d)).collect();
-    degrees
-        .into_iter()
-        .map(|d| (eval(&ca, d) - eval(&cb, d)).abs())
-        .fold(0.0, f64::max)
+    degrees.into_iter().map(|d| (eval(&ca, d) - eval(&cb, d)).abs()).fold(0.0, f64::max)
 }
 
 #[cfg(test)]

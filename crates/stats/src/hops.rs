@@ -91,11 +91,9 @@ pub fn approximate_hop_plot_par<R: Rng + ?Sized>(
         // bit position across sketches before exponentiating (the standard ANF averaging).
         (0..n)
             .map(|v| {
-                let mean_bit: f64 = masks
-                    .iter()
-                    .map(|layer| lowest_zero_bit(layer[v]) as f64)
-                    .sum::<f64>()
-                    / sketches as f64;
+                let mean_bit: f64 =
+                    masks.iter().map(|layer| lowest_zero_bit(layer[v]) as f64).sum::<f64>()
+                        / sketches as f64;
                 2f64.powf(mean_bit) / PHI
             })
             .sum()
@@ -224,8 +222,9 @@ mod tests {
     #[test]
     fn empty_graph_produces_empty_curve() {
         let mut rng = StdRng::seed_from_u64(6);
-        assert!(approximate_hop_plot(&Graph::empty(0), &HopPlotOptions::default(), &mut rng)
-            .is_empty());
+        assert!(
+            approximate_hop_plot(&Graph::empty(0), &HopPlotOptions::default(), &mut rng).is_empty()
+        );
     }
 
     #[test]

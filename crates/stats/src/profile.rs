@@ -235,7 +235,8 @@ mod tests {
     fn comparison_detects_structural_differences() {
         let mut rng = StdRng::seed_from_u64(6);
         let heavy = preferential_attachment(200, 3, &mut rng);
-        let uniform = erdos_renyi_gnp(200, heavy.edge_count() as f64 / (200.0 * 199.0 / 2.0), &mut rng);
+        let uniform =
+            erdos_renyi_gnp(200, heavy.edge_count() as f64 / (200.0 * 199.0 / 2.0), &mut rng);
         let mut rng2 = StdRng::seed_from_u64(7);
         let p = GraphProfile::compute("pa", &heavy, &ProfileOptions::default(), &mut rng2);
         let q = GraphProfile::compute("er", &uniform, &ProfileOptions::default(), &mut rng2);

@@ -8,10 +8,10 @@
 //! "network value".
 
 use kronpriv_graph::Graph;
+use kronpriv_json::impl_json_struct;
 use kronpriv_linalg::{
     lanczos_eigenvalues, principal_eigenpair, CsrMatrix, LanczosOptions, PowerIterationOptions,
 };
-use kronpriv_json::impl_json_struct;
 use rand::Rng;
 
 /// Options for the spectral statistics.
@@ -45,11 +45,10 @@ pub fn scree_plot<R: Rng + ?Sized>(g: &Graph, options: &SpectralOptions, rng: &m
     }
     let k = options.scree_values.min(g.node_count());
     let steps = if options.lanczos_steps > 0 { options.lanczos_steps } else { 2 * k + 20 };
-    let mut values =
-        lanczos_eigenvalues(&adjacency(g), k, &LanczosOptions { steps }, rng)
-            .into_iter()
-            .map(f64::abs)
-            .collect::<Vec<_>>();
+    let mut values = lanczos_eigenvalues(&adjacency(g), k, &LanczosOptions { steps }, rng)
+        .into_iter()
+        .map(f64::abs)
+        .collect::<Vec<_>>();
     values.sort_by(|a, b| b.partial_cmp(a).unwrap());
     values
 }
@@ -118,11 +117,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let g = preferential_attachment(300, 3, &mut rng);
         let mut rng2 = StdRng::seed_from_u64(3);
-        let values = scree_plot(
-            &g,
-            &SpectralOptions { scree_values: 20, ..Default::default() },
-            &mut rng2,
-        );
+        let values =
+            scree_plot(&g, &SpectralOptions { scree_values: 20, ..Default::default() }, &mut rng2);
         assert_eq!(values.len(), 20);
         assert!(values.windows(2).all(|w| w[0] >= w[1] - 1e-9));
         assert!(values[0] > 0.0);
@@ -144,9 +140,7 @@ mod tests {
     fn empty_graph_has_empty_spectra() {
         let mut rng = StdRng::seed_from_u64(5);
         assert!(scree_plot(&Graph::empty(5), &SpectralOptions::default(), &mut rng).is_empty());
-        assert!(
-            network_values(&Graph::empty(5), &SpectralOptions::default(), &mut rng).is_empty()
-        );
+        assert!(network_values(&Graph::empty(5), &SpectralOptions::default(), &mut rng).is_empty());
     }
 
     #[test]

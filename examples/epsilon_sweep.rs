@@ -13,17 +13,15 @@ use rand::SeedableRng;
 
 fn main() {
     let original = Dataset::CaGrQc.generate(1);
-    println!(
-        "CA-GrQc stand-in: {} nodes, {} edges",
-        original.node_count(),
-        original.edge_count()
-    );
+    println!("CA-GrQc stand-in: {} nodes, {} edges", original.node_count(), original.edge_count());
 
     let kronmom = KronMomEstimator::default().fit_graph(&original);
     println!("non-private KronMom estimate: {}", kronmom.theta);
 
     let repetitions = 5;
-    println!("\n  ε        mean |Θ̃ − Θ̂_mom|   max |Θ̃ − Θ̂_mom|   (over {repetitions} runs, δ = 0.01)");
+    println!(
+        "\n  ε        mean |Θ̃ − Θ̂_mom|   max |Θ̃ − Θ̂_mom|   (over {repetitions} runs, δ = 0.01)"
+    );
     for epsilon in [0.05, 0.1, 0.2, 0.5, 1.0, 2.0] {
         let mut distances = Vec::new();
         for rep in 0..repetitions {

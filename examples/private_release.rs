@@ -43,11 +43,9 @@ fn main() {
     let original_profile = GraphProfile::compute("Original", &original, &options, &mut rng);
     println!("\nprofile comparison against the original (lower is better):");
     println!("  estimator  edge err  triangle err  degree KS  λ₁ err  clustering diff");
-    for (label, fit) in [
-        ("KronFit", &suite.kronfit),
-        ("KronMom", &suite.kronmom),
-        ("Private", &suite.private.fit),
-    ] {
+    for (label, fit) in
+        [("KronFit", &suite.kronfit), ("KronMom", &suite.kronmom), ("Private", &suite.private.fit)]
+    {
         let synthetic = sample_fast(&fit.theta, fit.k, &SamplerOptions::default(), &mut rng);
         let profile = GraphProfile::compute(label, &synthetic, &options, &mut rng);
         let cmp = ProfileComparison::between(&original_profile, &original, &profile, &synthetic);

@@ -1,0 +1,131 @@
+//! CI bench-regression guard: compares a fresh `BENCH_kernels.json` against the committed
+//! `BENCH_baseline.json` and fails (exit 1) when any kernel's ns/op regressed by more than the
+//! allowed ratio.
+//!
+//! Invoked as `cargo run -p kronpriv-bench --bin bench_check` (the source lives in `scripts/`,
+//! next to `verify.sh`, which wires it into the `--quick` CI job right after the kernel bench
+//! writes the fresh records). Records are matched on `(kernel, nodes, threads)`; fresh records
+//! with no baseline entry pass with a note (refresh the baseline to start guarding them), and
+//! baseline entries that disappeared are reported so stale baselines are visible.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_check [--baseline PATH] [--fresh PATH] [--max-ratio R]
+//! ```
+//!
+//! Defaults: `BENCH_baseline.json`, `BENCH_kernels.json`, ratio 2.0. To refresh the baseline
+//! after an intentional change, run the quick kernel bench and copy the fresh records:
+//! `cp BENCH_kernels.json BENCH_baseline.json`.
+
+use kronpriv_json::impl_json_struct;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One measurement row of `BENCH_kernels.json` / `BENCH_baseline.json`.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchRecord {
+    kernel: String,
+    nodes: f64,
+    threads: f64,
+    ns_per_op: f64,
+}
+
+impl_json_struct!(BenchRecord { kernel, nodes, threads, ns_per_op });
+
+/// The match key: a kernel measured at a given input size and thread count.
+fn key(r: &BenchRecord) -> (String, u64, u64) {
+    (r.kernel.clone(), r.nodes as u64, r.threads as u64)
+}
+
+fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    kronpriv_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let flag =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let baseline_path = flag("--baseline").unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let fresh_path = flag("--fresh").unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let max_ratio: f64 = match flag("--max-ratio").map(|r| r.parse()) {
+        None => 2.0,
+        Some(Ok(r)) if r > 1.0 => r,
+        Some(_) => {
+            eprintln!("--max-ratio: expected a number > 1");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (baseline, fresh) = match (load(&baseline_path), load(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench_check: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_by_key: BTreeMap<_, f64> =
+        baseline.iter().map(|r| (key(r), r.ns_per_op)).collect();
+    let fresh_keys: Vec<_> = fresh.iter().map(key).collect();
+
+    println!(
+        "{:<24} {:>8} {:>8} {:>14} {:>14} {:>7}  status",
+        "kernel", "nodes", "threads", "baseline ns", "fresh ns", "ratio"
+    );
+    let mut regressions = 0usize;
+    let mut unguarded = 0usize;
+    for r in &fresh {
+        match baseline_by_key.get(&key(r)) {
+            Some(&base) => {
+                // A baseline of 0 ns would make every ratio infinite; treat sub-ns baselines
+                // as 1 ns (the harness never reports 0 for real kernels).
+                let ratio = r.ns_per_op / base.max(1.0);
+                let regressed = ratio > max_ratio;
+                if regressed {
+                    regressions += 1;
+                }
+                println!(
+                    "{:<24} {:>8} {:>8} {:>14.0} {:>14.0} {:>6.2}x  {}",
+                    r.kernel,
+                    r.nodes as u64,
+                    r.threads as u64,
+                    base,
+                    r.ns_per_op,
+                    ratio,
+                    if regressed { "REGRESSED" } else { "ok" }
+                );
+            }
+            None => {
+                unguarded += 1;
+                println!(
+                    "{:<24} {:>8} {:>8} {:>14} {:>14.0} {:>7}  new (no baseline)",
+                    r.kernel, r.nodes as u64, r.threads as u64, "-", r.ns_per_op, "-"
+                );
+            }
+        }
+    }
+    let stale: Vec<_> =
+        baseline.iter().filter(|r| !fresh_keys.contains(&key(r))).map(key).collect();
+    for (kernel, nodes, threads) in &stale {
+        println!("{kernel:<24} {nodes:>8} {threads:>8} — in baseline but not measured (stale)");
+    }
+
+    if unguarded > 0 {
+        println!(
+            "note: {unguarded} record(s) have no baseline; refresh BENCH_baseline.json \
+             (cp BENCH_kernels.json BENCH_baseline.json) to start guarding them"
+        );
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_check: {regressions} kernel(s) regressed by more than {max_ratio}x vs \
+             {baseline_path}; if intentional, refresh the baseline and commit it"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: ok ({} records within {max_ratio}x of baseline)", fresh.len());
+    ExitCode::SUCCESS
+}

@@ -2,10 +2,14 @@
 # Tier-1 verification for the kronpriv workspace, run fully offline (no crates.io access: every
 # dependency is an in-workspace path dependency — see README.md).
 #
-#   scripts/verify.sh          # build (release) + tests + clippy -D warnings
-#   scripts/verify.sh --quick  # additionally smoke-runs the bench harness and quickstart
+#   scripts/verify.sh          # fmt --check + build (release) + tests + clippy -D warnings
+#   scripts/verify.sh --quick  # additionally smoke-runs the bench harness (with the
+#                              # bench_check regression guard), quickstart and the server probe
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline
@@ -26,6 +30,15 @@ if [[ "${1:-}" == "--quick" ]]; then
     cargo bench -q --offline -p kronpriv-bench --bench kernels -- --quick \
         --json "$PWD/BENCH_kernels.json"
     test -s BENCH_kernels.json || { echo "BENCH_kernels.json was not written" >&2; exit 1; }
+
+    echo "==> bench regression guard (BENCH_kernels.json vs BENCH_baseline.json)"
+    # Fails on >2x (override: BENCH_MAX_RATIO) per-kernel ns/op regressions against the
+    # committed baseline; refresh with `cp BENCH_kernels.json BENCH_baseline.json` after an
+    # intentional perf change — or after moving to a slower machine class, since the baseline
+    # records absolute ns/op of whatever machine produced it.
+    cargo run -q --release --offline -p kronpriv-bench --bin bench_check -- \
+        --max-ratio "${BENCH_MAX_RATIO:-2.0}"
+
     echo "==> example smoke run"
     cargo run -q --release --offline --example quickstart
 
@@ -37,6 +50,14 @@ if [[ "${1:-}" == "--quick" ]]; then
     trap 'kill "$server_pid" 2>/dev/null || true; rm -f "$server_log"' EXIT
     for _ in $(seq 1 100); do
         grep -q "^listening on " "$server_log" && break
+        # A server that crashed during startup will never log its address; without this check
+        # the loop used to spin its full 10 s and then fail with an empty log excerpt. Detect
+        # the early exit, stop immediately and dump the log so CI failures are diagnosable.
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "kronpriv-serve exited during startup; log follows:" >&2
+            cat "$server_log" >&2
+            exit 1
+        fi
         sleep 0.1
     done
     server_addr="$(sed -n 's#^listening on http://##p' "$server_log" | head -1)"

@@ -6,9 +6,10 @@
 //! kronpriv-serve --probe 127.0.0.1:8080      # health + tiny end-to-end estimate, then exit
 //! ```
 //!
-//! `--compute-threads N` caps the parallel kernels (triangle count, smooth sensitivity) each
-//! estimation job may use; `0` (the default) means one thread per available hardware thread.
-//! The kernels are deterministic for any thread count, so the flag never changes results.
+//! `--compute-threads N` caps the parallel stages each estimation job may use — the counting
+//! kernels (triangle count, smooth sensitivity), the isotonic degree post-processing and the
+//! moment-matching fit; `0` (the default) means one thread per available hardware thread.
+//! Every stage is deterministic for any thread count, so the flag never changes results.
 //!
 //! With `--addr 127.0.0.1:0` the OS picks an ephemeral port; the first stdout line always
 //! reports the bound address (`listening on http://<addr>`), which is what
@@ -67,16 +68,12 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
                 let raw = value("--max-order")?;
                 config.max_order = match raw.parse::<u32>() {
                     Ok(n) if n > 0 => n,
-                    _ => {
-                        return Err(format!("--max-order: expected a positive u32, got {raw:?}"))
-                    }
+                    _ => return Err(format!("--max-order: expected a positive u32, got {raw:?}")),
                 };
             }
             "--probe" => {
                 let raw = value("--probe")?;
-                probe = Some(
-                    raw.parse().map_err(|_| format!("--probe: bad address {raw:?}"))?,
-                );
+                probe = Some(raw.parse().map_err(|_| format!("--probe: bad address {raw:?}"))?);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -186,7 +183,6 @@ fn probe(addr: SocketAddr) -> Result<(), String> {
 fn extract_number(body: &str, key: &str) -> Option<u64> {
     let needle = format!("\"{key}\":");
     let rest = &body[body.find(&needle)? + needle.len()..];
-    let digits: String =
-        rest.trim_start().chars().take_while(char::is_ascii_digit).collect();
+    let digits: String = rest.trim_start().chars().take_while(char::is_ascii_digit).collect();
     digits.parse().ok()
 }

@@ -67,8 +67,7 @@ fn private_estimate_tracks_kronmom_at_the_papers_budget() {
     assert!(gaps[gaps.len() / 2] < 0.06, "median row-sum gap too large: {gaps:?}");
     // With a more generous budget the full parameter vector is pinned down as well.
     let mut rng = StdRng::seed_from_u64(500);
-    let generous =
-        PrivateEstimator::default().fit(&graph, PrivacyParams::new(1.0, 0.01), &mut rng);
+    let generous = PrivateEstimator::default().fit(&graph, PrivacyParams::new(1.0, 0.01), &mut rng);
     assert!(
         generous.fit.theta.distance(&kronmom.theta) < 0.1,
         "ε=1 estimate {:?} vs kronmom {:?}",
@@ -111,8 +110,7 @@ fn degree_statistics_of_the_synthetic_graph_mimic_the_original() {
 
     let options = ProfileOptions { scree_values: 10, network_values: 50, skip_hop_plot: true };
     let original = GraphProfile::compute("original", &graph, &options, &mut rng);
-    let synthetic =
-        GraphProfile::compute("synthetic", &release.synthetic, &options, &mut rng);
+    let synthetic = GraphProfile::compute("synthetic", &release.synthetic, &options, &mut rng);
     let cmp = ProfileComparison::between(&original, &graph, &synthetic, &release.synthetic);
 
     assert!(cmp.edge_count_relative_error < 0.5, "{cmp:?}");
@@ -141,7 +139,11 @@ fn all_three_estimators_agree_on_a_well_specified_model() {
         &mut rng,
     );
     assert!(suite.kronmom.theta.distance(&truth) < 0.1, "kronmom {:?}", suite.kronmom.theta);
-    assert!(suite.private.fit.theta.distance(&truth) < 0.15, "private {:?}", suite.private.fit.theta);
+    assert!(
+        suite.private.fit.theta.distance(&truth) < 0.15,
+        "private {:?}",
+        suite.private.fit.theta
+    );
     assert!(suite.kronfit.theta.distance(&truth) < 0.25, "kronfit {:?}", suite.kronfit.theta);
 }
 

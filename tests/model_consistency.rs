@@ -108,12 +108,8 @@ fn private_statistics_are_always_finite_and_non_negative() {
         let seed = outer.gen_range(0..50u64);
         let epsilon = outer.gen_range(0.05..2.0);
         let mut rng = StdRng::seed_from_u64(seed);
-        let g = sample_fast(
-            &Initiator2::new(0.9, 0.5, 0.2),
-            9,
-            &SamplerOptions::default(),
-            &mut rng,
-        );
+        let g =
+            sample_fast(&Initiator2::new(0.9, 0.5, 0.2), 9, &SamplerOptions::default(), &mut rng);
         let est = PrivateEstimator::default().fit(&g, PrivacyParams::new(epsilon, 0.01), &mut rng);
         for v in est.private_statistics {
             assert!(v.is_finite());
