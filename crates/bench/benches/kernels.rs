@@ -2,9 +2,10 @@
 //!
 //! Measures the parallelized Algorithm 1 hot paths — triangle counting, the smooth-sensitivity
 //! bound (dominated by the node-partitioned local-sensitivity kernel), the exact hop plot, the
-//! multistart moment-matching fit and the isotonic degree post-processing — at thread counts
-//! {1, 2, 4} on a seeded 2^14-node stochastic Kronecker graph (2^10 under `--quick`), so the
-//! speedup of the parallel layer is measured rather than assumed.
+//! multistart moment-matching fit, one multi-chain KronFit ascent step and the isotonic degree
+//! post-processing — at thread counts {1, 2, 4} on a seeded 2^14-node stochastic Kronecker
+//! graph (2^10 under `--quick`), so the speedup of the parallel layer is measured rather than
+//! assumed.
 //!
 //! Run with `cargo bench -p kronpriv-bench --bench kernels` (add `-- --quick` for a smoke run).
 //! With `-- --json PATH` the results are also written as machine-readable JSON — one record
@@ -14,7 +15,7 @@
 
 use kronpriv_bench::harness::Harness;
 use kronpriv_dp::{isotonic_increasing_par, smooth_sensitivity_triangles_par, LaplaceNoise};
-use kronpriv_estimate::MomentObjective;
+use kronpriv_estimate::{KronFitEstimator, KronFitOptions, MomentObjective};
 use kronpriv_graph::counts::{per_node_triangles_par, triangle_count_par};
 use kronpriv_graph::MatchingStatistics;
 use kronpriv_json::Json;
@@ -105,6 +106,25 @@ fn main() {
                 &fit_opts,
                 par,
             ));
+        });
+    }
+
+    // One multi-chain KronFit ascent step (4 chains, a couple of permutation samples each):
+    // the hot path of the parallel KronFit baseline. The fit is byte-identical for every
+    // thread count, so the matrix measures pure scheduling overhead/speedup.
+    let kronfit_opts = KronFitOptions {
+        gradient_steps: 1,
+        warmup_swaps: 2_000,
+        samples_per_step: 2,
+        swaps_between_samples: 200,
+        chains: 4,
+        ..Default::default()
+    };
+    for threads in THREADS {
+        run(&mut h, &mut records, "kronfit_step", nodes, threads, &|par| {
+            let options = KronFitOptions { compute_threads: par.threads(), ..kronfit_opts };
+            let mut rng = StdRng::seed_from_u64(17);
+            black_box(KronFitEstimator::new(options).fit_graph(black_box(&g), &mut rng));
         });
     }
 

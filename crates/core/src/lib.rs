@@ -52,17 +52,17 @@ pub use kronpriv_skg;
 pub use kronpriv_stats;
 
 pub use pipeline::{
-    estimate_with_all_estimators, release_synthetic_graph, try_private_estimate,
-    try_release_synthetic_graph, validate_estimator_inputs, EstimatorSuite, PipelineError,
-    SyntheticRelease,
+    estimate_with_all_estimators, release_synthetic_graph, try_kronfit_estimate,
+    try_kronmom_estimate, try_private_estimate, try_release_synthetic_graph,
+    validate_estimator_inputs, EstimatorSuite, PipelineError, SyntheticRelease,
 };
 
 /// The most commonly used items, importable with `use kronpriv::prelude::*`.
 pub mod prelude {
     pub use crate::pipeline::{
-        estimate_with_all_estimators, release_synthetic_graph, try_private_estimate,
-        try_release_synthetic_graph, validate_estimator_inputs, EstimatorSuite, PipelineError,
-        SyntheticRelease,
+        estimate_with_all_estimators, release_synthetic_graph, try_kronfit_estimate,
+        try_kronmom_estimate, try_private_estimate, try_release_synthetic_graph,
+        validate_estimator_inputs, EstimatorSuite, PipelineError, SyntheticRelease,
     };
     pub use kronpriv_datasets::{Dataset, DatasetMetadata};
     pub use kronpriv_dp::{PrivacyParams, PrivateDegreeSequence, PrivateTriangleCount};

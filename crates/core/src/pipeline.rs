@@ -81,6 +81,35 @@ pub fn try_private_estimate<R: Rng + ?Sized>(
     Ok(PrivateEstimator::new(*options).fit(g, params, rng))
 }
 
+/// Fallible KronFit baseline: checks the graph is non-empty and runs the multi-chain
+/// approximate-MLE fit. This is the entry point the server uses for
+/// `/api/estimate` with `"estimator": "kronfit"`. **Not differentially private** — it touches
+/// the exact graph; it exists so the service can serve the paper's baseline columns for
+/// comparison.
+pub fn try_kronfit_estimate<R: Rng + ?Sized>(
+    g: &Graph,
+    options: &KronFitOptions,
+    rng: &mut R,
+) -> Result<FittedInitiator, PipelineError> {
+    if g.node_count() == 0 || g.edge_count() == 0 {
+        return Err(PipelineError::EmptyGraph);
+    }
+    Ok(KronFitEstimator::new(*options).fit_graph(g, rng))
+}
+
+/// Fallible KronMom baseline: checks the graph is non-empty and runs the exact moment-matching
+/// fit. This is the entry point the server uses for `/api/estimate` with
+/// `"estimator": "kronmom"`. **Not differentially private** — it matches the exact counts.
+pub fn try_kronmom_estimate(
+    g: &Graph,
+    options: &KronMomOptions,
+) -> Result<FittedInitiator, PipelineError> {
+    if g.node_count() == 0 || g.edge_count() == 0 {
+        return Err(PipelineError::EmptyGraph);
+    }
+    Ok(KronMomEstimator::new(*options).fit_graph(g))
+}
+
 /// Fallible form of [`release_synthetic_graph`]: runs [`try_private_estimate`] with the given
 /// options and samples one synthetic graph from the released initiator.
 pub fn try_release_synthetic_graph<R: Rng + ?Sized>(
@@ -242,6 +271,49 @@ mod tests {
             try_private_estimate(&g, PrivacyParams::new(1.0, 0.01), &bad, &mut rng).unwrap_err(),
             PipelineError::InvalidBudgetFraction(1.5)
         );
+    }
+
+    #[test]
+    fn one_node_edge_lists_are_rejected_cleanly_by_every_estimator() {
+        // Regression: a SNAP upload like "0 0" parses to a single node with no edges (self-
+        // loops are dropped), i.e. `kronecker_order_for(1) == 0`. Every fallible entry point
+        // must reject it as EmptyGraph instead of reaching the k = 0 gradient path.
+        let g = kronpriv_graph::io::parse_edge_list_reader("0 0\n".as_bytes()).unwrap();
+        assert_eq!((g.node_count(), g.edge_count()), (1, 0));
+        let mut rng = StdRng::seed_from_u64(30);
+        assert_eq!(
+            try_private_estimate(
+                &g,
+                PrivacyParams::new(1.0, 0.01),
+                &PrivateEstimatorOptions::default(),
+                &mut rng
+            )
+            .unwrap_err(),
+            PipelineError::EmptyGraph
+        );
+        assert_eq!(
+            try_kronfit_estimate(&g, &KronFitOptions::default(), &mut rng).unwrap_err(),
+            PipelineError::EmptyGraph
+        );
+        assert_eq!(
+            try_kronmom_estimate(&g, &KronMomOptions::default()).unwrap_err(),
+            PipelineError::EmptyGraph
+        );
+        // The library-level fit itself degenerates cleanly for direct callers.
+        let fit = KronFitEstimator::default().fit_graph(&g, &mut rng);
+        assert_eq!(fit.k, 0);
+        assert!(fit.theta.as_array().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn baseline_estimates_run_through_the_fallible_entry_points() {
+        let g = small_graph(31);
+        let mut rng = StdRng::seed_from_u64(32);
+        let quick = quick_kronfit();
+        let fit = try_kronfit_estimate(&g, &quick, &mut rng).unwrap();
+        assert!(fit.theta.a >= fit.theta.c);
+        let fit = try_kronmom_estimate(&g, &KronMomOptions::default()).unwrap();
+        assert!(fit.theta.a >= fit.theta.c);
     }
 
     #[test]

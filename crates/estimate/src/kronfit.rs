@@ -16,12 +16,32 @@
 //!
 //! Nodes beyond the observed node count (the padding up to `2^k`) participate in the assignment
 //! but carry no edges, exactly as in the reference implementation.
+//!
+//! # Parallelism
+//!
+//! This estimator runs [`KronFitOptions::chains`] **independent Metropolis chains**, each
+//! driven by its own RNG stream derived from the caller's generator via [`StdRng::split`], and
+//! averages their gradients in fixed chain order at every ascent step. The chains are
+//! distributed over [`KronFitOptions::compute_threads`] workers with the `kronpriv-par`
+//! chunk-order-reduction contract, and each chain's per-edge likelihood/gradient sums are
+//! themselves edge-partitioned over fixed chunk boundaries. The consequence is the workspace's
+//! standard determinism guarantee: the fit depends on the **chain count** (an algorithm
+//! parameter, part of the result's definition) but is byte-identical for every **thread count**
+//! (a pure performance knob).
 
 use crate::{kronecker_order_for, FittedInitiator};
 use kronpriv_graph::Graph;
-use kronpriv_json::impl_json_struct;
+use kronpriv_json::impl_json_struct_with_defaults;
+use kronpriv_par::Parallelism;
 use kronpriv_skg::Initiator2;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// Fixed edge-chunk size for the per-edge likelihood/gradient sums. A pure function of the
+/// edge count — never of the thread count — so chunk-order reduction keeps the sums
+/// byte-identical for any number of workers.
+const EDGE_CHUNK: usize = 2_048;
 
 /// Options for the KronFit estimator.
 #[derive(Debug, Clone, Copy)]
@@ -30,7 +50,7 @@ pub struct KronFitOptions {
     pub gradient_steps: usize,
     /// Metropolis swap proposals executed before the first gradient sample of each step.
     pub warmup_swaps: usize,
-    /// Number of permutation samples averaged per gradient step.
+    /// Number of permutation samples averaged per gradient step (per chain).
     pub samples_per_step: usize,
     /// Metropolis swap proposals between consecutive samples.
     pub swaps_between_samples: usize,
@@ -40,16 +60,31 @@ pub struct KronFitOptions {
     pub min_parameter: f64,
     /// Starting initiator.
     pub initial: Initiator2,
+    /// Number of independent Metropolis permutation chains whose gradients are averaged each
+    /// ascent step. This is an **algorithm parameter**: changing it changes the fit (each chain
+    /// consumes its own [`StdRng::split`] stream), unlike `compute_threads`, which never does.
+    /// Values are clamped to at least 1.
+    pub chains: usize,
+    /// Compute threads for the parallel stages — the chain fan-out and the edge-partitioned
+    /// likelihood/gradient sums; `0` means one thread per available hardware thread. The result
+    /// is byte-identical for every thread count, so this is purely a performance knob.
+    pub compute_threads: usize,
 }
 
-impl_json_struct!(KronFitOptions {
-    gradient_steps,
-    warmup_swaps,
-    samples_per_step,
-    swaps_between_samples,
-    learning_rate,
-    min_parameter,
-    initial,
+// `chains` and `compute_threads` may be *omitted* by older clients — absent means the
+// pre-multi-chain defaults (4 chains, auto threads) — while the pre-existing fields stay
+// required. Same wire-compatibility treatment as `KronMomOptions::compute_threads`.
+impl_json_struct_with_defaults!(KronFitOptions {
+    required: {
+        gradient_steps,
+        warmup_swaps,
+        samples_per_step,
+        swaps_between_samples,
+        learning_rate,
+        min_parameter,
+        initial,
+    },
+    defaults: { chains: 4, compute_threads: 0 },
 });
 
 impl Default for KronFitOptions {
@@ -62,7 +97,16 @@ impl Default for KronFitOptions {
             learning_rate: 0.06,
             min_parameter: 1e-3,
             initial: Initiator2::new(0.9, 0.6, 0.2),
+            chains: 4,
+            compute_threads: 0,
         }
+    }
+}
+
+impl KronFitOptions {
+    /// The resolved [`Parallelism`] for the fit (`0` ⇒ auto).
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism::new(self.compute_threads)
     }
 }
 
@@ -92,6 +136,12 @@ impl Assignment {
         self.node_at[iu] = v;
         self.node_at[iv] = u;
     }
+}
+
+/// One independent Metropolis chain: its permutation state plus its private RNG stream.
+struct Chain {
+    assignment: Assignment,
+    rng: StdRng,
 }
 
 /// Digit-pair counts of an index pair: how many bit positions fall in the `a`, `b`, `c` cells of
@@ -133,6 +183,12 @@ fn closed_form_part(theta: &Initiator2, k: u32) -> f64 {
 
 /// Gradient of [`closed_form_part`] with respect to `(a, b, c)`.
 fn closed_form_gradient(theta: &Initiator2, k: u32) -> [f64; 3] {
+    if k == 0 {
+        // A 2^0-node "graph" has one index pair and no free bit positions: the closed form is
+        // constant, so its gradient vanishes. Without this guard `powi(k − 1)` is `powi(-1)` —
+        // a reciprocal that used to feed garbage into the ascent for degenerate inputs.
+        return [0.0; 3];
+    }
     let (a, b, c) = (theta.a, theta.b, theta.c);
     let kf = k as f64;
     let s_all = (a + 2.0 * b + c).powi(k as i32 - 1);
@@ -152,38 +208,68 @@ impl KronFitEstimator {
         KronFitEstimator { options }
     }
 
-    /// Fits an initiator to `g` by stochastic gradient ascent on the approximate log-likelihood.
+    /// Fits an initiator to `g` by multi-chain stochastic gradient ascent on the approximate
+    /// log-likelihood.
+    ///
+    /// Exactly one `u64` is drawn from `rng` to seed the chain family; every chain then runs on
+    /// its own [`StdRng::split`] stream. The fit is a pure function of `(g, options, that
+    /// draw)` — in particular it is byte-identical for every `compute_threads` value.
     pub fn fit_graph<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> FittedInitiator {
         let k = kronecker_order_for(g.node_count());
-        let n_padded = 1usize << k;
         let mut theta = clamp_theta(&self.options.initial, self.options.min_parameter);
-        let mut assignment = Assignment::identity(n_padded);
+
+        if k == 0 {
+            // Empty or single-node graph: there is no assignment to sample and no bit position
+            // to differentiate over, so the fit degenerates to the clamped starting initiator.
+            return FittedInitiator {
+                theta: theta.canonicalized(),
+                k,
+                objective_value: 0.0,
+                evaluations: 0,
+            };
+        }
+
+        let n_padded = 1usize << k;
+        let chains = self.options.chains.max(1);
+        let (outer, inner) = self.split_parallelism(chains);
+
+        // One draw from the caller's RNG seeds the whole chain family; each chain's stream is
+        // then derived by `StdRng::split`, so the fit depends on the chain count but never on
+        // the thread count.
+        let root = StdRng::seed_from_u64(rng.next_u64());
+        let states: Vec<Mutex<Chain>> = (0..chains)
+            .map(|i| {
+                Mutex::new(Chain {
+                    assignment: Assignment::identity(n_padded),
+                    rng: root.split(i as u64),
+                })
+            })
+            .collect();
+
         let mut evaluations = 0usize;
-
         for step in 0..self.options.gradient_steps {
-            // Metropolis warm-up at the current parameters.
-            self.run_swaps(g, &theta, k, n_padded, &mut assignment, self.options.warmup_swaps, rng);
-
-            // Average the gradient over a few spaced-out permutation samples.
-            let mut gradient = [0.0f64; 3];
-            for sample in 0..self.options.samples_per_step {
-                if sample > 0 {
-                    self.run_swaps(
-                        g,
-                        &theta,
-                        k,
-                        n_padded,
-                        &mut assignment,
-                        self.options.swaps_between_samples,
-                        rng,
-                    );
-                }
-                let grad = self.gradient(g, &theta, k, &assignment);
-                for i in 0..3 {
-                    gradient[i] += grad[i] / self.options.samples_per_step as f64;
-                }
-                evaluations += 1;
-            }
+            // Fan the chains out over the workers: chunk size 1 makes chunk index == chain
+            // index, and the chunk-order fold below averages the per-chain gradients in fixed
+            // chain order whatever thread ran which chain.
+            let (gradient, step_evaluations) = outer.map_reduce(
+                chains,
+                1,
+                |range| {
+                    let chain_index = range.start;
+                    let mut chain =
+                        states[chain_index].lock().expect("a chain worker panicked earlier");
+                    let chain = &mut *chain;
+                    self.chain_gradient(g, &theta, k, n_padded, chain, inner)
+                },
+                |(mut acc, evals): ([f64; 3], usize), (grad, chain_evals)| {
+                    for i in 0..3 {
+                        acc[i] += grad[i] / chains as f64;
+                    }
+                    (acc, evals + chain_evals)
+                },
+                ([0.0f64; 3], 0usize),
+            );
+            evaluations += step_evaluations;
 
             // Trust-region ascent step: normalise to infinity norm, decay the radius.
             let max_component = gradient.iter().map(|g| g.abs()).fold(0.0_f64, f64::max);
@@ -201,32 +287,138 @@ impl KronFitEstimator {
             );
         }
 
-        let final_ll = self.log_likelihood(g, &theta, k, &assignment);
+        // Final likelihood: averaged over the chains' terminal assignments, in chain order.
+        let final_ll = outer.map_reduce(
+            chains,
+            1,
+            |range| {
+                let chain = states[range.start].lock().expect("a chain worker panicked earlier");
+                self.log_likelihood(g, &theta, k, &chain.assignment, inner)
+            },
+            |acc: f64, ll| acc + ll / chains as f64,
+            0.0,
+        );
         FittedInitiator { theta: theta.canonicalized(), k, objective_value: -final_ll, evaluations }
     }
 
-    /// Approximate log-likelihood of `g` under `theta` for the current assignment.
-    fn log_likelihood(&self, g: &Graph, theta: &Initiator2, k: u32, asg: &Assignment) -> f64 {
-        let mut ll = closed_form_part(theta, k);
-        for &(u, v) in g.edges() {
-            let counts = digit_counts(asg.sigma[u as usize], asg.sigma[v as usize], k);
-            ll += edge_term(theta, counts);
-        }
-        ll
+    /// Splits the configured thread budget between the chain fan-out and the per-chain edge
+    /// sums. A pure heuristic: results are thread-count-independent at both levels, so only
+    /// speed is at stake.
+    fn split_parallelism(&self, chains: usize) -> (Parallelism, Parallelism) {
+        let threads = self.options.parallelism().threads();
+        let outer = Parallelism::new(threads.min(chains));
+        let inner = Parallelism::new((threads / chains).max(1));
+        (outer, inner)
     }
 
-    /// Gradient of the approximate log-likelihood with respect to `(a, b, c)`.
-    fn gradient(&self, g: &Graph, theta: &Initiator2, k: u32, asg: &Assignment) -> [f64; 3] {
-        let mut grad = closed_form_gradient(theta, k);
-        for &(u, v) in g.edges() {
-            let counts = digit_counts(asg.sigma[u as usize], asg.sigma[v as usize], k);
-            let p = edge_probability(theta, counts);
-            let weight = 1.0 + p + p * p;
-            grad[0] += counts.0 as f64 / theta.a * weight;
-            grad[1] += counts.1 as f64 / theta.b * weight;
-            grad[2] += counts.2 as f64 / theta.c * weight;
+    /// One ascent step of a single chain: warm-up swaps, then `samples_per_step` spaced-out
+    /// permutation samples whose gradients are averaged. Returns the chain's averaged gradient
+    /// and the number of gradient evaluations spent.
+    fn chain_gradient(
+        &self,
+        g: &Graph,
+        theta: &Initiator2,
+        k: u32,
+        n_padded: usize,
+        chain: &mut Chain,
+        par: Parallelism,
+    ) -> ([f64; 3], usize) {
+        self.run_swaps(
+            g,
+            theta,
+            k,
+            n_padded,
+            &mut chain.assignment,
+            self.options.warmup_swaps,
+            &mut chain.rng,
+        );
+        let mut gradient = [0.0f64; 3];
+        let samples = self.options.samples_per_step.max(1);
+        for sample in 0..samples {
+            if sample > 0 {
+                self.run_swaps(
+                    g,
+                    theta,
+                    k,
+                    n_padded,
+                    &mut chain.assignment,
+                    self.options.swaps_between_samples,
+                    &mut chain.rng,
+                );
+            }
+            let grad = self.gradient(g, theta, k, &chain.assignment, par);
+            for i in 0..3 {
+                gradient[i] += grad[i] / samples as f64;
+            }
         }
-        grad
+        (gradient, samples)
+    }
+
+    /// Approximate log-likelihood of `g` under `theta` for the given assignment, with the
+    /// per-edge sum partitioned over fixed [`EDGE_CHUNK`]-sized chunks.
+    fn log_likelihood(
+        &self,
+        g: &Graph,
+        theta: &Initiator2,
+        k: u32,
+        asg: &Assignment,
+        par: Parallelism,
+    ) -> f64 {
+        let edges = g.edges();
+        let edge_sum = par.map_reduce(
+            edges.len(),
+            EDGE_CHUNK,
+            |range| {
+                edges[range]
+                    .iter()
+                    .map(|&(u, v)| {
+                        edge_term(
+                            theta,
+                            digit_counts(asg.sigma[u as usize], asg.sigma[v as usize], k),
+                        )
+                    })
+                    .sum::<f64>()
+            },
+            |acc: f64, m| acc + m,
+            0.0,
+        );
+        closed_form_part(theta, k) + edge_sum
+    }
+
+    /// Gradient of the approximate log-likelihood with respect to `(a, b, c)`, edge-partitioned
+    /// exactly like [`KronFitEstimator::log_likelihood`].
+    fn gradient(
+        &self,
+        g: &Graph,
+        theta: &Initiator2,
+        k: u32,
+        asg: &Assignment,
+        par: Parallelism,
+    ) -> [f64; 3] {
+        let edges = g.edges();
+        par.map_reduce(
+            edges.len(),
+            EDGE_CHUNK,
+            |range| {
+                let mut grad = [0.0f64; 3];
+                for &(u, v) in &edges[range] {
+                    let counts = digit_counts(asg.sigma[u as usize], asg.sigma[v as usize], k);
+                    let p = edge_probability(theta, counts);
+                    let weight = 1.0 + p + p * p;
+                    grad[0] += counts.0 as f64 / theta.a * weight;
+                    grad[1] += counts.1 as f64 / theta.b * weight;
+                    grad[2] += counts.2 as f64 / theta.c * weight;
+                }
+                grad
+            },
+            |mut acc: [f64; 3], m| {
+                for i in 0..3 {
+                    acc[i] += m[i];
+                }
+                acc
+            },
+            closed_form_gradient(theta, k),
+        )
     }
 
     /// Runs `swaps` Metropolis proposals, each swapping the Kronecker indices of two uniformly
@@ -312,8 +504,6 @@ mod tests {
     use super::*;
     use kronpriv_skg::moments::expected_edges;
     use kronpriv_skg::sample::{sample_fast, SamplerOptions};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn quick_options() -> KronFitOptions {
         KronFitOptions {
@@ -323,6 +513,10 @@ mod tests {
             swaps_between_samples: 500,
             ..Default::default()
         }
+    }
+
+    fn seq() -> Parallelism {
+        Parallelism::sequential()
     }
 
     #[test]
@@ -368,6 +562,33 @@ mod tests {
     }
 
     #[test]
+    fn closed_form_gradient_is_zero_at_order_zero() {
+        // Regression: `powi(k − 1)` for k = 0 is a reciprocal, which used to produce garbage
+        // gradients for empty/single-node graphs (`kronecker_order_for(1) == 0`). The closed
+        // form is constant at k = 0, so its gradient must vanish.
+        let theta = Initiator2::new(0.8, 0.5, 0.3);
+        assert_eq!(closed_form_gradient(&theta, 0), [0.0; 3]);
+    }
+
+    #[test]
+    fn order_zero_graphs_degenerate_to_the_clamped_initial_initiator() {
+        // A single-node graph (k = 0): the fit must return the clamped starting point instead
+        // of ascending along reciprocal garbage.
+        let g = Graph::empty(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fit = KronFitEstimator::default().fit_graph(&g, &mut rng);
+        assert_eq!(fit.k, 0);
+        assert_eq!(fit.evaluations, 0);
+        let expected = clamp_theta(
+            &KronFitOptions::default().initial,
+            KronFitOptions::default().min_parameter,
+        )
+        .canonicalized();
+        assert_eq!(fit.theta, expected);
+        assert!(fit.objective_value.is_finite());
+    }
+
+    #[test]
     fn full_gradient_matches_finite_differences_of_log_likelihood() {
         let truth = Initiator2::new(0.9, 0.55, 0.25);
         let mut rng = StdRng::seed_from_u64(1);
@@ -375,18 +596,42 @@ mod tests {
         let estimator = KronFitEstimator::default();
         let asg = Assignment::identity(1 << 7);
         let theta = Initiator2::new(0.8, 0.5, 0.3);
-        let grad = estimator.gradient(&g, &theta, 7, &asg);
+        let grad = estimator.gradient(&g, &theta, 7, &asg, seq());
         let h = 1e-6;
         for i in 0..3 {
             let mut plus = theta.as_array();
             let mut minus = theta.as_array();
             plus[i] += h;
             minus[i] -= h;
-            let ll_plus = estimator.log_likelihood(&g, &Initiator2::from_array(plus), 7, &asg);
-            let ll_minus = estimator.log_likelihood(&g, &Initiator2::from_array(minus), 7, &asg);
+            let ll_plus =
+                estimator.log_likelihood(&g, &Initiator2::from_array(plus), 7, &asg, seq());
+            let ll_minus =
+                estimator.log_likelihood(&g, &Initiator2::from_array(minus), 7, &asg, seq());
             let numerical = (ll_plus - ll_minus) / (2.0 * h);
             let rel = (grad[i] - numerical).abs() / numerical.abs().max(1.0);
             assert!(rel < 1e-3, "component {i}: analytic {} numeric {numerical}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn edge_partitioned_sums_are_bit_identical_for_any_thread_count() {
+        let truth = Initiator2::new(0.95, 0.5, 0.2);
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = sample_fast(&truth, 13, &SamplerOptions::default(), &mut rng);
+        assert!(g.edge_count() > 4 * EDGE_CHUNK, "want a multi-chunk edge sum");
+        let estimator = KronFitEstimator::default();
+        let asg = Assignment::identity(1 << 13);
+        let theta = Initiator2::new(0.85, 0.45, 0.3);
+        let ll_ref = estimator.log_likelihood(&g, &theta, 13, &asg, seq());
+        let grad_ref = estimator.gradient(&g, &theta, 13, &asg, seq());
+        for threads in [2usize, 8] {
+            let par = Parallelism::new(threads);
+            let ll = estimator.log_likelihood(&g, &theta, 13, &asg, par);
+            assert_eq!(ll.to_bits(), ll_ref.to_bits(), "threads {threads}: log-likelihood");
+            let grad = estimator.gradient(&g, &theta, 13, &asg, par);
+            for i in 0..3 {
+                assert_eq!(grad[i].to_bits(), grad_ref[i].to_bits(), "threads {threads}: grad");
+            }
         }
     }
 
@@ -398,11 +643,11 @@ mod tests {
         let estimator = KronFitEstimator::default();
         let theta = Initiator2::new(0.85, 0.45, 0.3);
         let mut asg = Assignment::identity(1 << 6);
-        let before = estimator.log_likelihood(&g, &theta, 6, &asg);
+        let before = estimator.log_likelihood(&g, &theta, 6, &asg, seq());
         for &(u, v) in [(0usize, 5usize), (3, 60), (10, 11), (7, 63)].iter() {
             let predicted = estimator.swap_delta(&g, &theta, 6, &asg, u, v);
             asg.swap_nodes(u, v);
-            let after = estimator.log_likelihood(&g, &theta, 6, &asg);
+            let after = estimator.log_likelihood(&g, &theta, 6, &asg, seq());
             assert!(
                 (after - before - predicted).abs() < 1e-9,
                 "swap ({u},{v}): predicted {predicted}, actual {}",
@@ -423,17 +668,18 @@ mod tests {
         let estimator = KronFitEstimator::default();
         let theta = Initiator2::new(0.9, 0.5, 0.2);
         let n_padded = 1 << 8;
-        let identity_ll = estimator.log_likelihood(&g, &theta, 8, &Assignment::identity(n_padded));
+        let identity_ll =
+            estimator.log_likelihood(&g, &theta, 8, &Assignment::identity(n_padded), seq());
         let mut asg = Assignment::identity(n_padded);
         // Scramble with a fixed pseudo-random pass of transpositions.
         for i in 0..n_padded {
             let j = (i * 97 + 31) % n_padded;
             asg.swap_nodes(i, j);
         }
-        let scrambled_ll = estimator.log_likelihood(&g, &theta, 8, &asg);
+        let scrambled_ll = estimator.log_likelihood(&g, &theta, 8, &asg, seq());
         assert!(scrambled_ll < identity_ll - 50.0, "scrambling should hurt the likelihood");
         estimator.run_swaps(&g, &theta, 8, n_padded, &mut asg, 60_000, &mut rng);
-        let recovered_ll = estimator.log_likelihood(&g, &theta, 8, &asg);
+        let recovered_ll = estimator.log_likelihood(&g, &theta, 8, &asg, seq());
         let recovered_fraction = (recovered_ll - scrambled_ll) / (identity_ll - scrambled_ll);
         assert!(
             recovered_fraction > 0.5,
@@ -454,6 +700,7 @@ mod tests {
             &quick_options().initial,
             k,
             &Assignment::identity(1 << k),
+            seq(),
         );
         let fit = estimator.fit_graph(&g, &mut rng);
         assert!(
@@ -467,7 +714,7 @@ mod tests {
     fn fit_recovers_synthetic_parameters_roughly() {
         // KronFit on a 2^10-node synthetic graph: the paper's Table 1 shows KronFit estimates
         // differing from the truth by up to ~0.05 in each entry; allow a somewhat wider band at
-        // this reduced size and step budget.
+        // this reduced size and step budget. Runs under the multi-chain default (4 chains).
         let truth = Initiator2::new(0.99, 0.45, 0.25);
         let mut rng = StdRng::seed_from_u64(5);
         let g = sample_fast(&truth, 10, &SamplerOptions::default(), &mut rng);
@@ -508,5 +755,37 @@ mod tests {
                 .theta
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn chain_count_is_an_algorithm_parameter() {
+        // Unlike the thread knob, changing the chain count changes which split streams drive
+        // the fit, so the result is allowed — indeed expected — to differ.
+        let truth = Initiator2::new(0.95, 0.5, 0.2);
+        let g = sample_fast(&truth, 8, &SamplerOptions::default(), &mut StdRng::seed_from_u64(9));
+        let run = |chains: usize| {
+            let options = KronFitOptions { chains, ..quick_options() };
+            KronFitEstimator::new(options).fit_graph(&g, &mut StdRng::seed_from_u64(10)).theta
+        };
+        assert_ne!(run(1), run(4));
+    }
+
+    #[test]
+    fn options_json_defaults_chains_and_compute_threads_when_omitted() {
+        let options = KronFitOptions { chains: 3, compute_threads: 5, ..Default::default() };
+        let text = kronpriv_json::to_string(&options);
+        assert!(text.contains("\"chains\":3"), "{text}");
+        assert!(text.contains("\"compute_threads\":5"), "{text}");
+        let back: KronFitOptions = kronpriv_json::from_str(&text).unwrap();
+        assert_eq!(back.chains, 3);
+        assert_eq!(back.compute_threads, 5);
+        // Back-compat: a pre-multi-chain options document still parses with the defaults.
+        let legacy = text.replace(",\"chains\":3,\"compute_threads\":5", "");
+        let back: KronFitOptions = kronpriv_json::from_str(&legacy).unwrap();
+        assert_eq!(back.chains, 4);
+        assert_eq!(back.compute_threads, 0);
+        // The pre-existing fields remain required.
+        let missing = legacy.replace("\"warmup_swaps\":20000,", "");
+        assert!(kronpriv_json::from_str::<KronFitOptions>(&missing).is_err());
     }
 }

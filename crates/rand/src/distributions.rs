@@ -123,8 +123,13 @@ macro_rules! impl_sample_range_float {
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
                 let (lo, hi) = self.into_inner();
                 assert!(lo <= hi, "gen_range: empty range");
-                let unit = unit_f64(rng.next_u64()) as $ty;
-                lo + unit * (hi - lo)
+                // The CLOSED unit interval: 53 uniform bits divided by 2^53 − 1 reach both
+                // 0.0 and exactly 1.0, so — unlike the half-open `a..b` mapping — `hi` itself
+                // is a possible draw, as the inclusive contract promises. The final `min`
+                // clamps the one-ulp overshoot `lo + 1.0·(hi − lo)` can produce when the
+                // subtraction rounds up.
+                let unit = ((rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64) as $ty;
+                (lo + unit * (hi - lo)).min(hi)
             }
         }
     )+};
@@ -156,6 +161,41 @@ mod tests {
             seen[uniform_u64(&mut rng, 7) as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    /// A generator pinned to one 64-bit word, for driving samplers onto their extreme outputs.
+    struct ConstRng(u64);
+
+    impl RngCore for ConstRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_reaches_both_endpoints() {
+        // Regression: the inclusive sampler used to reuse the half-open [0, 1) unit mapping,
+        // so `gen_range(a..=b)` could never return `b` — the all-ones draw must now land on
+        // the upper endpoint exactly, and the all-zeros draw on the lower one.
+        assert_eq!((3.0..=3.5).sample_from(&mut ConstRng(u64::MAX)), 3.5);
+        assert_eq!((3.0..=3.5).sample_from(&mut ConstRng(0)), 3.0);
+        assert_eq!((-2.0..=7.0).sample_from(&mut ConstRng(u64::MAX)), 7.0);
+        // Degenerate single-point range: always that point.
+        assert_eq!((1.25..=1.25).sample_from(&mut ConstRng(u64::MAX)), 1.25);
+        assert_eq!((1.25..=1.25).sample_from(&mut ConstRng(12345)), 1.25);
+    }
+
+    #[test]
+    fn inclusive_float_range_stays_inside_its_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let x = (0.25..=0.75).sample_from(&mut rng);
+            assert!((0.25..=0.75).contains(&x), "sample {x} escaped the range");
+            sum += x;
+        }
+        let mean = sum / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from the range midpoint");
     }
 
     #[test]

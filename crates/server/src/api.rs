@@ -10,7 +10,9 @@
 
 use crate::jobs::JobStatus;
 use kronpriv_dp::{ParamError, PrivacyParams};
-use kronpriv_estimate::{PrivateEstimate, PrivateEstimatorOptions};
+use kronpriv_estimate::{
+    FittedInitiator, KronFitOptions, PrivateEstimate, PrivateEstimatorOptions,
+};
 use kronpriv_json::{impl_json_struct, impl_json_struct_lenient, Json};
 use kronpriv_skg::Initiator2;
 
@@ -90,20 +92,67 @@ pub struct GraphSpec {
 
 impl_json_struct_lenient!(GraphSpec { edge_list, skg });
 
-/// `POST /api/estimate`: run the full Algorithm 1 private release as a job.
+/// Which Table-1 column an `/api/estimate` job should produce.
+///
+/// Parsed from the request's optional `estimator` field; absent means [`EstimatorKind::Private`]
+/// so existing clients keep today's wire behaviour. The two baselines are **not differentially
+/// private** — they fit the exact uploaded graph and exist for side-by-side comparison with the
+/// private release, exactly as in the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorKind {
+    /// Algorithm 1, the paper's `(ε, δ)`-DP estimator (the default).
+    Private,
+    /// Gleich & Owen's moment-matching baseline (non-private).
+    KronMom,
+    /// Leskovec & Faloutsos's approximate-MLE baseline (non-private).
+    KronFit,
+}
+
+impl EstimatorKind {
+    /// Parses the wire spelling (`"private"`, `"kronmom"`, `"kronfit"`; `None` ⇒ private).
+    pub fn parse(raw: Option<&str>) -> Result<Self, String> {
+        match raw {
+            None | Some("private") => Ok(EstimatorKind::Private),
+            Some("kronmom") => Ok(EstimatorKind::KronMom),
+            Some("kronfit") => Ok(EstimatorKind::KronFit),
+            Some(other) => Err(format!(
+                "unknown estimator {other:?}; use \"private\", \"kronmom\" or \"kronfit\""
+            )),
+        }
+    }
+
+    /// The wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EstimatorKind::Private => "private",
+            EstimatorKind::KronMom => "kronmom",
+            EstimatorKind::KronFit => "kronfit",
+        }
+    }
+}
+
+/// `POST /api/estimate`: run an estimation job — by default the full Algorithm 1 private
+/// release, or one of the non-private Table-1 baselines when `estimator` says so.
 #[derive(Debug, Clone)]
 pub struct EstimateRequest {
     /// The sensitive input graph.
     pub graph: GraphSpec,
-    /// The total privacy budget to spend.
-    pub params: BudgetSpec,
-    /// Seed for all server-side randomness (graph realization and privacy noise). Identical
-    /// requests with identical seeds produce byte-identical result documents.
+    /// The total privacy budget to spend. Required for the private estimator; ignored by the
+    /// non-private baselines (which may omit it).
+    pub params: Option<BudgetSpec>,
+    /// Seed for all server-side randomness (graph realization, privacy noise, KronFit chains).
+    /// Identical requests with identical seeds produce byte-identical result documents.
     pub seed: u64,
-    /// Estimator options; defaults to [`PrivateEstimatorOptions::default`] when omitted.
+    /// Which estimator to run: `"private"` (default), `"kronmom"` or `"kronfit"`.
+    pub estimator: Option<String>,
+    /// Estimator options for the private pipeline (its `kronmom` block also configures the
+    /// KronMom baseline); defaults to [`PrivateEstimatorOptions::default`] when omitted.
     pub options: Option<PrivateEstimatorOptions>,
+    /// Options for the KronFit baseline; defaults to [`KronFitOptions::default`] when omitted.
+    /// Only consulted when `estimator` is `"kronfit"`.
+    pub kronfit: Option<KronFitOptions>,
     /// When true, the result document includes the released private degree sequence (it can be
-    /// large — one number per node — so it is opt-in).
+    /// large — one number per node — so it is opt-in). Private estimator only.
     pub include_degree_sequence: Option<bool>,
 }
 
@@ -111,7 +160,9 @@ impl_json_struct_lenient!(EstimateRequest {
     graph,
     params,
     seed,
+    estimator,
     options,
+    kronfit,
     include_degree_sequence,
 });
 
@@ -180,6 +231,43 @@ impl EstimateResult {
                 params: BudgetSpec::of(t.params),
             }),
             degree_sequence: include_degrees.then(|| estimate.degree_release.degrees.clone()),
+        }
+    }
+}
+
+/// The result document of a finished **baseline** (non-private) estimation job: the KronFit or
+/// KronMom column of Table 1. Deliberately a separate document type from [`EstimateResult`]:
+/// it carries no privacy fields at all, so a client can never mistake a baseline fit for a
+/// released `(ε, δ)`-private estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult {
+    /// The seed the job ran with (echoed for reproducibility).
+    pub seed: u64,
+    /// Which baseline produced the fit: `"kronfit"` or `"kronmom"`.
+    pub estimator: String,
+    /// The fitted initiator (canonical form, `a ≥ c`). **Not differentially private.**
+    pub theta: InitiatorSpec,
+    /// The Kronecker order of the fit.
+    pub k: u32,
+    /// Final objective value (moment discrepancy for KronMom, negative approximate
+    /// log-likelihood for KronFit).
+    pub objective_value: f64,
+    /// Objective/likelihood evaluations spent.
+    pub evaluations: u64,
+}
+
+impl_json_struct!(BaselineResult { seed, estimator, theta, k, objective_value, evaluations });
+
+impl BaselineResult {
+    /// Projects a library [`FittedInitiator`] onto the baseline wire document.
+    pub fn from_fit(kind: EstimatorKind, fit: &FittedInitiator, seed: u64) -> Self {
+        BaselineResult {
+            seed,
+            estimator: kind.as_str().to_string(),
+            theta: InitiatorSpec::of(&fit.theta),
+            k: fit.k,
+            objective_value: fit.objective_value,
+            evaluations: fit.evaluations as u64,
         }
     }
 }
@@ -287,10 +375,53 @@ mod tests {
         }"#;
         let req: EstimateRequest = from_str(body).unwrap();
         assert_eq!(req.seed, 7);
+        assert!(req.estimator.is_none());
         assert!(req.options.is_none());
+        assert!(req.kronfit.is_none());
         assert!(req.include_degree_sequence.is_none());
         assert!(req.graph.edge_list.is_none());
         assert_eq!(req.graph.skg.unwrap().k, 8);
+        assert_eq!(req.params.unwrap().epsilon, 1.0);
+    }
+
+    #[test]
+    fn estimator_kind_parses_the_wire_spellings() {
+        assert_eq!(EstimatorKind::parse(None), Ok(EstimatorKind::Private));
+        assert_eq!(EstimatorKind::parse(Some("private")), Ok(EstimatorKind::Private));
+        assert_eq!(EstimatorKind::parse(Some("kronmom")), Ok(EstimatorKind::KronMom));
+        assert_eq!(EstimatorKind::parse(Some("kronfit")), Ok(EstimatorKind::KronFit));
+        assert!(EstimatorKind::parse(Some("Private")).is_err(), "spellings are case-sensitive");
+        assert!(EstimatorKind::parse(Some("mle")).is_err());
+    }
+
+    #[test]
+    fn baseline_requests_may_omit_the_privacy_budget() {
+        let body = r#"{
+            "graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 8}},
+            "estimator": "kronfit",
+            "seed": 7
+        }"#;
+        let req: EstimateRequest = from_str(body).unwrap();
+        assert!(req.params.is_none());
+        assert_eq!(req.estimator.as_deref(), Some("kronfit"));
+    }
+
+    #[test]
+    fn baseline_result_carries_no_privacy_fields() {
+        let fit = FittedInitiator {
+            theta: Initiator2::new(0.9, 0.5, 0.2),
+            k: 8,
+            objective_value: -123.4,
+            evaluations: 320,
+        };
+        let doc = BaselineResult::from_fit(EstimatorKind::KronFit, &fit, 9);
+        let text = to_string(&doc);
+        assert!(text.contains("\"estimator\":\"kronfit\""), "{text}");
+        for leaked in ["params", "epsilon", "private_statistics", "triangle_release"] {
+            assert!(!text.contains(leaked), "baseline doc must not mention {leaked}: {text}");
+        }
+        let back: BaselineResult = from_str(&text).unwrap();
+        assert_eq!(back, doc);
     }
 
     #[test]

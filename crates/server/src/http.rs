@@ -7,6 +7,7 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Instant;
 
 /// Upper bound on the request head (request line + headers), in bytes.
 pub const MAX_HEAD_BYTES: u64 = 16 * 1024;
@@ -45,6 +46,10 @@ pub enum HttpError {
     Malformed(&'static str),
     /// The head or the declared body exceeded the configured limits.
     TooLarge,
+    /// The request did not arrive in full before the per-request wall-clock deadline. The
+    /// per-`read(2)` socket timeout cannot catch a slowloris client dripping one byte per
+    /// interval; this overall deadline does.
+    Timeout,
 }
 
 impl std::fmt::Display for HttpError {
@@ -53,6 +58,9 @@ impl std::fmt::Display for HttpError {
             HttpError::Io(e) => write!(f, "I/O error reading request: {e}"),
             HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
             HttpError::TooLarge => write!(f, "request exceeds the size limits"),
+            HttpError::Timeout => {
+                write!(f, "request did not complete within the server's deadline")
+            }
         }
     }
 }
@@ -71,10 +79,18 @@ impl From<io::Error> for HttpError {
 /// the guard (the final line arrives without its newline) is reported as [`HttpError::TooLarge`].
 /// The body is read only when a valid `Content-Length` is present, and is bounded by
 /// [`MAX_BODY_BYTES`].
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
+///
+/// `deadline` is the wall-clock instant by which the **whole** request must have arrived. It is
+/// checked between buffer refills, so a client dripping bytes slowly enough to keep the
+/// per-read socket timeout happy still gets cut off with [`HttpError::Timeout`] (the 408 path);
+/// the worst-case overshoot is one socket read timeout past the deadline.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    deadline: Instant,
+) -> Result<Request, HttpError> {
     let mut head = reader.by_ref().take(MAX_HEAD_BYTES);
 
-    let request_line = read_head_line(&mut head)?;
+    let request_line = read_head_line(&mut head, deadline)?;
     let mut parts = request_line.split_whitespace();
     let method = parts.next().ok_or(HttpError::Malformed("empty request line"))?.to_string();
     let path = parts.next().ok_or(HttpError::Malformed("request line has no target"))?.to_string();
@@ -88,7 +104,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpEr
 
     let mut headers = Vec::new();
     loop {
-        let line = read_head_line(&mut head)?;
+        let line = read_head_line(&mut head, deadline)?;
         if line.is_empty() {
             break;
         }
@@ -114,37 +130,70 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpEr
             return Err(HttpError::TooLarge);
         }
         // Size the buffer by the bytes that actually arrive, not the declared length, so an
-        // attacker declaring a huge Content-Length and sending nothing holds no memory.
-        reader.take(len as u64).read_to_end(&mut body)?;
-        if body.len() < len {
-            return Err(HttpError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed before the declared body length",
-            )));
+        // attacker declaring a huge Content-Length and sending nothing holds no memory. The
+        // chunk-at-a-time loop (instead of one `read_to_end`) is what lets the overall
+        // deadline interrupt a drip-fed body.
+        let mut remaining = len;
+        while remaining > 0 {
+            if Instant::now() >= deadline {
+                return Err(HttpError::Timeout);
+            }
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                return Err(HttpError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before the declared body length",
+                )));
+            }
+            let take = chunk.len().min(remaining);
+            body.extend_from_slice(&chunk[..take]);
+            reader.consume(take);
+            remaining -= take;
         }
     }
     Ok(Request { body, ..request })
 }
 
 /// Reads one CRLF- (or bare-LF-) terminated line of the request head, without its terminator.
-/// An EOF before any byte of the very first line is reported as `UnexpectedEof`; a line that
-/// ends at the `take` limit without a newline means the head is over budget.
-fn read_head_line(head: &mut impl BufRead) -> Result<String, HttpError> {
-    let mut line = String::new();
-    let n = head.read_line(&mut line)?;
-    if n == 0 {
-        return Err(HttpError::Io(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "connection closed mid-request",
-        )));
+/// An EOF before any byte of the line is reported as `UnexpectedEof`; running dry mid-line
+/// means the head hit the `take` budget. The deadline is checked before every buffer refill so
+/// a drip-fed head cannot hold the worker past it.
+fn read_head_line(head: &mut impl BufRead, deadline: Instant) -> Result<String, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if Instant::now() >= deadline {
+            return Err(HttpError::Timeout);
+        }
+        let available = head.fill_buf()?;
+        if available.is_empty() {
+            if line.is_empty() {
+                return Err(HttpError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-request",
+                )));
+            }
+            // Bytes arrived but the newline never did: either the head budget ran out or the
+            // peer closed mid-line. Both were reported as TooLarge before the deadline existed;
+            // keep that mapping.
+            return Err(HttpError::TooLarge);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                line.extend_from_slice(&available[..newline]);
+                head.consume(newline + 1);
+                while matches!(line.last(), Some(b'\r')) {
+                    line.pop();
+                }
+                return String::from_utf8(line)
+                    .map_err(|_| HttpError::Malformed("request head is not valid UTF-8"));
+            }
+            None => {
+                let n = available.len();
+                line.extend_from_slice(available);
+                head.consume(n);
+            }
+        }
     }
-    if !line.ends_with('\n') {
-        return Err(HttpError::TooLarge);
-    }
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
-    }
-    Ok(line)
 }
 
 /// An HTTP response: a status code plus a JSON body.
@@ -184,6 +233,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         _ => "Unknown",
@@ -197,7 +247,8 @@ mod tests {
     use std::net::{TcpListener, TcpStream};
 
     /// Feeds raw bytes through a real localhost socket pair so `read_request` sees a
-    /// `BufReader<TcpStream>` exactly as in production.
+    /// `BufReader<TcpStream>` exactly as in production. The deadline is generous: these tests
+    /// exercise parsing, not the slow-client cutoff (see `server::tests` for that).
     fn parse_raw(raw: &[u8]) -> Result<Request, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -206,7 +257,19 @@ mod tests {
         client.write_all(raw).unwrap();
         drop(client); // close so an under-declared body hits EOF instead of blocking
         let mut reader = StdBufReader::new(server);
-        read_request(&mut reader)
+        read_request(&mut reader, Instant::now() + std::time::Duration::from_secs(30))
+    }
+
+    #[test]
+    fn an_expired_deadline_reports_timeout_not_a_parse_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let mut reader = StdBufReader::new(server);
+        let res = read_request(&mut reader, Instant::now());
+        assert!(matches!(res, Err(HttpError::Timeout)), "{res:?}");
     }
 
     #[test]

@@ -3,17 +3,22 @@
 //! [`ErrorBody`], never a worker panic.
 
 use crate::api::{
-    ErrorBody, EstimateRequest, EstimateResult, HealthResponse, JobResponse, SampleRequest,
-    SampleResponse, SubmitResponse,
+    BaselineResult, ErrorBody, EstimateRequest, EstimateResult, EstimatorKind, HealthResponse,
+    JobResponse, SampleRequest, SampleResponse, SubmitResponse,
 };
 use crate::http::{Request, Response};
 use crate::jobs::{JobStatus, JobStore};
-use kronpriv::pipeline::{try_private_estimate, validate_estimator_inputs};
+use kronpriv::pipeline::{
+    try_kronfit_estimate, try_kronmom_estimate, try_private_estimate, validate_estimator_inputs,
+};
+use kronpriv_estimate::{KronFitOptions, KronMomOptions};
 use kronpriv_graph::io::{parse_edge_list_reader, to_edge_list_string};
+use kronpriv_graph::Graph;
 use kronpriv_json::{from_str, to_string, ToJson};
 use kronpriv_skg::sample::{sample_fast, SamplerOptions};
+use kronpriv_skg::Initiator2;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Shared state the handlers operate on.
 pub struct AppState {
@@ -95,6 +100,103 @@ fn parse_body<T: kronpriv_json::FromJson>(request: &Request) -> Result<T, Respon
     from_str::<T>(text).map_err(|e| error(400, format!("invalid request body: {e}")))
 }
 
+/// Upper bound on the *total* Metropolis proposals one KronFit request may run
+/// (`gradient_steps × chains × per-step swaps`). Per-knob caps alone compose multiplicatively
+/// into weeks of CPU; bounding the product is what actually protects the estimation workers.
+/// 10⁹ proposals is minutes of work — ~150× the default configuration — so real fits pass.
+const MAX_KRONFIT_TOTAL_SWAPS: u128 = 1_000_000_000;
+
+/// Basic sanity bounds on wire-supplied KronFit options: reject parameter values that would
+/// make the ascent numerically meaningless (non-positive clamps) or let one request hog an
+/// estimation worker with an absurd iteration budget.
+fn validate_kronfit_options(options: &KronFitOptions) -> Result<(), String> {
+    if options.chains == 0 || options.chains > 64 {
+        return Err(format!("kronfit.chains must be in 1..=64, got {}", options.chains));
+    }
+    if options.samples_per_step == 0 || options.samples_per_step > 64 {
+        return Err(format!(
+            "kronfit.samples_per_step must be in 1..=64, got {}",
+            options.samples_per_step
+        ));
+    }
+    // Swap-free configurations are still bounded by their O(edges) gradient evaluations.
+    let evaluations =
+        options.gradient_steps as u128 * options.chains as u128 * options.samples_per_step as u128;
+    if evaluations > 1_000_000 {
+        return Err(format!(
+            "kronfit gradient budget too large: gradient_steps x chains x samples_per_step \
+             = {evaluations} evaluations exceeds the limit of 1000000"
+        ));
+    }
+    let per_step_swaps = options.warmup_swaps as u128
+        + (options.samples_per_step as u128 - 1) * options.swaps_between_samples as u128;
+    let total_swaps = options.gradient_steps as u128 * options.chains as u128 * per_step_swaps;
+    if total_swaps > MAX_KRONFIT_TOTAL_SWAPS {
+        return Err(format!(
+            "kronfit iteration budget too large: gradient_steps x chains x per-step swaps \
+             = {total_swaps} proposals exceeds the limit of {MAX_KRONFIT_TOTAL_SWAPS}"
+        ));
+    }
+    if !(options.min_parameter.is_finite() && options.min_parameter > 0.0) {
+        return Err(format!(
+            "kronfit.min_parameter must be a positive number, got {}",
+            options.min_parameter
+        ));
+    }
+    if !(options.learning_rate.is_finite() && options.learning_rate > 0.0) {
+        return Err(format!(
+            "kronfit.learning_rate must be a positive number, got {}",
+            options.learning_rate
+        ));
+    }
+    for (name, v) in [("a", options.initial.a), ("b", options.initial.b), ("c", options.initial.c)]
+    {
+        if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+            return Err(format!("kronfit.initial.{name}={v} must lie in [0,1]"));
+        }
+    }
+    Ok(())
+}
+
+/// Sanity bounds on wire-supplied KronMom options (reached both via the `"kronmom"` baseline
+/// and as the fitting stage of the private pipeline): the multistart grid is **cubic** in
+/// `grid_points_per_axis`, so an absurd value would pin an estimation worker or exhaust memory
+/// before a single objective evaluation finishes.
+fn validate_kronmom_options(options: &KronMomOptions) -> Result<(), String> {
+    if options.grid_points_per_axis == 0 || options.grid_points_per_axis > 64 {
+        return Err(format!(
+            "kronmom.grid_points_per_axis must be in 1..=64, got {}",
+            options.grid_points_per_axis
+        ));
+    }
+    if options.refine_top > 64 {
+        return Err(format!("kronmom.refine_top must be at most 64, got {}", options.refine_top));
+    }
+    if options.max_evaluations > 1_000_000 {
+        return Err(format!(
+            "kronmom.max_evaluations must be at most 1000000, got {}",
+            options.max_evaluations
+        ));
+    }
+    Ok(())
+}
+
+/// Realizes the job's input graph: parses the uploaded edge list, or samples the SKG spec from
+/// the job RNG. Exactly one of the two is present (validated before submission).
+fn materialize_graph<R: Rng + ?Sized>(
+    edge_list: &Option<String>,
+    skg: Option<(Initiator2, u32)>,
+    rng: &mut R,
+) -> Result<Graph, String> {
+    match (edge_list, skg) {
+        (Some(text), None) => {
+            parse_edge_list_reader(text.as_bytes()).map_err(|e| format!("edge list rejected: {e}"))
+        }
+        (None, Some((theta, k))) => Ok(sample_fast(&theta, k, &SamplerOptions::default(), rng)),
+        _ => unreachable!("graph spec validated before submission"),
+    }
+}
+
 fn estimate(state: &AppState, request: &Request) -> Response {
     let req: EstimateRequest = match parse_body(request) {
         Ok(req) => req,
@@ -102,18 +204,10 @@ fn estimate(state: &AppState, request: &Request) -> Response {
     };
     // Validate everything that does not require touching the (possibly large) graph, so bad
     // requests are rejected on the connection thread with a 400 instead of failing as jobs.
-    let params = match req.params.validate() {
-        Ok(params) => params,
-        Err(e) => return error(400, e.to_string()),
+    let kind = match EstimatorKind::parse(req.estimator.as_deref()) {
+        Ok(kind) => kind,
+        Err(e) => return error(400, e),
     };
-    let mut options = req.options.unwrap_or_default();
-    // The server owns its compute resources: the configured thread count overrides whatever the
-    // request carried. Safe because the parallel kernels are deterministic for any thread
-    // count, so this cannot change the result document.
-    options.compute_threads = state.compute_threads;
-    if let Err(e) = validate_estimator_inputs(params, &options) {
-        return error(400, e.to_string());
-    }
     let skg = match (&req.graph.edge_list, &req.graph.skg) {
         (Some(_), None) => None,
         (None, Some(skg)) => {
@@ -134,24 +228,70 @@ fn estimate(state: &AppState, request: &Request) -> Response {
     };
 
     let seed = req.seed;
-    let include_degrees = req.include_degree_sequence.unwrap_or(false);
     let edge_list = req.graph.edge_list;
-    let job_id = state.jobs.submit(move || {
-        // One seeded RNG drives both the optional SKG realization and the privacy noise, so the
-        // whole job is a pure function of the request document.
-        let mut rng = StdRng::seed_from_u64(seed);
-        let graph = match (&edge_list, skg) {
-            (Some(text), None) => parse_edge_list_reader(text.as_bytes())
-                .map_err(|e| format!("edge list rejected: {e}"))?,
-            (None, Some((theta, k))) => {
-                sample_fast(&theta, k, &SamplerOptions::default(), &mut rng)
+    // The server owns its compute resources: for every estimator the configured thread count
+    // overrides whatever the request carried. Safe because all parallel stages are
+    // deterministic for any thread count, so this cannot change the result document.
+    let job_id = match kind {
+        EstimatorKind::Private => {
+            let params = match req.params {
+                Some(spec) => match spec.validate() {
+                    Ok(params) => params,
+                    Err(e) => return error(400, e.to_string()),
+                },
+                None => return error(400, "params is required for the private estimator"),
+            };
+            let mut options = req.options.unwrap_or_default();
+            options.compute_threads = state.compute_threads;
+            if let Err(e) = validate_estimator_inputs(params, &options) {
+                return error(400, e.to_string());
             }
-            _ => unreachable!("graph spec validated before submission"),
-        };
-        let estimate = try_private_estimate(&graph, params, &options, &mut rng)
-            .map_err(|e| format!("estimation rejected: {e}"))?;
-        Ok(EstimateResult::from_estimate(&estimate, seed, include_degrees).to_json())
-    });
+            if let Err(e) = validate_kronmom_options(&options.kronmom) {
+                return error(400, e);
+            }
+            let include_degrees = req.include_degree_sequence.unwrap_or(false);
+            state.jobs.submit(move || {
+                // One seeded RNG drives both the optional SKG realization and the privacy
+                // noise, so the whole job is a pure function of the request document.
+                let mut rng = StdRng::seed_from_u64(seed);
+                let graph = materialize_graph(&edge_list, skg, &mut rng)?;
+                let estimate = try_private_estimate(&graph, params, &options, &mut rng)
+                    .map_err(|e| format!("estimation rejected: {e}"))?;
+                Ok(EstimateResult::from_estimate(&estimate, seed, include_degrees).to_json())
+            })
+        }
+        EstimatorKind::KronMom => {
+            let mut options = req.options.unwrap_or_default().kronmom;
+            options.compute_threads = state.compute_threads;
+            if let Err(e) = validate_kronmom_options(&options) {
+                return error(400, e);
+            }
+            state.jobs.submit(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let graph = materialize_graph(&edge_list, skg, &mut rng)?;
+                let fit = try_kronmom_estimate(&graph, &options)
+                    .map_err(|e| format!("estimation rejected: {e}"))?;
+                Ok(BaselineResult::from_fit(EstimatorKind::KronMom, &fit, seed).to_json())
+            })
+        }
+        EstimatorKind::KronFit => {
+            let mut options = req.kronfit.unwrap_or_default();
+            options.compute_threads = state.compute_threads;
+            if let Err(e) = validate_kronfit_options(&options) {
+                return error(400, e);
+            }
+            state.jobs.submit(move || {
+                // The same seeded RNG realizes the optional SKG input and then seeds the
+                // multi-chain permutation sampling, so the fit is a pure function of the
+                // request document (and independent of --compute-threads).
+                let mut rng = StdRng::seed_from_u64(seed);
+                let graph = materialize_graph(&edge_list, skg, &mut rng)?;
+                let fit = try_kronfit_estimate(&graph, &options, &mut rng)
+                    .map_err(|e| format!("estimation rejected: {e}"))?;
+                Ok(BaselineResult::from_fit(EstimatorKind::KronFit, &fit, seed).to_json())
+            })
+        }
+    };
     ok_json(202, &SubmitResponse { job_id, status: JobStatus::Queued })
 }
 
@@ -308,7 +448,71 @@ mod tests {
         let state = state();
         for (body, needle) in [
             ("{", "invalid request body"),
-            ("{\"seed\": 1}", "invalid request body"),
+            // `params` became optional with the estimator selector, so a bare seed now gets
+            // past parsing and fails on the graph spec instead.
+            ("{\"seed\": 1}", "exactly one of"),
+            (
+                r#"{"graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 8}},
+                   "seed": 1}"#,
+                "params is required",
+            ),
+            (
+                r#"{"graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 8}},
+                   "estimator": "mle",
+                   "params": {"epsilon": 1.0, "delta": 0.01}, "seed": 1}"#,
+                "unknown estimator",
+            ),
+            (
+                r#"{"graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 8}},
+                   "estimator": "kronfit", "seed": 1,
+                   "kronfit": {"gradient_steps": 5, "warmup_swaps": 100,
+                               "samples_per_step": 2, "swaps_between_samples": 50,
+                               "learning_rate": 0.06, "min_parameter": 0.001,
+                               "initial": {"a": 0.9, "b": 0.6, "c": 0.2}, "chains": 0}}"#,
+                "kronfit.chains",
+            ),
+            // Per-knob values can be individually sane while multiplying into an absurd total
+            // budget; the product caps must catch that.
+            (
+                r#"{"graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 8}},
+                   "estimator": "kronfit", "seed": 1,
+                   "kronfit": {"gradient_steps": 10000, "warmup_swaps": 10000000,
+                               "samples_per_step": 64, "swaps_between_samples": 10000000,
+                               "learning_rate": 0.06, "min_parameter": 0.001,
+                               "initial": {"a": 0.9, "b": 0.6, "c": 0.2}, "chains": 64}}"#,
+                "kronfit gradient budget too large",
+            ),
+            (
+                r#"{"graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 8}},
+                   "estimator": "kronfit", "seed": 1,
+                   "kronfit": {"gradient_steps": 1000, "warmup_swaps": 10000000,
+                               "samples_per_step": 2, "swaps_between_samples": 10000000,
+                               "learning_rate": 0.06, "min_parameter": 0.001,
+                               "initial": {"a": 0.9, "b": 0.6, "c": 0.2}, "chains": 64}}"#,
+                "kronfit iteration budget too large",
+            ),
+            // KronMom options are bounded too — via the baseline selector and equally via the
+            // private pipeline that embeds them (the grid is cubic in grid_points_per_axis).
+            (
+                r#"{"graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 8}},
+                   "estimator": "kronmom", "seed": 1,
+                   "options": {"degree_budget_fraction": 0.5,
+                               "exact_smooth_sensitivity": false, "degrees_only": false,
+                               "triangle_signal_threshold": 2.0,
+                               "kronmom": {"grid_points_per_axis": 100000, "refine_top": 5,
+                                           "max_evaluations": 4000}}}"#,
+                "kronmom.grid_points_per_axis",
+            ),
+            (
+                r#"{"graph": {"skg": {"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 8}},
+                   "params": {"epsilon": 1.0, "delta": 0.01}, "seed": 1,
+                   "options": {"degree_budget_fraction": 0.5,
+                               "exact_smooth_sensitivity": false, "degrees_only": false,
+                               "triangle_signal_threshold": 2.0,
+                               "kronmom": {"grid_points_per_axis": 7, "refine_top": 5,
+                                           "max_evaluations": 99000000}}}"#,
+                "kronmom.max_evaluations",
+            ),
             (
                 r#"{"graph": {}, "params": {"epsilon": 1.0, "delta": 0.01}, "seed": 1}"#,
                 "exactly one of",
@@ -345,6 +549,78 @@ mod tests {
             assert!(response.body.contains(needle), "{} lacks {needle}", response.body);
         }
         assert_eq!(state.jobs.submitted(), 0, "a rejected request must not enqueue a job");
+    }
+
+    #[test]
+    fn baseline_estimators_produce_marked_non_private_documents() {
+        let state = state();
+        let kf = KronFitOptions {
+            gradient_steps: 6,
+            warmup_swaps: 400,
+            samples_per_step: 2,
+            swaps_between_samples: 100,
+            chains: 2,
+            ..Default::default()
+        };
+        for estimator in ["kronfit", "kronmom"] {
+            // Baselines need no privacy budget; the kronfit block is ignored by kronmom.
+            let body = format!(
+                r#"{{"graph": {{"skg": {{"theta": {{"a": 0.95, "b": 0.55, "c": 0.2}}, "k": 7}}}},
+                    "estimator": "{estimator}", "seed": 5, "kronfit": {}}}"#,
+                kronpriv_json::to_string(&kf)
+            );
+            let response = route(&state, &request("POST", "/api/estimate", &body));
+            assert_eq!(response.status, 202, "{estimator}: {}", response.body);
+            let id = body_json(&response).get("job_id").unwrap().as_f64().unwrap() as u64;
+            let snap = wait_for_job(&state, id);
+            assert_eq!(snap.status, JobStatus::Done, "{estimator}: {:?}", snap.error);
+            let result = snap.result.unwrap();
+            assert_eq!(result.get("estimator").unwrap().as_str(), Some(estimator));
+            let theta = result.get("theta").unwrap();
+            let a = theta.get("a").unwrap().as_f64().unwrap();
+            let c = theta.get("c").unwrap().as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&a) && a >= c);
+            // A baseline document must never look like a private release.
+            for absent in ["params", "private_statistics", "triangle_release"] {
+                assert!(result.get(absent).is_none(), "{estimator} result leaked {absent}");
+            }
+        }
+    }
+
+    #[test]
+    fn omitting_the_estimator_field_matches_explicit_private_byte_for_byte() {
+        let state = state();
+        let run = |body: &str| {
+            let response = route(&state, &request("POST", "/api/estimate", body));
+            assert_eq!(response.status, 202, "{}", response.body);
+            let id = body_json(&response).get("job_id").unwrap().as_f64().unwrap() as u64;
+            let snap = wait_for_job(&state, id);
+            assert_eq!(snap.status, JobStatus::Done, "{:?}", snap.error);
+            kronpriv_json::to_string(&snap.result.unwrap())
+        };
+        let explicit = SKG_BODY.replace("\"seed\": 11", "\"estimator\": \"private\", \"seed\": 11");
+        assert_eq!(run(SKG_BODY), run(&explicit));
+    }
+
+    #[test]
+    fn one_node_edge_lists_fail_cleanly_for_every_estimator() {
+        // Regression: "0 0" parses to a single node (self-loops are dropped), the k = 0 corner
+        // that used to reach the reciprocal `powi(-1)` gradient. Every estimator must fail the
+        // job with the empty-graph message instead.
+        let state = state();
+        for estimator in ["private", "kronmom", "kronfit"] {
+            let body = format!(
+                r#"{{"graph": {{"edge_list": "0 0\n"}}, "estimator": "{estimator}",
+                    "params": {{"epsilon": 1.0, "delta": 0.01}}, "seed": 1}}"#
+            );
+            let response = route(&state, &request("POST", "/api/estimate", &body));
+            assert_eq!(response.status, 202, "{estimator}: {}", response.body);
+            let id = body_json(&response).get("job_id").unwrap().as_f64().unwrap() as u64;
+            let snap = wait_for_job(&state, id);
+            assert_eq!(snap.status, JobStatus::Failed, "{estimator}");
+            let message = snap.error.unwrap();
+            assert!(message.contains("empty"), "{estimator}: {message}");
+        }
     }
 
     #[test]

@@ -29,8 +29,14 @@ pub struct ServerConfig {
     pub compute_threads: usize,
     /// Largest Kronecker order accepted by `/api/sample` and sampled-SKG inputs.
     pub max_order: u32,
-    /// Per-connection socket read/write timeout.
+    /// Per-connection socket read/write timeout (per `read(2)`/`write(2)` call).
     pub io_timeout: Duration,
+    /// Overall wall-clock budget for *reading one request*. The per-call `io_timeout` resets on
+    /// every byte, so a slowloris client dripping one byte per interval could hold an HTTP
+    /// worker indefinitely while staying inside the head-size limit; this deadline cuts such a
+    /// connection off with a `408 Request Timeout` instead (worst-case overshoot: one
+    /// `io_timeout`).
+    pub request_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +48,7 @@ impl Default for ServerConfig {
             compute_threads: 0,
             max_order: 16,
             io_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(30),
         }
     }
 }
@@ -103,6 +110,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let pool = ThreadPool::new(config.workers, "kronpriv-http");
     let flag = Arc::clone(&shutdown);
     let io_timeout = config.io_timeout;
+    let request_deadline = config.request_deadline;
     let accept = thread::Builder::new().name("kronpriv-accept".to_string()).spawn(move || {
         for stream in listener.incoming() {
             if flag.load(Ordering::SeqCst) {
@@ -118,7 +126,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
                 }
             };
             let state = Arc::clone(&state);
-            pool.execute(move || handle_connection(stream, &state, io_timeout));
+            pool.execute(move || handle_connection(stream, &state, io_timeout, request_deadline));
         }
         // `pool` and `state` drop here: workers drain in-flight connections, then the job
         // store's estimation pool drains in-flight jobs.
@@ -127,17 +135,24 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
 }
 
 /// Serves one connection: read a request, route it, write the response, close.
-fn handle_connection(stream: TcpStream, state: &AppState, io_timeout: Duration) {
+fn handle_connection(
+    stream: TcpStream,
+    state: &AppState,
+    io_timeout: Duration,
+    request_deadline: Duration,
+) {
     let _ = stream.set_read_timeout(Some(io_timeout));
     let _ = stream.set_write_timeout(Some(io_timeout));
+    let deadline = std::time::Instant::now() + request_deadline;
     let mut reader = BufReader::new(stream);
-    let response = match read_request(&mut reader) {
+    let response = match read_request(&mut reader, deadline) {
         Ok(request) => route(state, &request),
         // The shutdown wake-up connection lands here as an immediate EOF; answering a 408/400
         // into a closed socket is harmless.
         Err(HttpError::Io(e)) => error(400, format!("could not read request: {e}")),
         Err(HttpError::TooLarge) => error(413, "request exceeds the size limits"),
         Err(e @ HttpError::Malformed(_)) => error(400, e.to_string()),
+        Err(e @ HttpError::Timeout) => error(408, e.to_string()),
     };
     let _ = response.write_to(reader.into_inner());
 }
@@ -168,6 +183,67 @@ mod tests {
                 TcpListener::bind(addr).is_ok()
             }
         );
+    }
+
+    #[test]
+    fn slowloris_drip_feed_is_cut_off_with_408() {
+        use std::io::{Read, Write};
+        // Regression: with only the per-read io_timeout, a client dripping one byte per
+        // interval (well under the timeout) held an HTTP worker indefinitely. The overall
+        // request deadline must cut it off with a 408 long before the drip would finish.
+        let handle = serve(ServerConfig {
+            workers: 1,
+            job_workers: 1,
+            request_deadline: Duration::from_millis(250),
+            io_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let started = std::time::Instant::now();
+        // Drip a never-completed request line, one byte every 20 ms, for up to ~4 s.
+        let dripper = std::thread::spawn(move || {
+            for _ in 0..200 {
+                if writer.write_all(b"G").is_err() {
+                    break; // the server already cut the connection
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        let elapsed = started.elapsed();
+        dripper.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 408 "), "{response}");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "drip-fed request held the worker for {elapsed:?}"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn slow_but_complete_requests_inside_the_deadline_still_succeed() {
+        use std::io::{Read, Write};
+        let handle = serve(ServerConfig {
+            workers: 1,
+            job_workers: 1,
+            request_deadline: Duration::from_secs(10),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Send a valid request in two instalments with a pause in between: slower than one
+        // buffer refill, but well inside the overall deadline.
+        stream.write_all(b"GET /health").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        stream.write_all(b"z HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 "), "{response}");
+        handle.shutdown();
     }
 
     #[test]

@@ -17,9 +17,11 @@ fn estimate_request_round_trips_and_tolerates_unknowns() {
             edge_list: None,
             skg: Some(SkgSpec { theta: InitiatorSpec { a: 0.9, b: 0.5, c: 0.2 }, k: 8 }),
         },
-        params: BudgetSpec { epsilon: 0.2, delta: 0.01 },
+        params: Some(BudgetSpec { epsilon: 0.2, delta: 0.01 }),
         seed: 7,
+        estimator: None,
         options: None,
+        kronfit: None,
         include_degree_sequence: Some(true),
     };
     let text = to_string(&req);
@@ -44,10 +46,11 @@ fn estimate_request_round_trips_and_tolerates_unknowns() {
 
 #[test]
 fn estimate_request_reports_missing_required_fields() {
-    // `params` is required: a lenient struct still fails when a non-Option field is absent.
-    let err = from_str::<EstimateRequest>(r#"{"graph": {}, "seed": 1}"#).unwrap_err();
-    assert!(err.to_string().contains("epsilon"), "{err}");
-    // `seed` is required too (null is not a u64).
+    // `params` became optional with the estimator selector (the baselines need no budget);
+    // whether it is required is now the router's per-estimator decision.
+    let req = from_str::<EstimateRequest>(r#"{"graph": {}, "seed": 1}"#).unwrap();
+    assert!(req.params.is_none());
+    // `seed` is required (null is not a u64).
     let err =
         from_str::<EstimateRequest>(r#"{"graph": {}, "params": {"epsilon": 1.0, "delta": 0.01}}"#)
             .unwrap_err();

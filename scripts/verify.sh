@@ -26,7 +26,9 @@ if [[ "${1:-}" == "--quick" ]]; then
 
     echo "==> kernel micro-benchmark matrix (writes BENCH_kernels.json)"
     # Machine-readable perf trajectory: one {kernel, nodes, threads, ns_per_op} record per
-    # measurement, so kernel regressions across PRs show up in the checked JSON.
+    # measurement, so kernel regressions across PRs show up in the checked JSON. The matrix
+    # covers the counting kernels, the fitting stage (fit_multistart, isotonic_postprocess)
+    # and one multi-chain KronFit ascent step (kronfit_step) at 1/2/4 threads.
     cargo bench -q --offline -p kronpriv-bench --bench kernels -- --quick \
         --json "$PWD/BENCH_kernels.json"
     test -s BENCH_kernels.json || { echo "BENCH_kernels.json was not written" >&2; exit 1; }

@@ -2,14 +2,19 @@
 //!
 //! ```sh
 //! kronpriv-serve [--addr 127.0.0.1:8080] [--workers 4] [--job-workers 2] \
-//!                [--compute-threads 0] [--max-order 16]
+//!                [--compute-threads 0] [--max-order 16] [--request-deadline 30]
 //! kronpriv-serve --probe 127.0.0.1:8080      # health + tiny end-to-end estimate, then exit
 //! ```
 //!
 //! `--compute-threads N` caps the parallel stages each estimation job may use — the counting
 //! kernels (triangle count, smooth sensitivity), the isotonic degree post-processing and the
-//! moment-matching fit; `0` (the default) means one thread per available hardware thread.
-//! Every stage is deterministic for any thread count, so the flag never changes results.
+//! fitting stage (the moment-matching fit and the multi-chain KronFit baseline); `0` (the
+//! default) means one thread per available hardware thread. Every stage is deterministic for
+//! any thread count, so the flag never changes results.
+//!
+//! `--request-deadline SECS` bounds the wall-clock time a client may take to deliver one full
+//! request (the slowloris guard); the per-read socket timeout alone cannot stop a client
+//! dripping one byte per interval.
 //!
 //! With `--addr 127.0.0.1:0` the OS picks an ephemeral port; the first stdout line always
 //! reports the bound address (`listening on http://<addr>`), which is what
@@ -29,7 +34,8 @@ fn main() -> ExitCode {
             eprintln!("kronpriv-serve: {message}");
             eprintln!(
                 "usage: kronpriv-serve [--addr HOST:PORT] [--workers N] [--job-workers N] \
-                 [--compute-threads N] [--max-order K] | --probe HOST:PORT"
+                 [--compute-threads N] [--max-order K] [--request-deadline SECS] \
+                 | --probe HOST:PORT"
             );
             ExitCode::from(2)
         }
@@ -69,6 +75,17 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
                 config.max_order = match raw.parse::<u32>() {
                     Ok(n) if n > 0 => n,
                     _ => return Err(format!("--max-order: expected a positive u32, got {raw:?}")),
+                };
+            }
+            "--request-deadline" => {
+                let raw = value("--request-deadline")?;
+                config.request_deadline = match raw.parse::<u64>() {
+                    Ok(secs) if secs > 0 => std::time::Duration::from_secs(secs),
+                    _ => {
+                        return Err(format!(
+                            "--request-deadline: expected a positive number of seconds, got {raw:?}"
+                        ))
+                    }
                 };
             }
             "--probe" => {
@@ -167,6 +184,44 @@ fn probe(addr: SocketAddr) -> Result<(), String> {
     };
     if !done.contains("\"theta\"") {
         return Err(format!("job result has no theta: {done}"));
+    }
+
+    // The baseline selector: a tiny KronFit job must come back marked as such.
+    let kronfit_request = r#"{
+        "graph": {"skg": {"theta": {"a": 0.95, "b": 0.55, "c": 0.2}, "k": 6}},
+        "estimator": "kronfit",
+        "seed": 42,
+        "kronfit": {"gradient_steps": 5, "warmup_swaps": 500, "samples_per_step": 2,
+                    "swaps_between_samples": 100, "learning_rate": 0.06,
+                    "min_parameter": 0.001, "initial": {"a": 0.9, "b": 0.6, "c": 0.2},
+                    "chains": 2}
+    }"#;
+    let (status, body) = client::post_json(addr, "/api/estimate", kronfit_request)
+        .map_err(|e| format!("kronfit estimate request failed: {e}"))?;
+    if status != 202 {
+        return Err(format!("kronfit estimate returned {status}: {body}"));
+    }
+    let job_id = extract_number(&body, "job_id").ok_or(format!("no job_id in {body}"))?;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = client::get(addr, &format!("/api/jobs/{job_id}"))
+            .map_err(|e| format!("kronfit job poll failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("kronfit job poll returned {status}: {body}"));
+        }
+        if body.contains("\"Done\"") {
+            if !body.contains("\"estimator\":\"kronfit\"") {
+                return Err(format!("kronfit job result is not marked as kronfit: {body}"));
+            }
+            break;
+        }
+        if body.contains("\"Failed\"") {
+            return Err(format!("kronfit job failed: {body}"));
+        }
+        if Instant::now() > deadline {
+            return Err(format!("kronfit job {job_id} did not finish in time"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
     }
 
     let sample = r#"{"theta": {"a": 0.9, "b": 0.5, "c": 0.2}, "k": 6, "seed": 1}"#;

@@ -181,6 +181,55 @@ fn protocol_errors_map_to_4xx_over_live_http() {
     handle.shutdown();
 }
 
+/// The estimator selector over live HTTP: `"kronfit"` and `"kronmom"` return baseline (non-
+/// private) documents, and omitting the field keeps today's private wire behaviour byte for
+/// byte.
+#[test]
+fn estimator_selector_serves_all_three_table1_columns() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let baseline_body = |estimator: &str| {
+        format!(
+            r#"{{"graph": {{"skg": {{"theta": {{"a": 0.95, "b": 0.55, "c": 0.2}}, "k": 7}}}},
+                "estimator": "{estimator}", "seed": 21,
+                "kronfit": {{"gradient_steps": 6, "warmup_swaps": 400, "samples_per_step": 2,
+                             "swaps_between_samples": 100, "learning_rate": 0.06,
+                             "min_parameter": 0.001,
+                             "initial": {{"a": 0.9, "b": 0.6, "c": 0.2}}, "chains": 2}}}}"#
+        )
+    };
+    for estimator in ["kronfit", "kronmom"] {
+        let (_, poll) = run_job_to_done(addr, &baseline_body(estimator));
+        let result = poll.get("result").expect("done job carries its result");
+        assert_eq!(result.get("estimator").unwrap().as_str(), Some(estimator));
+        let theta = result.get("theta").unwrap();
+        let a = theta.get("a").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&a));
+        // Baseline documents carry no privacy fields a client could mistake for a release.
+        assert!(result.get("params").is_none(), "{estimator} leaked params");
+        assert!(result.get("private_statistics").is_none());
+        assert!(result.get("triangle_release").is_none());
+    }
+
+    // Omitted vs explicit `"estimator": "private"`: byte-identical result documents.
+    let implicit = estimate_body(42, 1.0);
+    let explicit = implicit.replace("\"seed\": 42", "\"estimator\": \"private\", \"seed\": 42");
+    let (_, implicit_poll) = run_job_to_done(addr, &implicit);
+    let (_, explicit_poll) = run_job_to_done(addr, &explicit);
+    assert_eq!(
+        implicit_poll.get("result").unwrap().to_compact_string(),
+        explicit_poll.get("result").unwrap().to_compact_string(),
+        "the estimator default must preserve the pre-selector wire behaviour"
+    );
+
+    // Unknown estimators are 400s, not jobs.
+    let bad = implicit.replace("\"seed\": 42", "\"estimator\": \"mle\", \"seed\": 42");
+    let (status, body) = client::post_json(addr, "/api/estimate", &bad).unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unknown estimator"), "{body}");
+    handle.shutdown();
+}
+
 /// `/api/sample` serves synthetic graphs synchronously and deterministically.
 #[test]
 fn sampling_is_synchronous_and_seed_deterministic() {
