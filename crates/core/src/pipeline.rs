@@ -8,6 +8,7 @@ use kronpriv_estimate::{
 };
 use kronpriv_graph::Graph;
 use kronpriv_json::impl_json_struct;
+use kronpriv_par::Executor;
 use kronpriv_skg::sample::{sample_fast, SamplerOptions};
 use rand::Rng;
 
@@ -74,11 +75,25 @@ pub fn try_private_estimate<R: Rng + ?Sized>(
     options: &PrivateEstimatorOptions,
     rng: &mut R,
 ) -> Result<PrivateEstimate, PipelineError> {
+    try_private_estimate_on(g, params, options, rng, &options.executor())
+}
+
+/// [`try_private_estimate`] on a caller-owned executor: every parallel stage borrows `exec`
+/// instead of building a worker pool per request (`options.compute_threads` is ignored). Hosts
+/// that serve many jobs — the HTTP server in particular — build one executor at startup and
+/// pass it here.
+pub fn try_private_estimate_on<R: Rng + ?Sized>(
+    g: &Graph,
+    params: PrivacyParams,
+    options: &PrivateEstimatorOptions,
+    rng: &mut R,
+    exec: &Executor,
+) -> Result<PrivateEstimate, PipelineError> {
     if g.node_count() == 0 || g.edge_count() == 0 {
         return Err(PipelineError::EmptyGraph);
     }
     validate_estimator_inputs(params, options)?;
-    Ok(PrivateEstimator::new(*options).fit(g, params, rng))
+    Ok(PrivateEstimator::new(*options).fit_on(g, params, rng, exec))
 }
 
 /// Fallible KronFit baseline: checks the graph is non-empty and runs the multi-chain
@@ -91,10 +106,20 @@ pub fn try_kronfit_estimate<R: Rng + ?Sized>(
     options: &KronFitOptions,
     rng: &mut R,
 ) -> Result<FittedInitiator, PipelineError> {
+    try_kronfit_estimate_on(g, options, rng, &options.executor())
+}
+
+/// [`try_kronfit_estimate`] on a caller-owned executor (`options.compute_threads` is ignored).
+pub fn try_kronfit_estimate_on<R: Rng + ?Sized>(
+    g: &Graph,
+    options: &KronFitOptions,
+    rng: &mut R,
+    exec: &Executor,
+) -> Result<FittedInitiator, PipelineError> {
     if g.node_count() == 0 || g.edge_count() == 0 {
         return Err(PipelineError::EmptyGraph);
     }
-    Ok(KronFitEstimator::new(*options).fit_graph(g, rng))
+    Ok(KronFitEstimator::new(*options).fit_graph_on(g, rng, exec))
 }
 
 /// Fallible KronMom baseline: checks the graph is non-empty and runs the exact moment-matching
@@ -104,10 +129,19 @@ pub fn try_kronmom_estimate(
     g: &Graph,
     options: &KronMomOptions,
 ) -> Result<FittedInitiator, PipelineError> {
+    try_kronmom_estimate_on(g, options, &options.executor())
+}
+
+/// [`try_kronmom_estimate`] on a caller-owned executor (`options.compute_threads` is ignored).
+pub fn try_kronmom_estimate_on(
+    g: &Graph,
+    options: &KronMomOptions,
+    exec: &Executor,
+) -> Result<FittedInitiator, PipelineError> {
     if g.node_count() == 0 || g.edge_count() == 0 {
         return Err(PipelineError::EmptyGraph);
     }
-    Ok(KronMomEstimator::new(*options).fit_graph(g))
+    Ok(KronMomEstimator::new(*options).fit_graph_on(g, exec))
 }
 
 /// Fallible form of [`release_synthetic_graph`]: runs [`try_private_estimate`] with the given
@@ -118,7 +152,19 @@ pub fn try_release_synthetic_graph<R: Rng + ?Sized>(
     options: &PrivateEstimatorOptions,
     rng: &mut R,
 ) -> Result<SyntheticRelease, PipelineError> {
-    let estimate = try_private_estimate(g, params, options, rng)?;
+    try_release_synthetic_graph_on(g, params, options, rng, &options.executor())
+}
+
+/// [`try_release_synthetic_graph`] on a caller-owned executor (`options.compute_threads` is
+/// ignored).
+pub fn try_release_synthetic_graph_on<R: Rng + ?Sized>(
+    g: &Graph,
+    params: PrivacyParams,
+    options: &PrivateEstimatorOptions,
+    rng: &mut R,
+    exec: &Executor,
+) -> Result<SyntheticRelease, PipelineError> {
+    let estimate = try_private_estimate_on(g, params, options, rng, exec)?;
     let synthetic =
         sample_fast(&estimate.fit.theta, estimate.fit.k, &SamplerOptions::default(), rng);
     Ok(SyntheticRelease { estimate, synthetic })
@@ -151,6 +197,23 @@ pub fn estimate_with_all_estimators<R: Rng + ?Sized>(
     let kronfit = KronFitEstimator::new(*kronfit_options).fit_graph(g, rng);
     let kronmom = KronMomEstimator::new(*kronmom_options).fit_graph(g);
     let private = PrivateEstimator::new(*private_options).fit(g, params, rng);
+    EstimatorSuite { kronfit, kronmom, private }
+}
+
+/// [`estimate_with_all_estimators`] on a caller-owned executor shared by all three fits (the
+/// per-estimator `compute_threads` fields are ignored).
+pub fn estimate_with_all_estimators_on<R: Rng + ?Sized>(
+    g: &Graph,
+    params: PrivacyParams,
+    kronfit_options: &KronFitOptions,
+    kronmom_options: &KronMomOptions,
+    private_options: &PrivateEstimatorOptions,
+    rng: &mut R,
+    exec: &Executor,
+) -> EstimatorSuite {
+    let kronfit = KronFitEstimator::new(*kronfit_options).fit_graph_on(g, rng, exec);
+    let kronmom = KronMomEstimator::new(*kronmom_options).fit_graph_on(g, exec);
+    let private = PrivateEstimator::new(*private_options).fit_on(g, params, rng, exec);
     EstimatorSuite { kronfit, kronmom, private }
 }
 

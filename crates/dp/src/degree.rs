@@ -18,7 +18,7 @@ use crate::laplace::LaplaceNoise;
 use kronpriv_graph::Graph;
 use kronpriv_json::impl_json_struct;
 use kronpriv_linalg::{isotonic_increasing, IsotonicBlocks};
-use kronpriv_par::Parallelism;
+use kronpriv_par::{Executor, Work};
 use rand::Rng;
 
 /// Global sensitivity of the sorted degree sequence under addition/removal of one edge.
@@ -109,10 +109,11 @@ pub fn private_degree_sequence_from_sorted<R: Rng + ?Sized>(
 /// associativity in the pooled means (last ulp) — the regression tests pin the two to an
 /// `1e-9` band — because pooling across a seam adds pre-pooled block sums instead of summing
 /// the elements one at a time.
-pub fn isotonic_increasing_par(values: &[f64], par: Parallelism) -> Vec<f64> {
-    par.map_reduce(
+pub fn isotonic_increasing_par(values: &[f64], exec: &Executor) -> Vec<f64> {
+    exec.map_reduce(
         values.len(),
         ISOTONIC_CHUNK,
+        Work::LIGHT,
         |range| IsotonicBlocks::of(&values[range]),
         |acc: IsotonicBlocks, blocks| acc.merge(blocks),
         IsotonicBlocks::new(),
@@ -121,18 +122,18 @@ pub fn isotonic_increasing_par(values: &[f64], par: Parallelism) -> Vec<f64> {
 }
 
 /// Parallel form of [`private_degree_sequence`]: identical mechanism and privacy accounting,
-/// with the isotonic post-processing running on `par` threads via [`isotonic_increasing_par`].
+/// with the isotonic post-processing running on `exec` via [`isotonic_increasing_par`].
 /// The release is a pure function of `(graph, params, rng)` — the thread count never changes
 /// the output. This is the form Algorithm 1's estimator calls.
 pub fn private_degree_sequence_par<R: Rng + ?Sized>(
     g: &Graph,
     params: PrivacyParams,
     rng: &mut R,
-    par: Parallelism,
+    exec: &Executor,
 ) -> PrivateDegreeSequence {
     let mut sorted: Vec<f64> = g.degrees().iter().map(|&d| d as f64).collect();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    private_degree_sequence_from_sorted_par(&sorted, params, rng, par)
+    private_degree_sequence_from_sorted_par(&sorted, params, rng, exec)
 }
 
 /// Parallel form of [`private_degree_sequence_from_sorted`]; see
@@ -141,11 +142,11 @@ pub fn private_degree_sequence_from_sorted_par<R: Rng + ?Sized>(
     sorted_degrees: &[f64],
     params: PrivacyParams,
     rng: &mut R,
-    par: Parallelism,
+    exec: &Executor,
 ) -> PrivateDegreeSequence {
     let noise = LaplaceNoise::new(DEGREE_SEQUENCE_SENSITIVITY / params.epsilon);
     let noisy: Vec<f64> = sorted_degrees.iter().map(|&d| d + noise.sample(rng)).collect();
-    let fitted = isotonic_increasing_par(&noisy, par);
+    let fitted = isotonic_increasing_par(&noisy, exec);
     PrivateDegreeSequence { degrees: fitted, noisy_degrees: noisy, params }
 }
 
@@ -292,7 +293,7 @@ mod tests {
             .map(|i| (i as f64).sqrt() + noise.sample(&mut rng))
             .collect();
         let reference = isotonic_increasing(&noisy);
-        let par = isotonic_increasing_par(&noisy, Parallelism::new(4));
+        let par = isotonic_increasing_par(&noisy, &Executor::new(4));
         assert_eq!(par.len(), reference.len());
         assert!(par.windows(2).all(|w| w[0] <= w[1] + 1e-12));
         for (i, (a, b)) in par.iter().zip(&reference).enumerate() {
@@ -308,9 +309,9 @@ mod tests {
         let noise = LaplaceNoise::new(5.0);
         let noisy: Vec<f64> =
             (0..6000).map(|i| (i as f64) * 0.01 + noise.sample(&mut rng)).collect();
-        let reference = isotonic_increasing_par(&noisy, Parallelism::sequential());
+        let reference = isotonic_increasing_par(&noisy, &Executor::sequential());
         for threads in [2usize, 8] {
-            let got = isotonic_increasing_par(&noisy, Parallelism::new(threads));
+            let got = isotonic_increasing_par(&noisy, &Executor::new(threads));
             assert_eq!(got.len(), reference.len());
             for (a, b) in got.iter().zip(&reference) {
                 assert_eq!(a.to_bits(), b.to_bits(), "threads {threads}");
@@ -327,7 +328,7 @@ mod tests {
                 &g,
                 PrivacyParams::pure(0.1),
                 &mut rng,
-                Parallelism::new(threads),
+                &Executor::new(threads),
             )
         };
         let reference = release(1);

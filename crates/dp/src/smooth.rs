@@ -28,40 +28,55 @@ use crate::laplace::LaplaceNoise;
 use kronpriv_graph::counts::{common_neighbor_count, exclusive_neighbor_count, triangle_count_par};
 use kronpriv_graph::Graph;
 use kronpriv_json::impl_json_struct;
-use kronpriv_par::Parallelism;
+use kronpriv_par::{Executor, Work};
 use rand::Rng;
 
 /// Left endpoints (`i` below) per work chunk for the node-partitioned local-sensitivity kernel.
 /// Fixed — never derived from the thread count — so the `max`-merge is over the same chunk set
-/// for any [`Parallelism`]; sized so one chunk carries enough wedge work to amortize a thread
-/// spawn (the executor stays sequential below 4 chunks, i.e. for graphs under ~1k nodes).
+/// for any [`Executor`]; sized so one chunk carries enough wedge work to amortize a pool
+/// handoff.
 const NODE_CHUNK: usize = 256;
 
 /// Left endpoints per chunk for the quadratic exact kernel, whose per-endpoint cost (`n` pair
 /// evaluations, each scanning the distance-`s` curve) is orders of magnitude higher than the
-/// wedge kernel's — so much smaller chunks already amortize a spawn, and parallelism kicks in
-/// from a few hundred nodes.
+/// wedge kernel's — so much smaller chunks keep the dynamic claiming balanced.
 const EXACT_PAIR_CHUNK: usize = 64;
+
+/// Cost hint for one left endpoint of the wedge kernel: a two-hop scan, roughly the squared
+/// average degree in neighbour-list steps. A pure function of the graph shape, as the
+/// executor's sequential cutoff requires.
+fn wedge_work(g: &Graph) -> Work {
+    let n = g.node_count().max(1) as u64;
+    let avg_degree = (2 * g.edge_count() as u64).div_ceil(n);
+    Work::per_item_ns(2 * avg_degree * avg_degree)
+}
+
+/// Cost hint for one left endpoint of the quadratic exact kernel: `n` pair evaluations, each a
+/// neighbour intersection plus a distance-curve scan.
+fn exact_pair_work(g: &Graph) -> Work {
+    Work::per_item_ns(200 * g.node_count() as u64)
+}
 
 /// Local sensitivity of the triangle count: the largest number of common neighbours over all
 /// node pairs, computed by wedge enumeration in `O(Σ_v d_v²)` time and `O(n)` memory.
 pub fn triangle_local_sensitivity(g: &Graph) -> usize {
-    triangle_local_sensitivity_par(g, Parallelism::sequential())
+    triangle_local_sensitivity_par(g, &Executor::sequential())
 }
 
-/// [`triangle_local_sensitivity`] on `par.threads()` compute threads.
+/// [`triangle_local_sensitivity`] on `exec`'s compute threads.
 ///
-/// Node-partitioned: each worker owns one `O(n)` counter/marker scratch pair and, for every
-/// left endpoint `i` in its chunks, accumulates `a_ij` for all `j > i` by walking the
+/// Node-partitioned: each participant owns one `O(n)` counter/marker scratch pair and, for
+/// every left endpoint `i` in its chunks, accumulates `a_ij` for all `j > i` by walking the
 /// two-hop neighbourhood of `i` (`i — v — j` wedges). This replaces the old wedge-pair
 /// `HashMap` — which held one entry per wedge pair, `O(Σ_v d_v²)` memory, ~50M entries for a
 /// single degree-10⁴ hub — with `threads × O(n)` memory total. The merge is an integer `max`,
 /// so the result is identical for any thread count.
-pub fn triangle_local_sensitivity_par(g: &Graph, par: Parallelism) -> usize {
+pub fn triangle_local_sensitivity_par(g: &Graph, exec: &Executor) -> usize {
     let n = g.node_count();
-    let (best, _, _) = par.fold_reduce(
+    let (best, _, _) = exec.fold_reduce(
         n,
         NODE_CHUNK,
+        wedge_work(g),
         // (running max, common-neighbour counters indexed by j, touched-j list for cheap reset).
         || (0usize, vec![0u32; n], Vec::<u32>::new()),
         |(best, counts, touched), left_endpoints| {
@@ -118,25 +133,26 @@ pub fn local_sensitivity_at_distance(g: &Graph, s: usize) -> usize {
 /// # Panics
 /// Panics if `beta <= 0`.
 pub fn smooth_sensitivity_triangles_exact(g: &Graph, beta: f64) -> f64 {
-    smooth_sensitivity_triangles_exact_par(g, beta, Parallelism::sequential())
+    smooth_sensitivity_triangles_exact_par(g, beta, &Executor::sequential())
 }
 
-/// [`smooth_sensitivity_triangles_exact`] on `par.threads()` compute threads, partitioned over
+/// [`smooth_sensitivity_triangles_exact`] on `exec`'s compute threads, partitioned over
 /// the smaller pair endpoint. The merge is an exact `f64::max`, so the result is bit-identical
 /// for any thread count.
 ///
 /// # Panics
 /// Panics if `beta <= 0`.
-pub fn smooth_sensitivity_triangles_exact_par(g: &Graph, beta: f64, par: Parallelism) -> f64 {
+pub fn smooth_sensitivity_triangles_exact_par(g: &Graph, beta: f64, exec: &Executor) -> f64 {
     assert!(beta > 0.0, "beta must be positive");
     let n = g.node_count();
     if n < 3 {
         return 0.0;
     }
     let cap = (n - 2) as f64;
-    par.map_reduce(
+    exec.map_reduce(
         n,
         EXACT_PAIR_CHUNK,
+        exact_pair_work(g),
         |left_endpoints| {
             let mut best = 0.0f64;
             for i in left_endpoints {
@@ -181,23 +197,23 @@ fn pair_smooth_contribution(a: f64, b: f64, cap: f64, beta: f64) -> f64 {
 /// # Panics
 /// Panics if `beta <= 0`.
 pub fn smooth_sensitivity_triangles(g: &Graph, beta: f64) -> f64 {
-    smooth_sensitivity_triangles_par(g, beta, Parallelism::sequential())
+    smooth_sensitivity_triangles_par(g, beta, &Executor::sequential())
 }
 
 /// [`smooth_sensitivity_triangles`] with the local-sensitivity kernel run on
-/// `par.threads()` compute threads (see [`triangle_local_sensitivity_par`]); the closed-form
+/// `exec`'s compute threads (see [`triangle_local_sensitivity_par`]); the closed-form
 /// maximisation over `s` happens once on the calling thread. Identical for any thread count.
 ///
 /// # Panics
 /// Panics if `beta <= 0`.
-pub fn smooth_sensitivity_triangles_par(g: &Graph, beta: f64, par: Parallelism) -> f64 {
+pub fn smooth_sensitivity_triangles_par(g: &Graph, beta: f64, exec: &Executor) -> f64 {
     assert!(beta > 0.0, "beta must be positive");
     let n = g.node_count();
     if n < 3 {
         return 0.0;
     }
     let cap = (n - 2) as f64;
-    let ls = triangle_local_sensitivity_par(g, par) as f64;
+    let ls = triangle_local_sensitivity_par(g, exec) as f64;
     // Maximise e^{-beta s} * min(ls + s, cap) over integer s >= 0. The unconstrained maximiser
     // of e^{-beta s}(ls + s) is s* = 1/beta - ls; check the integers around it and the
     // saturation point.
@@ -246,11 +262,11 @@ pub fn private_triangle_count<R: Rng + ?Sized>(
     exact: bool,
     rng: &mut R,
 ) -> PrivateTriangleCount {
-    private_triangle_count_par(g, params, exact, rng, Parallelism::sequential())
+    private_triangle_count_par(g, params, exact, rng, &Executor::sequential())
 }
 
 /// [`private_triangle_count`] with the triangle-count and sensitivity kernels run on
-/// `par.threads()` compute threads. All parallel reductions are exact, and the single Laplace
+/// `exec`'s compute threads. All parallel reductions are exact, and the single Laplace
 /// draw happens on the calling thread, so the release is byte-identical for any thread count
 /// given the same RNG state.
 ///
@@ -262,16 +278,16 @@ pub fn private_triangle_count_par<R: Rng + ?Sized>(
     params: PrivacyParams,
     exact: bool,
     rng: &mut R,
-    par: Parallelism,
+    exec: &Executor,
 ) -> PrivateTriangleCount {
     assert!(params.delta > 0.0, "the smooth-sensitivity triangle release requires delta > 0");
     let beta = params.epsilon / (2.0 * (2.0 / params.delta).ln());
     let ss = if exact {
-        smooth_sensitivity_triangles_exact_par(g, beta, par)
+        smooth_sensitivity_triangles_exact_par(g, beta, exec)
     } else {
-        smooth_sensitivity_triangles_par(g, beta, par)
+        smooth_sensitivity_triangles_par(g, beta, exec)
     };
-    let exact_count = triangle_count_par(g, par) as f64;
+    let exact_count = triangle_count_par(g, exec) as f64;
     let noise = LaplaceNoise::new(1.0);
     let value = exact_count + 2.0 * ss / params.epsilon * noise.sample(rng);
     PrivateTriangleCount { value, exact: exact_count, smooth_sensitivity: ss, beta, params }
@@ -354,15 +370,15 @@ mod tests {
         let ss = smooth_sensitivity_triangles(&g, beta);
         let ss_exact = smooth_sensitivity_triangles_exact(&g, beta);
         for threads in [1, 2, 8] {
-            let par = Parallelism::new(threads);
-            assert_eq!(triangle_local_sensitivity_par(&g, par), ls, "threads {threads}");
+            let exec = Executor::new(threads);
+            assert_eq!(triangle_local_sensitivity_par(&g, &exec), ls, "threads {threads}");
             assert_eq!(
-                smooth_sensitivity_triangles_par(&g, beta, par).to_bits(),
+                smooth_sensitivity_triangles_par(&g, beta, &exec).to_bits(),
                 ss.to_bits(),
                 "threads {threads}"
             );
             assert_eq!(
-                smooth_sensitivity_triangles_exact_par(&g, beta, par).to_bits(),
+                smooth_sensitivity_triangles_exact_par(&g, beta, &exec).to_bits(),
                 ss_exact.to_bits(),
                 "threads {threads}"
             );

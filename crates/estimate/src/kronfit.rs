@@ -21,18 +21,19 @@
 //!
 //! This estimator runs [`KronFitOptions::chains`] **independent Metropolis chains**, each
 //! driven by its own RNG stream derived from the caller's generator via [`StdRng::split`], and
-//! averages their gradients in fixed chain order at every ascent step. The chains are
-//! distributed over [`KronFitOptions::compute_threads`] workers with the `kronpriv-par`
-//! chunk-order-reduction contract, and each chain's per-edge likelihood/gradient sums are
-//! themselves edge-partitioned over fixed chunk boundaries. The consequence is the workspace's
-//! standard determinism guarantee: the fit depends on the **chain count** (an algorithm
-//! parameter, part of the result's definition) but is byte-identical for every **thread count**
-//! (a pure performance knob).
+//! averages their gradients in fixed chain order at every ascent step. The chains fan out over
+//! one shared [`Executor`] with the `kronpriv-par` chunk-order-reduction contract, and each
+//! chain's per-edge likelihood/gradient sums are themselves edge-partitioned over fixed chunk
+//! boundaries on the **same** executor (nested calls participate inline, so no thread budget
+//! has to be split between the two levels). The consequence is the workspace's standard
+//! determinism guarantee: the fit depends on the **chain count** (an algorithm parameter, part
+//! of the result's definition) but is byte-identical for every **pool size** (a pure
+//! performance knob).
 
 use crate::{kronecker_order_for, FittedInitiator};
 use kronpriv_graph::Graph;
 use kronpriv_json::impl_json_struct_with_defaults;
-use kronpriv_par::Parallelism;
+use kronpriv_par::{Executor, Work};
 use kronpriv_skg::Initiator2;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -42,6 +43,13 @@ use std::sync::Mutex;
 /// edge count — never of the thread count — so chunk-order reduction keeps the sums
 /// byte-identical for any number of workers.
 const EDGE_CHUNK: usize = 2_048;
+
+/// Cost hint for one edge term: a `k`-bit digit count plus three `powi` calls.
+const EDGE_WORK: Work = Work::MODERATE;
+
+/// Cost hint for one Metropolis chain step: thousands of swap proposals plus several
+/// edge-partitioned gradient sums — always worth a worker of its own.
+const CHAIN_WORK: Work = Work::per_item_ns(1_000_000);
 
 /// Options for the KronFit estimator.
 #[derive(Debug, Clone, Copy)]
@@ -65,9 +73,12 @@ pub struct KronFitOptions {
     /// consumes its own [`StdRng::split`] stream), unlike `compute_threads`, which never does.
     /// Values are clamped to at least 1.
     pub chains: usize,
-    /// Compute threads for the parallel stages — the chain fan-out and the edge-partitioned
-    /// likelihood/gradient sums; `0` means one thread per available hardware thread. The result
-    /// is byte-identical for every thread count, so this is purely a performance knob.
+    /// Worker-pool size for the parallel stages — the chain fan-out and the edge-partitioned
+    /// likelihood/gradient sums; `0` means one worker per available hardware thread.
+    /// [`KronFitEstimator::fit_graph`] builds one [`Executor`] of this size per fit; callers
+    /// that already own a pool use [`KronFitEstimator::fit_graph_on`] and this field is
+    /// ignored. The result is byte-identical for every pool size, so this is purely a
+    /// performance knob.
     pub compute_threads: usize,
 }
 
@@ -104,9 +115,10 @@ impl Default for KronFitOptions {
 }
 
 impl KronFitOptions {
-    /// The resolved [`Parallelism`] for the fit (`0` ⇒ auto).
-    pub fn parallelism(&self) -> Parallelism {
-        Parallelism::new(self.compute_threads)
+    /// Builds the [`Executor`] that [`KronFitEstimator::fit_graph`] runs on (`0` ⇒ auto-sized
+    /// pool).
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.compute_threads)
     }
 }
 
@@ -215,6 +227,18 @@ impl KronFitEstimator {
     /// its own [`StdRng::split`] stream. The fit is a pure function of `(g, options, that
     /// draw)` — in particular it is byte-identical for every `compute_threads` value.
     pub fn fit_graph<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> FittedInitiator {
+        self.fit_graph_on(g, rng, &self.options.executor())
+    }
+
+    /// [`Self::fit_graph`] on a caller-owned executor: both the chain fan-out and the nested
+    /// edge-partitioned sums borrow `exec` (`options.compute_threads` is ignored). The fit is
+    /// byte-identical to [`Self::fit_graph`] for any pool size.
+    pub fn fit_graph_on<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        rng: &mut R,
+        exec: &Executor,
+    ) -> FittedInitiator {
         let k = kronecker_order_for(g.node_count());
         let mut theta = clamp_theta(&self.options.initial, self.options.min_parameter);
 
@@ -231,7 +255,6 @@ impl KronFitEstimator {
 
         let n_padded = 1usize << k;
         let chains = self.options.chains.max(1);
-        let (outer, inner) = self.split_parallelism(chains);
 
         // One draw from the caller's RNG seeds the whole chain family; each chain's stream is
         // then derived by `StdRng::split`, so the fit depends on the chain count but never on
@@ -251,15 +274,16 @@ impl KronFitEstimator {
             // Fan the chains out over the workers: chunk size 1 makes chunk index == chain
             // index, and the chunk-order fold below averages the per-chain gradients in fixed
             // chain order whatever thread ran which chain.
-            let (gradient, step_evaluations) = outer.map_reduce(
+            let (gradient, step_evaluations) = exec.map_reduce(
                 chains,
                 1,
+                CHAIN_WORK,
                 |range| {
                     let chain_index = range.start;
                     let mut chain =
                         states[chain_index].lock().expect("a chain worker panicked earlier");
                     let chain = &mut *chain;
-                    self.chain_gradient(g, &theta, k, n_padded, chain, inner)
+                    self.chain_gradient(g, &theta, k, n_padded, chain, exec)
                 },
                 |(mut acc, evals): ([f64; 3], usize), (grad, chain_evals)| {
                     for i in 0..3 {
@@ -288,27 +312,18 @@ impl KronFitEstimator {
         }
 
         // Final likelihood: averaged over the chains' terminal assignments, in chain order.
-        let final_ll = outer.map_reduce(
+        let final_ll = exec.map_reduce(
             chains,
             1,
+            CHAIN_WORK,
             |range| {
                 let chain = states[range.start].lock().expect("a chain worker panicked earlier");
-                self.log_likelihood(g, &theta, k, &chain.assignment, inner)
+                self.log_likelihood(g, &theta, k, &chain.assignment, exec)
             },
             |acc: f64, ll| acc + ll / chains as f64,
             0.0,
         );
         FittedInitiator { theta: theta.canonicalized(), k, objective_value: -final_ll, evaluations }
-    }
-
-    /// Splits the configured thread budget between the chain fan-out and the per-chain edge
-    /// sums. A pure heuristic: results are thread-count-independent at both levels, so only
-    /// speed is at stake.
-    fn split_parallelism(&self, chains: usize) -> (Parallelism, Parallelism) {
-        let threads = self.options.parallelism().threads();
-        let outer = Parallelism::new(threads.min(chains));
-        let inner = Parallelism::new((threads / chains).max(1));
-        (outer, inner)
     }
 
     /// One ascent step of a single chain: warm-up swaps, then `samples_per_step` spaced-out
@@ -321,7 +336,7 @@ impl KronFitEstimator {
         k: u32,
         n_padded: usize,
         chain: &mut Chain,
-        par: Parallelism,
+        exec: &Executor,
     ) -> ([f64; 3], usize) {
         self.run_swaps(
             g,
@@ -346,7 +361,7 @@ impl KronFitEstimator {
                     &mut chain.rng,
                 );
             }
-            let grad = self.gradient(g, theta, k, &chain.assignment, par);
+            let grad = self.gradient(g, theta, k, &chain.assignment, exec);
             for i in 0..3 {
                 gradient[i] += grad[i] / samples as f64;
             }
@@ -362,12 +377,13 @@ impl KronFitEstimator {
         theta: &Initiator2,
         k: u32,
         asg: &Assignment,
-        par: Parallelism,
+        exec: &Executor,
     ) -> f64 {
         let edges = g.edges();
-        let edge_sum = par.map_reduce(
+        let edge_sum = exec.map_reduce(
             edges.len(),
             EDGE_CHUNK,
+            EDGE_WORK,
             |range| {
                 edges[range]
                     .iter()
@@ -393,12 +409,13 @@ impl KronFitEstimator {
         theta: &Initiator2,
         k: u32,
         asg: &Assignment,
-        par: Parallelism,
+        exec: &Executor,
     ) -> [f64; 3] {
         let edges = g.edges();
-        par.map_reduce(
+        exec.map_reduce(
             edges.len(),
             EDGE_CHUNK,
+            EDGE_WORK,
             |range| {
                 let mut grad = [0.0f64; 3];
                 for &(u, v) in &edges[range] {
@@ -515,8 +532,8 @@ mod tests {
         }
     }
 
-    fn seq() -> Parallelism {
-        Parallelism::sequential()
+    fn seq() -> Executor {
+        Executor::sequential()
     }
 
     #[test]
@@ -596,7 +613,7 @@ mod tests {
         let estimator = KronFitEstimator::default();
         let asg = Assignment::identity(1 << 7);
         let theta = Initiator2::new(0.8, 0.5, 0.3);
-        let grad = estimator.gradient(&g, &theta, 7, &asg, seq());
+        let grad = estimator.gradient(&g, &theta, 7, &asg, &seq());
         let h = 1e-6;
         for i in 0..3 {
             let mut plus = theta.as_array();
@@ -604,9 +621,9 @@ mod tests {
             plus[i] += h;
             minus[i] -= h;
             let ll_plus =
-                estimator.log_likelihood(&g, &Initiator2::from_array(plus), 7, &asg, seq());
+                estimator.log_likelihood(&g, &Initiator2::from_array(plus), 7, &asg, &seq());
             let ll_minus =
-                estimator.log_likelihood(&g, &Initiator2::from_array(minus), 7, &asg, seq());
+                estimator.log_likelihood(&g, &Initiator2::from_array(minus), 7, &asg, &seq());
             let numerical = (ll_plus - ll_minus) / (2.0 * h);
             let rel = (grad[i] - numerical).abs() / numerical.abs().max(1.0);
             assert!(rel < 1e-3, "component {i}: analytic {} numeric {numerical}", grad[i]);
@@ -622,13 +639,13 @@ mod tests {
         let estimator = KronFitEstimator::default();
         let asg = Assignment::identity(1 << 13);
         let theta = Initiator2::new(0.85, 0.45, 0.3);
-        let ll_ref = estimator.log_likelihood(&g, &theta, 13, &asg, seq());
-        let grad_ref = estimator.gradient(&g, &theta, 13, &asg, seq());
+        let ll_ref = estimator.log_likelihood(&g, &theta, 13, &asg, &seq());
+        let grad_ref = estimator.gradient(&g, &theta, 13, &asg, &seq());
         for threads in [2usize, 8] {
-            let par = Parallelism::new(threads);
-            let ll = estimator.log_likelihood(&g, &theta, 13, &asg, par);
+            let exec = Executor::new(threads);
+            let ll = estimator.log_likelihood(&g, &theta, 13, &asg, &exec);
             assert_eq!(ll.to_bits(), ll_ref.to_bits(), "threads {threads}: log-likelihood");
-            let grad = estimator.gradient(&g, &theta, 13, &asg, par);
+            let grad = estimator.gradient(&g, &theta, 13, &asg, &exec);
             for i in 0..3 {
                 assert_eq!(grad[i].to_bits(), grad_ref[i].to_bits(), "threads {threads}: grad");
             }
@@ -643,11 +660,11 @@ mod tests {
         let estimator = KronFitEstimator::default();
         let theta = Initiator2::new(0.85, 0.45, 0.3);
         let mut asg = Assignment::identity(1 << 6);
-        let before = estimator.log_likelihood(&g, &theta, 6, &asg, seq());
+        let before = estimator.log_likelihood(&g, &theta, 6, &asg, &seq());
         for &(u, v) in [(0usize, 5usize), (3, 60), (10, 11), (7, 63)].iter() {
             let predicted = estimator.swap_delta(&g, &theta, 6, &asg, u, v);
             asg.swap_nodes(u, v);
-            let after = estimator.log_likelihood(&g, &theta, 6, &asg, seq());
+            let after = estimator.log_likelihood(&g, &theta, 6, &asg, &seq());
             assert!(
                 (after - before - predicted).abs() < 1e-9,
                 "swap ({u},{v}): predicted {predicted}, actual {}",
@@ -669,17 +686,17 @@ mod tests {
         let theta = Initiator2::new(0.9, 0.5, 0.2);
         let n_padded = 1 << 8;
         let identity_ll =
-            estimator.log_likelihood(&g, &theta, 8, &Assignment::identity(n_padded), seq());
+            estimator.log_likelihood(&g, &theta, 8, &Assignment::identity(n_padded), &seq());
         let mut asg = Assignment::identity(n_padded);
         // Scramble with a fixed pseudo-random pass of transpositions.
         for i in 0..n_padded {
             let j = (i * 97 + 31) % n_padded;
             asg.swap_nodes(i, j);
         }
-        let scrambled_ll = estimator.log_likelihood(&g, &theta, 8, &asg, seq());
+        let scrambled_ll = estimator.log_likelihood(&g, &theta, 8, &asg, &seq());
         assert!(scrambled_ll < identity_ll - 50.0, "scrambling should hurt the likelihood");
         estimator.run_swaps(&g, &theta, 8, n_padded, &mut asg, 60_000, &mut rng);
-        let recovered_ll = estimator.log_likelihood(&g, &theta, 8, &asg, seq());
+        let recovered_ll = estimator.log_likelihood(&g, &theta, 8, &asg, &seq());
         let recovered_fraction = (recovered_ll - scrambled_ll) / (identity_ll - scrambled_ll);
         assert!(
             recovered_fraction > 0.5,
@@ -700,7 +717,7 @@ mod tests {
             &quick_options().initial,
             k,
             &Assignment::identity(1 << k),
-            seq(),
+            &seq(),
         );
         let fit = estimator.fit_graph(&g, &mut rng);
         assert!(

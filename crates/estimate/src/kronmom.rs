@@ -11,7 +11,7 @@ use crate::{kronecker_order_for, FittedInitiator};
 use kronpriv_graph::{Graph, MatchingStatistics};
 use kronpriv_json::impl_json_struct_with_defaults;
 use kronpriv_optim::{multistart_minimize_par, Bounds, MultistartOptions, NelderMeadOptions};
-use kronpriv_par::Parallelism;
+use kronpriv_par::Executor;
 use kronpriv_skg::Initiator2;
 
 /// Options for the KronMom fit.
@@ -23,11 +23,13 @@ pub struct KronMomOptions {
     pub refine_top: usize,
     /// Maximum objective evaluations per Nelder–Mead run.
     pub max_evaluations: usize,
-    /// Compute threads for the parallel fitting stage (grid scan + Nelder–Mead restarts);
-    /// `0` means one thread per available hardware thread. The parallel optimiser is
-    /// bit-identical for every thread count, so this is purely a performance knob. When the fit
-    /// runs inside `PrivateEstimator`, that estimator's own `compute_threads` governs the whole
-    /// pipeline and overrides this field.
+    /// Worker-pool size for the parallel fitting stage (grid scan + Nelder–Mead restarts);
+    /// `0` means one worker per available hardware thread. The entry points without an `_on`
+    /// suffix build one [`Executor`] of this size per fit; callers that already own a pool use
+    /// the `_on` variants and this field is ignored. The parallel optimiser is bit-identical
+    /// for every pool size, so this is purely a performance knob. When the fit runs inside
+    /// `PrivateEstimator`, that estimator's own `compute_threads` governs the whole pipeline
+    /// and overrides this field.
     pub compute_threads: usize,
 }
 
@@ -51,9 +53,9 @@ impl Default for KronMomOptions {
 }
 
 impl KronMomOptions {
-    /// The resolved [`Parallelism`] for the fitting stage (`0` ⇒ auto).
-    pub fn parallelism(&self) -> Parallelism {
-        Parallelism::new(self.compute_threads)
+    /// Builds the [`Executor`] the suffix-free entry points run on (`0` ⇒ auto-sized pool).
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.compute_threads)
     }
 }
 
@@ -70,21 +72,46 @@ impl KronMomEstimator {
     }
 
     /// Fits an initiator to the observed graph: computes the exact matching statistics and
-    /// minimises the standard objective.
+    /// minimises the standard objective. Builds a fresh pool per
+    /// [`KronMomOptions::compute_threads`]; see [`Self::fit_graph_on`] to reuse one.
     pub fn fit_graph(&self, g: &Graph) -> FittedInitiator {
+        self.fit_graph_on(g, &self.options.executor())
+    }
+
+    /// [`Self::fit_graph`] on a caller-owned executor (`options.compute_threads` is ignored).
+    pub fn fit_graph_on(&self, g: &Graph, exec: &Executor) -> FittedInitiator {
         let stats = MatchingStatistics::of_graph(g);
         let k = kronecker_order_for(g.node_count());
-        self.fit_statistics(&stats, k)
+        self.fit_statistics_on(&stats, k, exec)
     }
 
     /// Fits an initiator to pre-computed matching statistics for a graph of Kronecker order `k`.
     pub fn fit_statistics(&self, stats: &MatchingStatistics, k: u32) -> FittedInitiator {
-        self.fit_objective(&MomentObjective::standard(stats, k))
+        self.fit_statistics_on(stats, k, &self.options.executor())
+    }
+
+    /// [`Self::fit_statistics`] on a caller-owned executor.
+    pub fn fit_statistics_on(
+        &self,
+        stats: &MatchingStatistics,
+        k: u32,
+        exec: &Executor,
+    ) -> FittedInitiator {
+        self.fit_objective_on(&MomentObjective::standard(stats, k), exec)
     }
 
     /// Fits an initiator by minimising an arbitrary (possibly non-default) moment objective.
     /// This is the entry point the private estimator and the objective-grid ablation use.
     pub fn fit_objective(&self, objective: &MomentObjective) -> FittedInitiator {
+        self.fit_objective_on(objective, &self.options.executor())
+    }
+
+    /// [`Self::fit_objective`] on a caller-owned executor.
+    pub fn fit_objective_on(
+        &self,
+        objective: &MomentObjective,
+        exec: &Executor,
+    ) -> FittedInitiator {
         let bounds = Bounds::unit(3);
         let nm = NelderMeadOptions {
             max_evaluations: self.options.max_evaluations,
@@ -107,7 +134,7 @@ impl KronMomEstimator {
             &bounds,
             &extra,
             &opts,
-            self.options.parallelism(),
+            exec,
         );
         let theta =
             Initiator2::clamped(result.point[0], result.point[1], result.point[2]).canonicalized();

@@ -21,7 +21,7 @@ use kronpriv_dp::{
 };
 use kronpriv_graph::Graph;
 use kronpriv_json::{impl_json_struct, impl_json_struct_with_defaults};
-use kronpriv_par::Parallelism;
+use kronpriv_par::Executor;
 use rand::Rng;
 
 /// Options for the private estimator.
@@ -47,11 +47,13 @@ pub struct PrivateEstimatorOptions {
     /// deployments that need the feature-selection *decision* itself to be data-independent can
     /// set the threshold to `0.0` (always keep a positive `Δ̃`) or use `degrees_only`.
     pub triangle_signal_threshold: f64,
-    /// Compute threads for the parallelized stages — the counting kernels (triangle count,
+    /// Worker-pool size for the parallelized stages — the counting kernels (triangle count,
     /// smooth sensitivity), the isotonic degree post-processing, and the moment-matching fit
-    /// (grid scan + Nelder–Mead restarts); `0` means one thread per available hardware thread.
-    /// Every stage is deterministic for any thread count (see `kronpriv-par`), so this is
-    /// purely a performance knob: the fitted estimate is byte-identical whatever the value.
+    /// (grid scan + Nelder–Mead restarts); `0` means one worker per available hardware thread.
+    /// [`PrivateEstimator::fit`] builds one [`Executor`] of this size for the whole run;
+    /// callers that already own a pool use [`PrivateEstimator::fit_on`] and this field is
+    /// ignored. Every stage is deterministic for any pool size (see `kronpriv-par`), so this
+    /// is purely a performance knob: the fitted estimate is byte-identical whatever the value.
     /// This pipeline-level knob overrides `kronmom.compute_threads`, so one setting governs
     /// Algorithm 1 end to end.
     pub compute_threads: usize,
@@ -86,9 +88,9 @@ impl Default for PrivateEstimatorOptions {
 }
 
 impl PrivateEstimatorOptions {
-    /// The resolved [`Parallelism`] for the compute kernels (`0` ⇒ auto).
-    pub fn parallelism(&self) -> Parallelism {
-        Parallelism::new(self.compute_threads)
+    /// Builds the [`Executor`] that [`PrivateEstimator::fit`] runs on (`0` ⇒ auto-sized pool).
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.compute_threads)
     }
 }
 
@@ -139,22 +141,32 @@ impl PrivateEstimator {
         params: PrivacyParams,
         rng: &mut R,
     ) -> PrivateEstimate {
+        self.fit_on(g, params, rng, &self.options.executor())
+    }
+
+    /// [`Self::fit`] on a caller-owned executor: every parallel stage of Algorithm 1 borrows
+    /// `exec` instead of building a pool per call (`options.compute_threads` is ignored). This
+    /// is the entry point long-lived hosts such as the HTTP server use, sharing one pool across
+    /// all jobs. The estimate is byte-identical to [`Self::fit`] for any pool size.
+    pub fn fit_on<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        params: PrivacyParams,
+        rng: &mut R,
+        exec: &Executor,
+    ) -> PrivateEstimate {
         let frac = self.options.degree_budget_fraction;
         assert!(frac > 0.0 && frac < 1.0, "degree_budget_fraction must be in (0,1), got {frac}");
         let k = kronecker_order_for(g.node_count());
-        let par = self.options.parallelism();
-        // One knob governs the whole pipeline: the estimator-level thread count is threaded
-        // into the fitting stage too (every stage is thread-count-deterministic, so this only
+        // One pool governs the whole pipeline: the fitting stage borrows the same executor as
+        // the counting kernels (every stage is thread-count-deterministic, so this only
         // affects speed).
-        let kronmom = KronMomEstimator::new(KronMomOptions {
-            compute_threads: self.options.compute_threads,
-            ..self.options.kronmom
-        });
+        let kronmom = KronMomEstimator::new(self.options.kronmom);
 
         if self.options.degrees_only {
             // Spend everything on the degree sequence and drop Δ from the objective.
             let degree_release =
-                private_degree_sequence_par(g, PrivacyParams::pure(params.epsilon), rng, par);
+                private_degree_sequence_par(g, PrivacyParams::pure(params.epsilon), rng, exec);
             let observed = [
                 degree_release.edge_count(),
                 degree_release.hairpin_count(),
@@ -163,7 +175,7 @@ impl PrivateEstimator {
             ];
             let objective = MomentObjective::from_counts(observed, k)
                 .with_features(FeatureSelection::without_triangles());
-            let fit = kronmom.fit_objective(&objective);
+            let fit = kronmom.fit_objective_on(&objective, exec);
             return PrivateEstimate {
                 fit,
                 params,
@@ -176,7 +188,7 @@ impl PrivateEstimator {
         // Step 2: (ε·frac, 0)-DP degree sequence, with the isotonic post-processing running on
         // the parallel executor (thread-count-deterministic like every other stage).
         let degree_budget = PrivacyParams::pure(params.epsilon * frac);
-        let degree_release = private_degree_sequence_par(g, degree_budget, rng, par);
+        let degree_release = private_degree_sequence_par(g, degree_budget, rng, exec);
 
         // Step 5: (ε·(1-frac), δ)-DP triangle count. The parallel kernels are deterministic
         // for any thread count, so the release is a pure function of (graph, budget, rng).
@@ -186,7 +198,7 @@ impl PrivateEstimator {
             triangle_budget,
             self.options.exact_smooth_sensitivity,
             rng,
-            par,
+            exec,
         );
 
         // Step 6: moment matching on the private statistics. Negative noisy counts are clamped
@@ -208,7 +220,7 @@ impl PrivateEstimator {
             FeatureSelection::without_triangles()
         };
         let objective = MomentObjective::from_counts(observed, k).with_features(features);
-        let fit = kronmom.fit_objective(&objective);
+        let fit = kronmom.fit_objective_on(&objective, exec);
 
         PrivateEstimate {
             fit,

@@ -17,12 +17,16 @@
 
 use crate::graph::Graph;
 use kronpriv_json::impl_json_struct;
-use kronpriv_par::Parallelism;
+use kronpriv_par::{Executor, Work};
 
 /// Edges per work chunk for the edge-partitioned kernels. Fixed (never derived from the thread
-/// count) so chunk boundaries — and therefore results — are identical for any [`Parallelism`];
-/// sized so one chunk (~a thousand sorted-list intersections) amortizes a thread spawn.
+/// count) so chunk boundaries — and therefore results — are identical for any [`Executor`];
+/// sized so one chunk (~a thousand sorted-list intersections) amortizes a pool handoff.
 const EDGE_CHUNK: usize = 1024;
+
+/// Cost hint for the edge-partitioned triangle kernels: one sorted-neighbour intersection per
+/// edge, a short data-dependent scan.
+const EDGE_WORK: Work = Work::MODERATE;
 
 /// The four observed statistics `(E, H, T, Δ)` used for moment matching.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,17 +110,18 @@ pub fn tripin_count(degrees: &[usize]) -> f64 {
 /// neighbours `w > v`. Runtime is `O(Σ_e min(d_u, d_v))`, comfortably fast for the graphs the
 /// paper evaluates.
 pub fn triangle_count(g: &Graph) -> u64 {
-    triangle_count_par(g, Parallelism::sequential())
+    triangle_count_par(g, &Executor::sequential())
 }
 
-/// [`triangle_count`] on `par.threads()` compute threads, edge-partitioned: each fixed chunk of
+/// [`triangle_count`] on `exec`'s compute threads, edge-partitioned: each fixed chunk of
 /// the canonical edge list sums its common-neighbour counts independently and the partial sums
 /// are combined in chunk order, so the result equals the sequential count for any thread count.
-pub fn triangle_count_par(g: &Graph, par: Parallelism) -> u64 {
+pub fn triangle_count_par(g: &Graph, exec: &Executor) -> u64 {
     let edges = g.edges();
-    par.map_reduce(
+    exec.map_reduce(
         edges.len(),
         EDGE_CHUNK,
+        EDGE_WORK,
         |range| {
             edges[range].iter().map(|&(u, v)| count_common_neighbors_above(g, u, v, v)).sum::<u64>()
         },
@@ -127,18 +132,19 @@ pub fn triangle_count_par(g: &Graph, par: Parallelism) -> u64 {
 
 /// Number of triangles incident to each node.
 pub fn per_node_triangles(g: &Graph) -> Vec<u64> {
-    per_node_triangles_par(g, Parallelism::sequential())
+    per_node_triangles_par(g, &Executor::sequential())
 }
 
-/// [`per_node_triangles`] on `par.threads()` compute threads. Edge-partitioned with one `O(n)`
-/// counter array per worker; the per-worker arrays are merged element-wise, which is exact
-/// (integer sums), so the result is identical for any thread count.
-pub fn per_node_triangles_par(g: &Graph, par: Parallelism) -> Vec<u64> {
+/// [`per_node_triangles`] on `exec`'s compute threads. Edge-partitioned with one `O(n)`
+/// counter array per participant; the per-participant arrays are merged element-wise, which is
+/// exact (integer sums), so the result is identical for any thread count.
+pub fn per_node_triangles_par(g: &Graph, exec: &Executor) -> Vec<u64> {
     let edges = g.edges();
     let n = g.node_count();
-    par.fold_reduce(
+    exec.fold_reduce(
         edges.len(),
         EDGE_CHUNK,
+        EDGE_WORK,
         || vec![0u64; n],
         |counts, range| {
             for &(u, v) in &edges[range] {
@@ -393,9 +399,9 @@ mod tests {
             let count = triangle_count(&g);
             let per_node = per_node_triangles(&g);
             for threads in [1usize, 2, 8] {
-                let par = kronpriv_par::Parallelism::new(threads);
-                assert_eq!(triangle_count_par(&g, par), count, "threads {threads}");
-                assert_eq!(per_node_triangles_par(&g, par), per_node, "threads {threads}");
+                let exec = Executor::new(threads);
+                assert_eq!(triangle_count_par(&g, &exec), count, "threads {threads}");
+                assert_eq!(per_node_triangles_par(&g, &exec), per_node, "threads {threads}");
             }
         }
     }

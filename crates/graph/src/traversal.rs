@@ -2,13 +2,19 @@
 //! reachable-pair counts behind the paper's hop plot.
 
 use crate::graph::Graph;
-use kronpriv_par::Parallelism;
+use kronpriv_par::{Executor, Work};
 use std::collections::VecDeque;
 
 /// BFS sources per work chunk for [`reachable_pairs_by_hops_par`]. Fixed (independent of the
 /// thread count) so the per-chunk histograms — and their exact integer merge — are identical
-/// for any [`Parallelism`].
+/// for any [`Executor`].
 const SOURCE_CHUNK: usize = 32;
+
+/// Cost hint for one BFS source: a full `O(nodes + edges)` traversal, estimated from the graph
+/// shape alone so the executor's sequential cutoff stays a pure function of the input.
+fn bfs_work(g: &Graph) -> Work {
+    Work::per_item_ns(2 * (g.node_count() as u64 + 2 * g.edge_count() as u64))
+}
 
 /// BFS distances (in hops) from `source` to every node; unreachable nodes get `None`.
 pub fn bfs_distances(g: &Graph, source: u32) -> Vec<Option<u32>> {
@@ -98,17 +104,18 @@ pub fn effective_diameter_exact(g: &Graph) -> u32 {
 /// therefore equals the number of nodes. The vector stops growing once all reachable pairs are
 /// covered.
 pub fn reachable_pairs_by_hops(g: &Graph) -> Vec<u64> {
-    reachable_pairs_by_hops_par(g, Parallelism::sequential())
+    reachable_pairs_by_hops_par(g, &Executor::sequential())
 }
 
-/// [`reachable_pairs_by_hops`] on `par.threads()` compute threads, source-partitioned: each
+/// [`reachable_pairs_by_hops`] on `exec`'s compute threads, source-partitioned: each
 /// fixed chunk of BFS sources builds its own per-distance histogram and the histograms are
 /// summed element-wise (exact integer addition), so the curve is identical for any thread count.
-pub fn reachable_pairs_by_hops_par(g: &Graph, par: Parallelism) -> Vec<u64> {
+pub fn reachable_pairs_by_hops_par(g: &Graph, exec: &Executor) -> Vec<u64> {
     let n = g.node_count();
-    let per_hop = par.fold_reduce(
+    let per_hop = exec.fold_reduce(
         n,
         SOURCE_CHUNK,
+        bfs_work(g),
         Vec::<u64>::new,
         |histogram, sources| {
             for u in sources {

@@ -5,11 +5,15 @@
 //! then refines the most promising cells with Nelder–Mead. This module provides the scan.
 
 use crate::nelder_mead::Bounds;
-use kronpriv_par::Parallelism;
+use kronpriv_par::{Executor, Work};
 
 /// Lattice indices per chunk of the parallel scan. Fixed (thread-count-independent) so the
-/// evaluation set decomposes identically for every `Parallelism`.
+/// evaluation set decomposes identically for every `Executor`.
 const GRID_CHUNK: usize = 32;
+
+/// Cost hint for one lattice evaluation: the objectives scanned here (moment discrepancies,
+/// likelihoods) are far heavier than the per-point bookkeeping.
+const GRID_WORK: Work = Work::HEAVY;
 
 /// One evaluated grid point.
 #[derive(Debug, Clone)]
@@ -85,12 +89,13 @@ pub fn grid_search_par(
     f: impl Fn(&[f64]) -> f64 + Sync,
     bounds: &Bounds,
     points_per_axis: usize,
-    par: Parallelism,
+    exec: &Executor,
 ) -> Vec<GridPoint> {
     let total = check_grid_arguments(bounds, points_per_axis);
-    let results = par.map_reduce(
+    let results = exec.map_reduce(
         total,
         GRID_CHUNK,
+        GRID_WORK,
         |range| {
             range
                 .map(|index| {
@@ -179,7 +184,7 @@ mod tests {
         let bounds = Bounds::unit(3);
         let reference = grid_search(f, &bounds, 9);
         for threads in [1usize, 2, 8] {
-            let got = grid_search_par(f, &bounds, 9, Parallelism::new(threads));
+            let got = grid_search_par(f, &bounds, 9, &Executor::new(threads));
             assert_eq!(got.len(), reference.len(), "threads {threads}");
             for (a, b) in got.iter().zip(&reference) {
                 assert_eq!(a.value.to_bits(), b.value.to_bits(), "threads {threads}");
@@ -195,7 +200,7 @@ mod tests {
     fn parallel_scan_handles_nan_like_sequential() {
         let f = |x: &[f64]| if x[0] < 0.5 { f64::NAN } else { x[0] };
         let seq = grid_search(f, &Bounds::unit(1), 129);
-        let par = grid_search_par(f, &Bounds::unit(1), 129, Parallelism::new(4));
+        let par = grid_search_par(f, &Bounds::unit(1), 129, &Executor::new(4));
         for (a, b) in par.iter().zip(&seq) {
             assert_eq!(a.value.to_bits(), b.value.to_bits());
         }

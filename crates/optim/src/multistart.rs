@@ -3,7 +3,7 @@
 //!
 //! Two forms are provided. [`multistart_minimize`] is the original sequential driver over an
 //! arbitrary `FnMut` objective. [`multistart_minimize_par`] runs the grid scan and every
-//! Nelder–Mead restart as independent chunked tasks on a [`Parallelism`]; because each restart
+//! Nelder–Mead restart as independent chunked tasks on an [`Executor`]; because each restart
 //! is a deterministic function of its start point and the per-restart outcomes are reduced in
 //! start-index order with a lowest-objective / lowest-index tie-break, the parallel driver
 //! returns **bit-identical** results for every thread count — and bit-identical to the
@@ -11,7 +11,11 @@
 
 use crate::grid::{grid_search, grid_search_par, GridPoint};
 use crate::nelder_mead::{nelder_mead, Bounds, NelderMeadOptions, OptimizationResult};
-use kronpriv_par::Parallelism;
+use kronpriv_par::{Executor, Work};
+
+/// Cost hint for one Nelder–Mead restart: each restart runs up to hundreds of objective
+/// evaluations, so a restart always dwarfs the spawn overhead.
+const RESTART_WORK: Work = Work::per_item_ns(1_000_000);
 
 /// Options for [`multistart_minimize`].
 #[derive(Debug, Clone, Copy)]
@@ -98,7 +102,7 @@ pub fn multistart_minimize<F: FnMut(&[f64]) -> f64>(
 
 /// Parallel form of [`multistart_minimize`]: the seeding grid is scanned with
 /// [`grid_search_par`] and every Nelder–Mead restart runs as an independent chunked task on
-/// `par`. Each restart is a pure function of its start point, the per-restart outcomes are
+/// `exec`. Each restart is a pure function of its start point, the per-restart outcomes are
 /// reduced in start-index order, and ties in the final objective value are broken towards the
 /// lowest start index — so the result (point, value and evaluation count) is **bit-identical**
 /// for every thread count, and bit-identical to the sequential driver. Requires a `Fn + Sync`
@@ -108,15 +112,16 @@ pub fn multistart_minimize_par(
     bounds: &Bounds,
     extra_starts: &[Vec<f64>],
     options: &MultistartOptions,
-    par: Parallelism,
+    exec: &Executor,
 ) -> OptimizationResult {
-    let grid = grid_search_par(&f, bounds, options.grid_points_per_axis, par);
+    let grid = grid_search_par(&f, bounds, options.grid_points_per_axis, exec);
     let starts = collect_starts(&grid, bounds, extra_starts, options);
     // One restart per chunk: restarts are few (single digits) and each is orders of magnitude
     // heavier than the chunk bookkeeping, so the finest decomposition gives the best balance.
-    let outcomes = par.map_reduce(
+    let outcomes = exec.map_reduce(
         starts.len(),
         1,
+        RESTART_WORK,
         |range| {
             range
                 .map(|i| nelder_mead(&f, &starts[i], bounds, &options.nelder_mead))
@@ -214,7 +219,7 @@ mod tests {
                 &bounds,
                 &[vec![0.5, 0.1]],
                 &opts,
-                Parallelism::new(threads),
+                &Executor::new(threads),
             );
             assert_eq!(got.value.to_bits(), reference.value.to_bits(), "threads {threads}");
             assert_eq!(got.evaluations, reference.evaluations, "threads {threads}");
@@ -244,7 +249,7 @@ mod tests {
         assert_eq!(reference.value, 0.0);
         assert!(reference.point[0] < 0.5, "tie must resolve to the left well: {reference:?}");
         for threads in [1usize, 2, 8] {
-            let got = multistart_minimize_par(f, &bounds, &[], &opts, Parallelism::new(threads));
+            let got = multistart_minimize_par(f, &bounds, &[], &opts, &Executor::new(threads));
             assert_eq!(got.value, 0.0, "threads {threads}");
             assert_eq!(
                 got.point[0].to_bits(),

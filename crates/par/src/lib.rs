@@ -1,12 +1,13 @@
-//! `kronpriv-par` — a deterministic parallel compute layer over [`std::thread::scope`].
+//! `kronpriv-par` — a deterministic parallel compute layer built around a persistent
+//! [`Executor`] worker pool.
 //!
 //! The hot kernels of Algorithm 1 (triangle counting, the smooth-sensitivity bound, the
 //! structural-agreement statistics) are all "map a pure function over an index range, combine
-//! the pieces" computations. This crate runs them on multiple threads while keeping one hard
-//! guarantee: **the result is byte-identical for every thread count**, including one. That
-//! guarantee is what lets the rest of the workspace (seeded experiments, the server's
-//! identical-seed ⇒ identical-response contract) treat the thread count as a pure performance
-//! knob.
+//! the pieces" computations. This crate runs them on a pool of long-lived worker threads while
+//! keeping one hard guarantee: **the result is byte-identical for every worker count**,
+//! including one. That guarantee is what lets the rest of the workspace (seeded experiments,
+//! the server's identical-seed ⇒ identical-response contract) treat the thread count as a pure
+//! performance knob.
 //!
 //! Determinism comes from two rules, both enforced here rather than by callers:
 //!
@@ -14,74 +15,151 @@
 //!    only on the range length and the caller's chunk size — never on the thread count. Threads
 //!    *claim* chunks dynamically (so load imbalance costs nothing), but the set of chunks is the
 //!    same for 1 thread and for 64.
-//! 2. **Reduction in chunk order.** [`Parallelism::map_reduce`] folds the per-chunk results in
+//! 2. **Reduction in chunk order.** [`Executor::map_reduce`] folds the per-chunk results in
 //!    chunk index order on the calling thread, so even non-associative combines (floating-point
 //!    sums) give the same answer regardless of which thread computed which chunk.
 //!
-//! [`Parallelism::try_map_reduce`] extends the first entry point to fallible per-chunk tasks:
-//! the error that comes back is always the one from the lowest-index failing chunk, so even the
+//! [`Executor::try_map_reduce`] extends the first entry point to fallible per-chunk tasks: the
+//! error that comes back is always the one from the lowest-index failing chunk, so even the
 //! failure mode is byte-identical for every thread count.
 //!
-//! [`Parallelism::fold_reduce`] trades the second rule for memory: each *worker* folds chunks
+//! [`Executor::fold_reduce`] trades the second rule for memory: each *participant* folds chunks
 //! into one private accumulator (e.g. an `O(n)` counter array) and the accumulators are merged
 //! afterwards. Which chunks land in which accumulator does depend on scheduling, so that entry
 //! point requires an associative **and commutative** merge (integer sums, `max`, bitwise or) —
 //! exactly the merges the workspace kernels use — and then the same byte-identical guarantee
 //! holds.
 //!
-//! Worker panics are re-raised on the calling thread (after all workers have been joined), so
-//! existing panic containment — e.g. the server job store's `catch_unwind` — keeps working.
+//! # Executor lifecycle
+//!
+//! [`Executor::new`] spawns its helper threads **once**; every subsequent `map_reduce` /
+//! `fold_reduce` call hands the pool a job through a [`Mutex`]/[`Condvar`] queue instead of
+//! paying a `thread::spawn` + `join` round trip (tens of microseconds) per call. The calling
+//! thread always participates in its own job, so an `Executor::new(t)` runs a kernel on up to
+//! `t` threads using `t - 1` pooled helpers. Dropping the executor drains the pool: workers
+//! finish their current task, observe the shutdown flag and exit, and `Drop` joins every one of
+//! them — no threads outlive the executor.
+//!
+//! Nested calls are deadlock-free by construction: a worker that itself calls into the shared
+//! executor participates in the nested job inline and, on completion, *retracts* whatever
+//! helper slots nobody claimed — it never blocks waiting for an idle worker.
+//!
+//! A panic inside a kernel closure poisons **only its own call**: every participant runs chunks
+//! under `catch_unwind`, the first payload is recorded, remaining chunks are abandoned, and the
+//! payload is re-raised on the calling thread after all helpers have detached. The pool threads
+//! survive and the next call on the same executor proceeds normally, so existing panic
+//! containment — e.g. the server job store's `catch_unwind` — keeps working.
+//!
+//! # Work-aware sequential cutoff
+//!
+//! Every entry point takes a [`Work`] hint: the caller's estimate of the cost of one element.
+//! When the estimated total work is too small to amortize waking even one helper
+//! (`len · ns_per_item < 2 ×` [`SPAWN_AMORTIZATION_NS`]), the call runs inline on the calling
+//! thread with no queue traffic at all; above that, the helper count is capped so every
+//! participant has at least [`SPAWN_AMORTIZATION_NS`] of estimated work. The decision is a pure
+//! function of the input *shape* `(len, chunk_size, work)` — never of the thread count — and
+//! the inline path is exactly the reference loop the parallel path must reproduce bit for bit,
+//! so the cutoff can never change a result.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
-/// Minimum number of chunks before threads are spawned at all. Below this the input is too
-/// small for thread spawn/join (tens of microseconds) to amortize, so both entry points take
-/// their sequential path — a decision that depends only on `(len, chunk_size)`, never on the
-/// thread count, so it cannot break the determinism guarantee (the sequential path is the
-/// reference the parallel path must match anyway).
-const MIN_PARALLEL_CHUNKS: usize = 4;
+/// Estimated nanoseconds of kernel work needed to amortize handing a job to one pooled helper
+/// (a `Condvar` wake plus queue bookkeeping, measured in the tens of microseconds with
+/// scheduling jitter). A call runs inline unless every participant — the caller plus each
+/// helper — would get at least this much estimated work.
+pub const SPAWN_AMORTIZATION_NS: u64 = 100_000;
 
-/// The compute-thread knob: how many worker threads a kernel may use.
+/// A per-element cost estimate: how many nanoseconds one index of a kernel's range costs.
 ///
-/// `Parallelism` is deliberately cheap to copy and carries no pool: every `map_reduce` /
-/// `fold_reduce` call spawns scoped threads and joins them before returning. For the kernel
-/// sizes this workspace cares about (milliseconds to minutes of work) spawn cost is noise, and
-/// scoped threads keep the API free of lifetimes and shutdown protocols.
+/// The executor multiplies it by the range length to decide, purely from the input shape,
+/// whether parallelism can pay for itself (see [`SPAWN_AMORTIZATION_NS`]). The estimate only
+/// steers scheduling — results are byte-identical whatever hint is passed — so order-of-
+/// magnitude accuracy is all that matters. Use the named classes where they fit and
+/// [`Work::per_item_ns`] when the per-element cost is itself a function of the input (e.g. one
+/// BFS per element costs `O(nodes + edges)`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Parallelism {
-    threads: NonZeroUsize,
+pub struct Work {
+    ns_per_item: u64,
 }
 
-impl Parallelism {
-    /// Creates a knob for exactly `threads` workers; `0` means "ask the OS"
-    /// (see [`Parallelism::auto`]).
-    pub fn new(threads: usize) -> Self {
-        match NonZeroUsize::new(threads) {
-            Some(threads) => Parallelism { threads },
-            None => Self::auto(),
-        }
+impl Work {
+    /// A few arithmetic operations per element (pool-adjacent-violators steps, noise adds).
+    pub const LIGHT: Work = Work::per_item_ns(25);
+    /// A short data-dependent scan per element (sorted-neighbor intersections, per-node
+    /// degree work).
+    pub const MODERATE: Work = Work::per_item_ns(400);
+    /// A full objective evaluation or similar multi-microsecond computation per element.
+    pub const HEAVY: Work = Work::per_item_ns(20_000);
+
+    /// A custom estimate of `ns` nanoseconds per element (clamped to at least 1).
+    pub const fn per_item_ns(ns: u64) -> Work {
+        Work { ns_per_item: if ns == 0 { 1 } else { ns } }
     }
 
-    /// One worker per available hardware thread ([`std::thread::available_parallelism`]),
-    /// falling back to 1 when the OS cannot say.
-    pub fn auto() -> Self {
-        let threads = thread::available_parallelism().unwrap_or(NonZeroUsize::MIN);
-        Parallelism { threads }
+    /// Estimated total cost of a `len`-element range.
+    fn total_ns(self, len: usize) -> u128 {
+        self.ns_per_item as u128 * len as u128
+    }
+}
+
+/// The auto thread count, resolved from the OS **once per process** and cached: the server
+/// resolves `--compute-threads 0` on every request, and `available_parallelism` is a syscall.
+fn auto_thread_count() -> NonZeroUsize {
+    static AUTO: OnceLock<NonZeroUsize> = OnceLock::new();
+    *AUTO.get_or_init(|| thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+}
+
+/// A persistent deterministic executor: `threads - 1` pooled helper threads plus the calling
+/// thread, servicing [`Executor::map_reduce`] / [`Executor::fold_reduce`] /
+/// [`Executor::try_map_reduce`] with byte-identical results for every thread count.
+///
+/// Construction spawns the helpers once; see the crate docs for the lifecycle, panic and
+/// work-cutoff contracts. The executor is `Sync`: one instance is meant to be shared (e.g.
+/// behind an [`Arc`]) by every component that runs kernels — the server builds exactly one at
+/// startup.
+pub struct Executor {
+    threads: NonZeroUsize,
+    /// `None` when `threads == 1`: a sequential executor never spawns or queues anything.
+    pool: Option<Pool>,
+}
+
+impl Executor {
+    /// An executor with exactly `threads` participants (the calling thread plus `threads - 1`
+    /// pooled helpers); `0` means "one per available hardware thread" (see [`Executor::auto`]).
+    pub fn new(threads: usize) -> Executor {
+        let threads = NonZeroUsize::new(threads).unwrap_or_else(auto_thread_count);
+        let pool = match threads.get() {
+            1 => None,
+            t => Some(Pool::start(t - 1)),
+        };
+        Executor { threads, pool }
     }
 
-    /// Exactly one worker: the kernels degenerate to their plain sequential loops (no threads
-    /// are spawned), which is also the reference the determinism tests compare against.
-    pub fn sequential() -> Self {
-        Parallelism { threads: NonZeroUsize::MIN }
+    /// One participant per available hardware thread. The OS is asked once per process and the
+    /// answer is cached (falling back to 1 when it cannot say).
+    pub fn auto() -> Executor {
+        Executor::new(0)
     }
 
-    /// The configured worker count (≥ 1).
+    /// Exactly one participant: no helper threads are spawned and every call degenerates to the
+    /// plain sequential loop, which is also the reference the determinism tests compare
+    /// against.
+    pub fn sequential() -> Executor {
+        Executor::new(1)
+    }
+
+    /// The configured participant count (≥ 1): the calling thread plus the pooled helpers.
     pub fn threads(&self) -> usize {
         self.threads.get()
     }
@@ -92,11 +170,13 @@ impl Parallelism {
     /// function of its range; `fold` combines the per-chunk results **in chunk order** on the
     /// calling thread, starting from `init`. Because the chunk boundaries depend only on
     /// `len` and `chunk_size`, the result is byte-identical for every thread count even when
-    /// `fold` is not associative (floating-point accumulation).
+    /// `fold` is not associative (floating-point accumulation). `work` is the caller's
+    /// per-element cost estimate steering the sequential cutoff (see [`Work`]).
     pub fn map_reduce<M, A>(
         &self,
         len: usize,
         chunk_size: usize,
+        work: Work,
         map: impl Fn(Range<usize>) -> M + Sync,
         fold: impl FnMut(A, M) -> A,
         init: A,
@@ -109,6 +189,7 @@ impl Parallelism {
         match self.try_map_reduce(
             len,
             chunk_size,
+            work,
             |range| Ok::<M, std::convert::Infallible>(map(range)),
             fold,
             init,
@@ -119,7 +200,7 @@ impl Parallelism {
 
     /// Deterministic chunked map-reduce for **fallible** per-chunk tasks.
     ///
-    /// Like [`Parallelism::map_reduce`], but `map` may fail. On success every chunk result is
+    /// Like [`Executor::map_reduce`], but `map` may fail. On success every chunk result is
     /// folded in chunk order; on failure the returned error is the one produced by the
     /// **lowest-index failing chunk**, which keeps the outcome byte-identical for every thread
     /// count. To preserve that guarantee every chunk is evaluated even after a failure has been
@@ -130,6 +211,7 @@ impl Parallelism {
         &self,
         len: usize,
         chunk_size: usize,
+        work: Work,
         map: impl Fn(Range<usize>) -> Result<M, E> + Sync,
         mut fold: impl FnMut(A, M) -> A,
         init: A,
@@ -140,8 +222,8 @@ impl Parallelism {
     {
         let chunk_size = chunk_size.max(1);
         let chunks = len.div_ceil(chunk_size);
-        let workers = self.threads().min(chunks);
-        if workers <= 1 || chunks < MIN_PARALLEL_CHUNKS {
+        let helpers = self.plan_helpers(len, chunks, work);
+        if helpers == 0 {
             let mut acc = init;
             for c in 0..chunks {
                 acc = fold(acc, map(chunk_range(c, chunk_size, len))?);
@@ -149,45 +231,43 @@ impl Parallelism {
             return Ok(acc);
         }
 
-        let mut slots: Vec<Option<Result<M, E>>> = Vec::with_capacity(chunks);
-        slots.resize_with(chunks, || None);
-        let next = AtomicUsize::new(0);
-        let per_worker = run_workers(workers, || {
-            let mut out: Vec<(usize, Result<M, E>)> = Vec::new();
-            loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= chunks {
-                    break;
-                }
-                out.push((c, map(chunk_range(c, chunk_size, len))));
-            }
-            out
+        let results: Mutex<Vec<(usize, Result<M, E>)>> = Mutex::new(Vec::with_capacity(chunks));
+        let mut job = ChunkJob::new(chunks, |c| {
+            let outcome = map(chunk_range(c, chunk_size, len));
+            results.lock().expect("no code panics while holding the slot lock").push((c, outcome));
         });
-        for (c, m) in per_worker.into_iter().flatten() {
-            slots[c] = Some(m);
+        self.dispatch(&job, helpers);
+        let panicked = job.take_panic();
+        drop(job);
+        if let Some(payload) = panicked {
+            panic::resume_unwind(payload);
         }
+        let mut collected = results.into_inner().expect("all participants have detached");
+        debug_assert_eq!(collected.len(), chunks, "every chunk is claimed exactly once");
+        collected.sort_unstable_by_key(|&(c, _)| c);
         let mut acc = init;
-        for m in slots {
-            acc = fold(acc, m.expect("every chunk was claimed exactly once")?);
+        for (_, outcome) in collected {
+            acc = fold(acc, outcome?);
         }
         Ok(acc)
     }
 
-    /// Chunked fold with one private accumulator **per worker**, for kernels whose natural
+    /// Chunked fold with one private accumulator **per participant**, for kernels whose natural
     /// accumulator is large (an `O(n)` counter array) and whose merge is cheap.
     ///
-    /// Each worker builds an accumulator with `identity`, folds every chunk it claims into it
-    /// via `fold_chunk`, and the per-worker accumulators are merged left-to-right in worker
-    /// order with `merge`. Chunk boundaries are fixed exactly as in
-    /// [`Parallelism::map_reduce`], but chunk→worker assignment is dynamic, so the result is
+    /// Each participant builds an accumulator with `identity` the first time it claims a chunk,
+    /// folds every chunk it claims into it via `fold_chunk`, and the accumulators are merged on
+    /// the calling thread with `merge`. Chunk boundaries are fixed exactly as in
+    /// [`Executor::map_reduce`], but chunk→participant assignment is dynamic, so the result is
     /// thread-count-independent **iff `merge` is associative and commutative** and `fold_chunk`
     /// commutes across chunks (true for the element-wise integer sums, `max`es and bitwise ors
-    /// the workspace kernels use). With one worker this is the plain sequential fold and
+    /// the workspace kernels use). With one participant this is the plain sequential fold and
     /// `merge` is never called.
     pub fn fold_reduce<A>(
         &self,
         len: usize,
         chunk_size: usize,
+        work: Work,
         identity: impl Fn() -> A + Sync,
         fold_chunk: impl Fn(&mut A, Range<usize>) + Sync,
         mut merge: impl FnMut(A, A) -> A,
@@ -197,8 +277,8 @@ impl Parallelism {
     {
         let chunk_size = chunk_size.max(1);
         let chunks = len.div_ceil(chunk_size);
-        let workers = self.threads().min(chunks.max(1));
-        if workers <= 1 || chunks < MIN_PARALLEL_CHUNKS {
+        let helpers = self.plan_helpers(len, chunks, work);
+        if helpers == 0 {
             let mut acc = identity();
             for c in 0..chunks {
                 fold_chunk(&mut acc, chunk_range(c, chunk_size, len));
@@ -206,29 +286,57 @@ impl Parallelism {
             return acc;
         }
 
-        let next = AtomicUsize::new(0);
-        let accs = run_workers(workers, || {
-            let mut acc = identity();
-            loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= chunks {
-                    break;
-                }
-                fold_chunk(&mut acc, chunk_range(c, chunk_size, len));
-            }
-            acc
-        });
-        let mut accs = accs.into_iter();
-        let first = accs.next().expect("at least one worker ran");
-        accs.fold(first, &mut merge)
+        let job = FoldJob {
+            next: AtomicUsize::new(0),
+            chunks,
+            chunk_size,
+            len,
+            identity,
+            fold_chunk,
+            accumulators: Mutex::new(Vec::new()),
+            panic: Mutex::new(None),
+        };
+        self.dispatch(&job, helpers);
+        let (panicked, mut parts) = job.finish();
+        if let Some(payload) = panicked {
+            panic::resume_unwind(payload);
+        }
+        // Merge in order of each participant's first claimed chunk: a canonical order that a
+        // commutative merge is free to ignore but which keeps runs comparable in practice.
+        parts.sort_unstable_by_key(|&(first_chunk, _)| first_chunk);
+        let mut parts = parts.into_iter().map(|(_, acc)| acc);
+        let first = parts.next().expect("len > 0, so at least one chunk was folded");
+        parts.fold(first, &mut merge)
+    }
+
+    /// Helper-thread budget for a call, `0` meaning "run inline". A pure function of the input
+    /// shape `(len, chunks, work)` and the pool size — never of scheduling — so together with
+    /// the fixed chunk boundaries it cannot affect results.
+    fn plan_helpers(&self, len: usize, chunks: usize, work: Work) -> usize {
+        let Some(pool) = &self.pool else { return 0 };
+        if chunks <= 1 {
+            return 0;
+        }
+        // Every participant (the caller included) must have at least the amortization budget of
+        // estimated work, otherwise queue traffic dominates the kernel itself.
+        let affordable =
+            (work.total_ns(len) / SPAWN_AMORTIZATION_NS as u128).min(usize::MAX as u128) as usize;
+        pool.workers.len().min(chunks - 1).min(affordable.saturating_sub(1))
+    }
+
+    /// Runs `job` on the calling thread plus up to `helpers` pooled workers, returning once
+    /// every participant has detached from it.
+    fn dispatch(&self, job: &(impl Runnable + Sync), helpers: usize) {
+        match &self.pool {
+            Some(pool) if helpers > 0 => pool.run_shared(job, helpers),
+            _ => job.run(),
+        }
     }
 }
 
-impl Default for Parallelism {
-    /// Defaults to [`Parallelism::auto`]: results never depend on the thread count, so the
-    /// fastest setting is the safe default.
-    fn default() -> Self {
-        Self::auto()
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor").field("threads", &self.threads.get()).finish()
     }
 }
 
@@ -238,53 +346,345 @@ fn chunk_range(c: usize, chunk_size: usize, len: usize) -> Range<usize> {
     start..(start + chunk_size).min(len)
 }
 
-/// Spawns `workers` scoped threads running `work`, joins them all, and returns their results in
-/// worker order. If any worker panicked, every other worker is still joined first and then the
-/// first panic (in worker order) is resumed on the calling thread.
-fn run_workers<T: Send>(workers: usize, work: impl Fn() -> T + Sync) -> Vec<T> {
-    thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers).map(|_| scope.spawn(&work)).collect();
-        let mut results = Vec::with_capacity(workers);
-        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for handle in handles {
-            match handle.join() {
-                Ok(value) => results.push(value),
-                Err(payload) => {
-                    if panic.is_none() {
-                        panic = Some(payload);
-                    }
-                }
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A job the pool can participate in: claim chunks until none remain, containing panics.
+/// `run` must never unwind — implementations catch panics internally and record the payload.
+trait Runnable {
+    fn run(&self);
+}
+
+/// Claims the next chunk index, or `None` when the job is exhausted (or aborted).
+fn claim(next: &AtomicUsize, chunks: usize) -> Option<usize> {
+    let c = next.fetch_add(1, Ordering::Relaxed);
+    (c < chunks).then_some(c)
+}
+
+/// Records the first panic payload and aborts further chunk claims for the job.
+fn record_panic(
+    slot: &Mutex<Option<PanicPayload>>,
+    next: &AtomicUsize,
+    chunks: usize,
+    payload: PanicPayload,
+) {
+    let mut slot = match slot.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if slot.is_none() {
+        *slot = Some(payload);
+    }
+    drop(slot);
+    // Parking the claim counter at `chunks` makes every later `claim` fail fast: the results
+    // are about to be discarded by `resume_unwind`, so finishing the range is pure waste.
+    next.store(chunks, Ordering::Relaxed);
+}
+
+/// The map-reduce job: every chunk runs the same body (which records its own result).
+struct ChunkJob<F> {
+    next: AtomicUsize,
+    chunks: usize,
+    body: F,
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+impl<F: Fn(usize) + Sync> ChunkJob<F> {
+    fn new(chunks: usize, body: F) -> ChunkJob<F> {
+        ChunkJob { next: AtomicUsize::new(0), chunks, body, panic: Mutex::new(None) }
+    }
+
+    /// The recorded panic payload, if any participant's chunk panicked. Exclusive access: only
+    /// callable once every participant has detached.
+    fn take_panic(&mut self) -> Option<PanicPayload> {
+        match self.panic.get_mut() {
+            Ok(slot) => slot.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        }
+    }
+}
+
+impl<F: Fn(usize) + Sync> Runnable for ChunkJob<F> {
+    fn run(&self) {
+        while let Some(c) = claim(&self.next, self.chunks) {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| (self.body)(c))) {
+                record_panic(&self.panic, &self.next, self.chunks, payload);
+                return;
             }
         }
-        if let Some(payload) = panic {
-            std::panic::resume_unwind(payload);
+    }
+}
+
+/// The fold-reduce job: each participant lazily builds one private accumulator and folds every
+/// chunk it claims into it, then parks the accumulator (tagged with its first chunk index) for
+/// the caller to merge.
+struct FoldJob<A, I, F> {
+    next: AtomicUsize,
+    chunks: usize,
+    chunk_size: usize,
+    len: usize,
+    identity: I,
+    fold_chunk: F,
+    accumulators: Mutex<Vec<(usize, A)>>,
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+impl<A, I, F> FoldJob<A, I, F> {
+    /// Tears the job down after every participant has detached: the recorded panic (if any)
+    /// and the per-participant accumulators.
+    #[allow(clippy::type_complexity)]
+    fn finish(mut self) -> (Option<PanicPayload>, Vec<(usize, A)>) {
+        let panicked = match self.panic.get_mut() {
+            Ok(slot) => slot.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        };
+        let parts = match self.accumulators.into_inner() {
+            Ok(parts) => parts,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        (panicked, parts)
+    }
+}
+
+impl<A, I, F> Runnable for FoldJob<A, I, F>
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, Range<usize>) + Sync,
+{
+    fn run(&self) {
+        let mut acc: Option<(usize, A)> = None;
+        while let Some(c) = claim(&self.next, self.chunks) {
+            let step = panic::catch_unwind(AssertUnwindSafe(|| {
+                let (_, acc) = acc.get_or_insert_with(|| (c, (self.identity)()));
+                (self.fold_chunk)(acc, chunk_range(c, self.chunk_size, self.len));
+            }));
+            if let Err(payload) = step {
+                record_panic(&self.panic, &self.next, self.chunks, payload);
+                return; // the partial accumulator dies with the poisoned call
+            }
         }
-        results
-    })
+        if let Some(part) = acc {
+            self.accumulators
+                .lock()
+                .expect("no code panics while holding the part lock")
+                .push(part);
+        }
+    }
+}
+
+/// The erased-pointer corner of the pool: jobs live on the submitting thread's stack, so the
+/// queue stores a lifetime-erased pointer to them. This module is the crate's **only** unsafe
+/// code; everything else is `#![deny(unsafe_code)]`.
+///
+/// The safety argument is the drain protocol in [`Pool::run_shared`]: a worker only dereferences
+/// the pointer between incrementing and decrementing the job's `attached` counter, both under
+/// the pool mutex, and the submitting thread does not return (and therefore does not invalidate
+/// the referent) until it has removed the job from the queue and observed `attached == 0` under
+/// that same mutex. After the removal no worker can attach anymore, so the wait is a true
+/// barrier on every dereference.
+mod raw {
+    #![allow(unsafe_code)]
+
+    use super::Runnable;
+
+    /// A lifetime-erased `&dyn Runnable`. Crate-private: only [`super::Pool`] may hold one, and
+    /// only under the drain protocol described in the module docs.
+    pub(super) struct RawRunnable(*const (dyn Runnable + 'static));
+
+    // SAFETY: the pointee is a `Sync` job (enforced by `erase`'s bound) that the submitting
+    // thread keeps alive for as long as any worker may dereference the pointer (the drain
+    // protocol), so sending/sharing the pointer itself across threads is sound.
+    unsafe impl Send for RawRunnable {}
+    // SAFETY: as above — dereferencing yields `&dyn Runnable` to a `Sync` value.
+    unsafe impl Sync for RawRunnable {}
+
+    impl RawRunnable {
+        /// Erases the lifetime of `job` so it can sit in the pool queue.
+        pub(super) fn erase<'a>(job: &'a (dyn Runnable + 'a)) -> RawRunnable {
+            let ptr: *const (dyn Runnable + 'a) = job;
+            // SAFETY: only the lifetime brand changes; the fat-pointer layout is identical.
+            // Validity past `'a` is guaranteed by the drain protocol, not by the type.
+            RawRunnable(unsafe {
+                std::mem::transmute::<*const (dyn Runnable + 'a), *const (dyn Runnable + 'static)>(
+                    ptr,
+                )
+            })
+        }
+
+        /// Runs the erased job. Sound only because every call site sits between the
+        /// attach/detach bookkeeping of the drain protocol (see module docs).
+        pub(super) fn run(&self) {
+            // SAFETY: the submitting thread is blocked in `run_shared` until this participant
+            // detaches, so the referent is alive for the duration of the call.
+            let job: &dyn Runnable = unsafe { &*self.0 };
+            job.run();
+        }
+    }
+}
+
+use raw::RawRunnable;
+
+/// Per-job pool bookkeeping. `attached` counts the workers currently inside the job's `run`;
+/// it is only ever mutated under the pool mutex (the atomic is for shared mutability, not for
+/// lock-free access), which is what makes the submitting thread's drain wait race-free.
+struct JobState {
+    runnable: RawRunnable,
+    attached: AtomicUsize,
+}
+
+/// A queue entry: the job plus how many more helpers may still join it. The entry is removed
+/// when the last helper slot is claimed — or retracted by the submitting thread on completion.
+struct QueuedJob {
+    job: Arc<JobState>,
+    helper_slots: usize,
+}
+
+struct PoolState {
+    jobs: VecDeque<QueuedJob>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for jobs (or shutdown).
+    work_cv: Condvar,
+    /// Submitting threads park here waiting for their job's `attached` count to reach zero.
+    done_cv: Condvar,
+}
+
+/// The persistent helper pool: `workers` long-lived threads parked on `work_cv`.
+struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    fn start(workers: usize) -> Pool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState { jobs: VecDeque::new(), shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("kronpriv-exec-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn executor worker thread")
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Publishes `job` with `helper_slots` helper slots, participates in it on the calling
+    /// thread, then retracts the unclaimed slots and waits until every attached helper has
+    /// detached. On return the caller has exclusive access to the job again.
+    fn run_shared(&self, job: &(dyn Runnable + Sync), helper_slots: usize) {
+        let state =
+            Arc::new(JobState { runnable: RawRunnable::erase(job), attached: AtomicUsize::new(0) });
+        {
+            let mut guard = self.shared.state.lock().expect("pool mutex never poisoned");
+            guard.jobs.push_back(QueuedJob { job: Arc::clone(&state), helper_slots });
+        }
+        if helper_slots == 1 {
+            self.shared.work_cv.notify_one();
+        } else {
+            self.shared.work_cv.notify_all();
+        }
+        // The guard drains even if `job.run()` somehow unwound: returning with the job still
+        // published would leave workers holding a dangling pointer.
+        let drain = DrainGuard { shared: &self.shared, job: state };
+        job.run();
+        drop(drain);
+    }
+}
+
+impl Drop for Pool {
+    /// Graceful shutdown: flag, wake everyone, join everyone. Outstanding jobs cannot exist
+    /// here — every job borrows the executor for the duration of its call.
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("pool mutex never poisoned").shutdown = true;
+        self.shared.work_cv.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("executor workers never panic");
+        }
+    }
+}
+
+/// Retracts a job from the queue and waits for attached helpers to detach (see
+/// [`Pool::run_shared`]).
+struct DrainGuard<'p> {
+    shared: &'p PoolShared,
+    job: Arc<JobState>,
+}
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        let mut guard = self.shared.state.lock().expect("pool mutex never poisoned");
+        // Retract the helper slots nobody claimed; after this no worker can attach anymore.
+        guard.jobs.retain(|queued| !Arc::ptr_eq(&queued.job, &self.job));
+        // `attached` only moves under this mutex, so the wait cannot miss a detach.
+        while self.job.attached.load(Ordering::Relaxed) > 0 {
+            guard = self.shared.done_cv.wait(guard).expect("pool mutex never poisoned");
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut guard = shared.state.lock().expect("pool mutex never poisoned");
+    loop {
+        if let Some(front) = guard.jobs.front_mut() {
+            // Claiming a helper slot and attaching happen under ONE lock acquisition: a
+            // submitting thread that retracts the job afterwards is guaranteed to see this
+            // participant in `attached` and wait for it.
+            front.helper_slots -= 1;
+            let job = Arc::clone(&front.job);
+            if front.helper_slots == 0 {
+                guard.jobs.pop_front();
+            }
+            job.attached.fetch_add(1, Ordering::Relaxed);
+            drop(guard);
+            job.runnable.run();
+            guard = shared.state.lock().expect("pool mutex never poisoned");
+            job.attached.fetch_sub(1, Ordering::Relaxed);
+            shared.done_cv.notify_all();
+        } else if guard.shutdown {
+            return;
+        } else {
+            guard = shared.work_cv.wait(guard).expect("pool mutex never poisoned");
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::panic::catch_unwind;
+    use std::sync::atomic::AtomicU64;
+
+    /// Forces the parallel path for any non-trivial range: with 1ms per element even two
+    /// elements clear the amortization threshold.
+    const FORCE_PARALLEL: Work = Work::per_item_ns(1_000_000);
 
     #[test]
     fn thread_counts_resolve() {
-        assert_eq!(Parallelism::sequential().threads(), 1);
-        assert_eq!(Parallelism::new(7).threads(), 7);
-        assert!(Parallelism::new(0).threads() >= 1);
-        assert!(Parallelism::auto().threads() >= 1);
-        assert_eq!(Parallelism::default(), Parallelism::auto());
+        assert_eq!(Executor::sequential().threads(), 1);
+        assert_eq!(Executor::new(7).threads(), 7);
+        assert!(Executor::new(0).threads() >= 1);
+        assert!(Executor::auto().threads() >= 1);
+        assert_eq!(Executor::auto().threads(), Executor::new(0).threads());
     }
 
     #[test]
     fn map_reduce_sums_integers_for_any_thread_count() {
         let expected: u64 = (0..10_000u64).sum();
         for threads in [1, 2, 3, 8, 32] {
-            let par = Parallelism::new(threads);
-            let got = par.map_reduce(
+            let exec = Executor::new(threads);
+            let got = exec.map_reduce(
                 10_000,
                 97,
+                FORCE_PARALLEL,
                 |range| range.map(|i| i as u64).sum::<u64>(),
                 |acc: u64, m| acc + m,
                 0,
@@ -300,19 +700,20 @@ mod tests {
         // the single-threaded chunked fold bit for bit.
         let value =
             |i: usize| ((i % 17) as f64).exp() * if i.is_multiple_of(3) { 1e-12 } else { 1e3 };
-        let fold = |par: Parallelism| {
-            par.map_reduce(
+        let fold = |exec: &Executor| {
+            exec.map_reduce(
                 5_000,
                 61,
+                FORCE_PARALLEL,
                 |range| range.map(value).sum::<f64>(),
                 |acc: f64, m| acc + m,
                 0.0,
             )
         };
-        let reference = fold(Parallelism::sequential());
+        let reference = fold(&Executor::sequential());
         for threads in [2, 5, 16] {
             assert_eq!(
-                fold(Parallelism::new(threads)).to_bits(),
+                fold(&Executor::new(threads)).to_bits(),
                 reference.to_bits(),
                 "threads {threads}"
             );
@@ -320,12 +721,48 @@ mod tests {
     }
 
     #[test]
+    fn work_hint_never_changes_the_result() {
+        // The cutoff is pure scheduling: the inline path (LIGHT on a small range) and the
+        // pooled path (forced parallel) must agree bit for bit on the same executor.
+        let exec = Executor::new(4);
+        let run = |work: Work| {
+            exec.map_reduce(
+                2_500,
+                37,
+                work,
+                |range| range.map(|i| (i as f64).sqrt()).sum::<f64>(),
+                |acc: f64, m| acc + m,
+                0.0,
+            )
+        };
+        assert_eq!(run(Work::LIGHT).to_bits(), run(FORCE_PARALLEL).to_bits());
+    }
+
+    #[test]
+    fn small_work_runs_inline_without_touching_the_pool() {
+        // 100 elements × 25ns is far below the amortization threshold: the helper plan must be
+        // zero (the body observes it by noting which thread runs chunks).
+        let exec = Executor::new(8);
+        let main_thread = thread::current().id();
+        let ran_elsewhere = exec.map_reduce(
+            100,
+            1,
+            Work::LIGHT,
+            |_range| thread::current().id() != main_thread,
+            |acc: bool, m| acc || m,
+            false,
+        );
+        assert!(!ran_elsewhere, "sub-threshold work must stay on the calling thread");
+    }
+
+    #[test]
     fn map_reduce_visits_every_chunk_exactly_once() {
         for threads in [1, 4] {
-            let par = Parallelism::new(threads);
-            let ranges = par.map_reduce(
+            let exec = Executor::new(threads);
+            let ranges = exec.map_reduce(
                 103,
                 10,
+                FORCE_PARALLEL,
                 |range| vec![range],
                 |mut acc: Vec<Range<usize>>, m| {
                     acc.extend(m);
@@ -346,9 +783,10 @@ mod tests {
     #[test]
     fn fold_reduce_matches_sequential_for_commutative_merges() {
         // Element-wise histogram accumulation: the shape the per-node kernels use.
-        let reference = Parallelism::sequential().fold_reduce(
+        let reference = Executor::sequential().fold_reduce(
             1_000,
             13,
+            FORCE_PARALLEL,
             || vec![0u64; 10],
             |acc, range| {
                 for i in range {
@@ -358,9 +796,10 @@ mod tests {
             |a, _b| a,
         );
         for threads in [2, 8] {
-            let got = Parallelism::new(threads).fold_reduce(
+            let got = Executor::new(threads).fold_reduce(
                 1_000,
                 13,
+                FORCE_PARALLEL,
                 || vec![0u64; 10],
                 |acc, range| {
                     for i in range {
@@ -381,10 +820,11 @@ mod tests {
     #[test]
     fn try_map_reduce_folds_successes_in_chunk_order() {
         for threads in [1, 2, 8] {
-            let par = Parallelism::new(threads);
-            let got: Result<Vec<usize>, ()> = par.try_map_reduce(
+            let exec = Executor::new(threads);
+            let got: Result<Vec<usize>, ()> = exec.try_map_reduce(
                 100,
                 9,
+                FORCE_PARALLEL,
                 |range| Ok(range.start),
                 |mut acc: Vec<usize>, start| {
                     acc.push(start);
@@ -402,10 +842,11 @@ mod tests {
         // Chunks 3 and 7 both fail; every thread count must report chunk 3's error, matching
         // the sequential scan.
         for threads in [1, 2, 8] {
-            let par = Parallelism::new(threads);
-            let got: Result<usize, String> = par.try_map_reduce(
+            let exec = Executor::new(threads);
+            let got: Result<usize, String> = exec.try_map_reduce(
                 100,
                 10,
+                FORCE_PARALLEL,
                 |range| {
                     let chunk = range.start / 10;
                     if chunk == 3 || chunk == 7 {
@@ -423,33 +864,44 @@ mod tests {
 
     #[test]
     fn try_map_reduce_empty_range_is_ok() {
-        let got: Result<u32, ()> =
-            Parallelism::new(4).try_map_reduce(0, 8, |_| Err(()), |a: u32, m: u32| a + m, 7);
+        let got: Result<u32, ()> = Executor::new(4).try_map_reduce(
+            0,
+            8,
+            FORCE_PARALLEL,
+            |_| Err(()),
+            |a: u32, m: u32| a + m,
+            7,
+        );
         assert_eq!(got.unwrap(), 7);
     }
 
     #[test]
     fn empty_ranges_return_the_identity() {
-        let par = Parallelism::new(4);
-        assert_eq!(par.map_reduce(0, 8, |_| 1u32, |a: u32, m| a + m, 0), 0);
-        assert_eq!(par.fold_reduce(0, 8, || 41u32, |acc, _| *acc += 1, |a, b| a + b), 41);
+        let exec = Executor::new(4);
+        assert_eq!(exec.map_reduce(0, 8, Work::LIGHT, |_| 1u32, |a: u32, m| a + m, 0), 0);
+        assert_eq!(
+            exec.fold_reduce(0, 8, Work::LIGHT, || 41u32, |acc, _| *acc += 1, |a, b| a + b),
+            41
+        );
     }
 
     #[test]
     fn oversized_thread_counts_and_tiny_inputs_work() {
-        let par = Parallelism::new(64);
-        let got = par.map_reduce(3, 1000, |range| range.len(), |a: usize, m| a + m, 0);
+        let exec = Executor::new(64);
+        let got =
+            exec.map_reduce(3, 1000, FORCE_PARALLEL, |range| range.len(), |a: usize, m| a + m, 0);
         assert_eq!(got, 3);
     }
 
     #[test]
     fn worker_panics_propagate_to_the_caller() {
         for threads in [1, 4] {
-            let par = Parallelism::new(threads);
+            let exec = Executor::new(threads);
             let result = catch_unwind(AssertUnwindSafe(|| {
-                par.map_reduce(
+                exec.map_reduce(
                     100,
                     10,
+                    FORCE_PARALLEL,
                     |range| {
                         if range.contains(&55) {
                             panic!("kernel exploded");
@@ -462,5 +914,125 @@ mod tests {
             }));
             assert!(result.is_err(), "threads {threads}");
         }
+    }
+
+    #[test]
+    fn pool_reuse_is_bit_identical_across_many_consecutive_calls() {
+        // The tentpole regression test: one executor, many calls — no per-call state may leak
+        // from one job into the next.
+        let value =
+            |i: usize| ((i % 13) as f64).ln_1p() * if i.is_multiple_of(2) { 1.0 } else { -1e6 };
+        let reference = Executor::sequential().map_reduce(
+            4_096,
+            53,
+            FORCE_PARALLEL,
+            |range| range.map(value).sum::<f64>(),
+            |acc: f64, m| acc + m,
+            0.0,
+        );
+        for threads in [1, 2, 8] {
+            let exec = Executor::new(threads);
+            for call in 0..100 {
+                let got = exec.map_reduce(
+                    4_096,
+                    53,
+                    FORCE_PARALLEL,
+                    |range| range.map(value).sum::<f64>(),
+                    |acc: f64, m| acc + m,
+                    0.0,
+                );
+                assert_eq!(got.to_bits(), reference.to_bits(), "threads {threads}, call {call}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_panicking_task_poisons_only_its_own_call() {
+        let exec = Executor::new(4);
+        let sum = |exec: &Executor| {
+            exec.map_reduce(
+                1_000,
+                10,
+                FORCE_PARALLEL,
+                |range| range.sum::<usize>(),
+                |a: usize, m| a + m,
+                0,
+            )
+        };
+        let healthy = sum(&exec);
+        for round in 0..10 {
+            let poisoned = catch_unwind(AssertUnwindSafe(|| {
+                exec.map_reduce(
+                    1_000,
+                    10,
+                    FORCE_PARALLEL,
+                    |range| {
+                        if range.contains(&500) {
+                            panic!("round {round} exploded");
+                        }
+                        range.len()
+                    },
+                    |a: usize, m| a + m,
+                    0,
+                )
+            }));
+            assert!(poisoned.is_err(), "round {round}");
+            // The very next call on the same pool must succeed and agree with the first.
+            assert_eq!(sum(&exec), healthy, "round {round}");
+        }
+    }
+
+    #[test]
+    fn nested_calls_on_the_same_executor_complete() {
+        // A worker that re-enters the executor participates inline and retracts unclaimed
+        // slots, so nesting can never deadlock — the shape the KronFit chain fan-out uses.
+        let exec = Executor::new(4);
+        let got = exec.map_reduce(
+            8,
+            1,
+            FORCE_PARALLEL,
+            |outer| {
+                outer
+                    .map(|i| {
+                        exec.map_reduce(
+                            64,
+                            4,
+                            FORCE_PARALLEL,
+                            |inner| inner.map(|j| (i * 1_000 + j) as u64).sum::<u64>(),
+                            |acc: u64, m| acc + m,
+                            0,
+                        )
+                    })
+                    .sum::<u64>()
+            },
+            |acc: u64, m| acc + m,
+            0,
+        );
+        let expected: u64 = (0..8).flat_map(|i| (0..64).map(move |j| (i * 1_000 + j) as u64)).sum();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn drop_drains_the_pool_without_leaking_work() {
+        // Every call completes fully before it returns, so dropping right after a call must
+        // join all workers (a leaked worker would abort the test binary's clean exit; a lost
+        // chunk would break the count).
+        let touched = AtomicU64::new(0);
+        {
+            let exec = Executor::new(8);
+            let chunks = exec.map_reduce(
+                512,
+                8,
+                FORCE_PARALLEL,
+                |_range| {
+                    touched.fetch_add(1, Ordering::Relaxed);
+                    1u64
+                },
+                |a: u64, m| a + m,
+                0,
+            );
+            assert_eq!(chunks, 64);
+        }
+        assert_eq!(touched.load(Ordering::Relaxed), 64, "drop must not replay or lose chunks");
     }
 }

@@ -9,16 +9,19 @@ use crate::api::{
 use crate::http::{Request, Response};
 use crate::jobs::{JobStatus, JobStore};
 use kronpriv::pipeline::{
-    try_kronfit_estimate, try_kronmom_estimate, try_private_estimate, validate_estimator_inputs,
+    try_kronfit_estimate_on, try_kronmom_estimate_on, try_private_estimate_on,
+    validate_estimator_inputs,
 };
 use kronpriv_estimate::{KronFitOptions, KronMomOptions};
 use kronpriv_graph::io::{parse_edge_list_reader, to_edge_list_string};
 use kronpriv_graph::Graph;
 use kronpriv_json::{from_str, to_string, ToJson};
+use kronpriv_par::Executor;
 use kronpriv_skg::sample::{sample_fast, SamplerOptions};
 use kronpriv_skg::Initiator2;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Shared state the handlers operate on.
 pub struct AppState {
@@ -26,17 +29,23 @@ pub struct AppState {
     pub jobs: JobStore,
     /// Largest Kronecker order `/api/sample` and sampled-SKG inputs accept (`2^k` nodes each).
     pub max_order: u32,
-    /// Compute threads per estimation job (`0` = auto); enforced over request options because
-    /// the kernels are thread-count-deterministic, so only resources — never results — are at
-    /// stake.
-    pub compute_threads: usize,
+    /// The compute executor, built **once** at startup and shared by every estimation job:
+    /// each job borrows this pool for its parallel stages instead of spawning threads per
+    /// call. Enforced over request options because the kernels are pool-size-deterministic,
+    /// so only resources — never results — are at stake.
+    pub executor: Arc<Executor>,
 }
 
 impl AppState {
-    /// Creates the state with `job_workers` estimation threads, each job running its compute
-    /// kernels on `compute_threads` threads (`0` = one per hardware thread).
+    /// Creates the state with `job_workers` estimation threads and one shared compute pool of
+    /// `compute_threads` workers (`0` = one per hardware thread) that every job's kernels
+    /// borrow.
     pub fn new(job_workers: usize, max_order: u32, compute_threads: usize) -> Self {
-        AppState { jobs: JobStore::new(job_workers), max_order, compute_threads }
+        AppState {
+            jobs: JobStore::new(job_workers),
+            max_order,
+            executor: Arc::new(Executor::new(compute_threads)),
+        }
     }
 }
 
@@ -229,9 +238,10 @@ fn estimate(state: &AppState, request: &Request) -> Response {
 
     let seed = req.seed;
     let edge_list = req.graph.edge_list;
-    // The server owns its compute resources: for every estimator the configured thread count
-    // overrides whatever the request carried. Safe because all parallel stages are
-    // deterministic for any thread count, so this cannot change the result document.
+    // The server owns its compute resources: every estimator runs on the startup-built shared
+    // executor, ignoring whatever thread count the request carried. Safe because all parallel
+    // stages are deterministic for any pool size, so this cannot change the result document.
+    let exec = Arc::clone(&state.executor);
     let job_id = match kind {
         EstimatorKind::Private => {
             let params = match req.params {
@@ -241,8 +251,7 @@ fn estimate(state: &AppState, request: &Request) -> Response {
                 },
                 None => return error(400, "params is required for the private estimator"),
             };
-            let mut options = req.options.unwrap_or_default();
-            options.compute_threads = state.compute_threads;
+            let options = req.options.unwrap_or_default();
             if let Err(e) = validate_estimator_inputs(params, &options) {
                 return error(400, e.to_string());
             }
@@ -255,28 +264,26 @@ fn estimate(state: &AppState, request: &Request) -> Response {
                 // noise, so the whole job is a pure function of the request document.
                 let mut rng = StdRng::seed_from_u64(seed);
                 let graph = materialize_graph(&edge_list, skg, &mut rng)?;
-                let estimate = try_private_estimate(&graph, params, &options, &mut rng)
+                let estimate = try_private_estimate_on(&graph, params, &options, &mut rng, &exec)
                     .map_err(|e| format!("estimation rejected: {e}"))?;
                 Ok(EstimateResult::from_estimate(&estimate, seed, include_degrees).to_json())
             })
         }
         EstimatorKind::KronMom => {
-            let mut options = req.options.unwrap_or_default().kronmom;
-            options.compute_threads = state.compute_threads;
+            let options = req.options.unwrap_or_default().kronmom;
             if let Err(e) = validate_kronmom_options(&options) {
                 return error(400, e);
             }
             state.jobs.submit(move || {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let graph = materialize_graph(&edge_list, skg, &mut rng)?;
-                let fit = try_kronmom_estimate(&graph, &options)
+                let fit = try_kronmom_estimate_on(&graph, &options, &exec)
                     .map_err(|e| format!("estimation rejected: {e}"))?;
                 Ok(BaselineResult::from_fit(EstimatorKind::KronMom, &fit, seed).to_json())
             })
         }
         EstimatorKind::KronFit => {
-            let mut options = req.kronfit.unwrap_or_default();
-            options.compute_threads = state.compute_threads;
+            let options = req.kronfit.unwrap_or_default();
             if let Err(e) = validate_kronfit_options(&options) {
                 return error(400, e);
             }
@@ -286,7 +293,7 @@ fn estimate(state: &AppState, request: &Request) -> Response {
                 // request document (and independent of --compute-threads).
                 let mut rng = StdRng::seed_from_u64(seed);
                 let graph = materialize_graph(&edge_list, skg, &mut rng)?;
-                let fit = try_kronfit_estimate(&graph, &options, &mut rng)
+                let fit = try_kronfit_estimate_on(&graph, &options, &mut rng, &exec)
                     .map_err(|e| format!("estimation rejected: {e}"))?;
                 Ok(BaselineResult::from_fit(EstimatorKind::KronFit, &fit, seed).to_json())
             })

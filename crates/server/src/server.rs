@@ -20,11 +20,12 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Estimation workers executing `/api/estimate` jobs.
     pub job_workers: usize,
-    /// Compute threads each estimation job may use for its parallel stages — the counting
-    /// kernels (triangle count, smooth sensitivity), the isotonic degree post-processing and
-    /// the moment-matching fit; `0` means one per available hardware thread. Every stage is
-    /// deterministic for any thread count, so this knob never changes a job's result — it is
-    /// server-side resource control only, which is also why the server enforces it over
+    /// Size of the shared compute worker pool, built **once** at startup and borrowed by every
+    /// estimation job for its parallel stages — the counting kernels (triangle count, smooth
+    /// sensitivity), the isotonic degree post-processing and the moment-matching fit; `0`
+    /// means one worker per available hardware thread. Every stage is deterministic for any
+    /// pool size, so this knob never changes a job's result — it is server-side resource
+    /// control only, which is also why the server runs jobs on its own pool instead of
     /// whatever a request's `options.compute_threads` says.
     pub compute_threads: usize,
     /// Largest Kronecker order accepted by `/api/sample` and sampled-SKG inputs.

@@ -9,7 +9,7 @@
 use kronpriv_graph::counts::per_node_triangles_par;
 use kronpriv_graph::Graph;
 use kronpriv_json::impl_json_struct;
-use kronpriv_par::Parallelism;
+use kronpriv_par::Executor;
 use std::collections::BTreeMap;
 
 /// One point of the clustering-by-degree curve.
@@ -27,14 +27,14 @@ impl_json_struct!(ClusteringPoint { degree, average_clustering, count });
 
 /// Local clustering coefficient of every node.
 pub fn clustering_coefficients(g: &Graph) -> Vec<f64> {
-    clustering_coefficients_par(g, Parallelism::sequential())
+    clustering_coefficients_par(g, &Executor::sequential())
 }
 
-/// [`clustering_coefficients`] with the per-node triangle counts computed on `par.threads()`
-/// compute threads (see `per_node_triangles_par`); the coefficient of each node is then a pure
+/// [`clustering_coefficients`] with the per-node triangle counts computed on `exec`'s worker
+/// pool (see `per_node_triangles_par`); the coefficient of each node is then a pure
 /// per-node function, so the result is identical for any thread count.
-pub fn clustering_coefficients_par(g: &Graph, par: Parallelism) -> Vec<f64> {
-    let triangles = per_node_triangles_par(g, par);
+pub fn clustering_coefficients_par(g: &Graph, exec: &Executor) -> Vec<f64> {
+    let triangles = per_node_triangles_par(g, exec);
     g.degrees()
         .iter()
         .zip(&triangles)

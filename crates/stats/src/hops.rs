@@ -10,8 +10,14 @@
 use kronpriv_graph::traversal::reachable_pairs_by_hops_par;
 use kronpriv_graph::Graph;
 use kronpriv_json::impl_json_struct;
-use kronpriv_par::Parallelism;
+use kronpriv_par::{Executor, Work};
 use rand::Rng;
+
+/// Cost hint for propagating one FM sketch layer by one hop: an `O(nodes + edges)` pass of
+/// cheap bitwise ORs, estimated from the graph shape alone.
+fn sketch_work(g: &Graph) -> Work {
+    Work::per_item_ns(g.node_count() as u64 + 2 * g.edge_count() as u64)
+}
 
 /// Options for [`approximate_hop_plot`].
 #[derive(Debug, Clone, Copy)]
@@ -34,14 +40,14 @@ impl Default for HopPlotOptions {
 /// (including `u = v` at distance 0, following the convention of the paper's plots which start
 /// at the node count).
 pub fn exact_hop_plot(g: &Graph) -> Vec<u64> {
-    exact_hop_plot_par(g, Parallelism::sequential())
+    exact_hop_plot_par(g, &Executor::sequential())
 }
 
-/// [`exact_hop_plot`] on `par.threads()` compute threads: the all-sources BFS is partitioned
-/// over fixed source chunks and the per-chunk distance histograms are summed exactly, so the
-/// curve is identical for any thread count.
-pub fn exact_hop_plot_par(g: &Graph, par: Parallelism) -> Vec<u64> {
-    reachable_pairs_by_hops_par(g, par)
+/// [`exact_hop_plot`] on `exec`'s worker pool: the all-sources BFS is partitioned over fixed
+/// source chunks and the per-chunk distance histograms are summed exactly, so the curve is
+/// identical for any thread count.
+pub fn exact_hop_plot_par(g: &Graph, exec: &Executor) -> Vec<u64> {
+    reachable_pairs_by_hops_par(g, exec)
 }
 
 /// Approximate hop plot using Flajolet–Martin neighbourhood sketches.
@@ -54,19 +60,19 @@ pub fn approximate_hop_plot<R: Rng + ?Sized>(
     options: &HopPlotOptions,
     rng: &mut R,
 ) -> Vec<f64> {
-    approximate_hop_plot_par(g, options, rng, Parallelism::sequential())
+    approximate_hop_plot_par(g, options, rng, &Executor::sequential())
 }
 
-/// [`approximate_hop_plot`] with the per-hop mask propagation run on `par.threads()` compute
-/// threads, sketch-parallel: each sketch's bitmask layer propagates independently (a pure
+/// [`approximate_hop_plot`] with the per-hop mask propagation run on `exec`'s worker pool,
+/// sketch-parallel: each sketch's bitmask layer propagates independently (a pure
 /// function of the previous hop's layers), and the layers are collected in sketch order. Mask
 /// initialisation consumes the RNG in the same sequential order regardless of the thread
-/// count, so the curve is byte-identical for any [`Parallelism`].
+/// count, so the curve is byte-identical for any [`Executor`].
 pub fn approximate_hop_plot_par<R: Rng + ?Sized>(
     g: &Graph,
     options: &HopPlotOptions,
     rng: &mut R,
-    par: Parallelism,
+    exec: &Executor,
 ) -> Vec<f64> {
     let n = g.node_count();
     if n == 0 {
@@ -105,9 +111,10 @@ pub fn approximate_hop_plot_par<R: Rng + ?Sized>(
         // Propagate: every node ORs in its neighbours' masks. Each sketch layer is a pure
         // function of the previous hop's layer, so the sketches fan out across threads; the
         // chunk-order reduction reassembles them in sketch order.
-        masks = par.map_reduce(
+        masks = exec.map_reduce(
             sketches,
             1,
+            sketch_work(g),
             |sketch_range| {
                 sketch_range
                     .map(|s| {

@@ -1,6 +1,12 @@
 //! CI bench-regression guard: compares a fresh `BENCH_kernels.json` against the committed
 //! `BENCH_baseline.json` and fails (exit 1) when any kernel's ns/op regressed by more than the
-//! allowed ratio.
+//! allowed ratio, then prints a one-line 1T-vs-4T scaling summary and — on hosts with at least
+//! 4 hardware threads — enforces the scaling contract of the persistent executor: no kernel
+//! may be slower at 4 threads than at 1 by more than 10%, and the node-partitioned counting
+//! kernels (`smooth_sensitivity`, `per_node_triangles`) at the ~10^5-node scale must reach at
+//! least a 1.5× speedup at 4 threads. On smaller hosts (CI runners with 1–2 cores) the
+//! scaling gates are skipped with a note — a 4-worker pool time-slicing one core measures OS
+//! scheduling, not the executor.
 //!
 //! Invoked as `cargo run -p kronpriv-bench --bin bench_check` (the source lives in `scripts/`,
 //! next to `verify.sh`, which wires it into the `--quick` CI job right after the kernel bench
@@ -118,6 +124,63 @@ fn main() -> ExitCode {
             "note: {unguarded} record(s) have no baseline; refresh BENCH_baseline.json \
              (cp BENCH_kernels.json BENCH_baseline.json) to start guarding them"
         );
+    }
+
+    // 1T-vs-4T scaling: summary line always, hard gates only where 4 workers can actually run
+    // in parallel.
+    let mut t1: BTreeMap<(String, u64), f64> = BTreeMap::new();
+    let mut t4: BTreeMap<(String, u64), f64> = BTreeMap::new();
+    for r in &fresh {
+        let cell = (r.kernel.clone(), r.nodes as u64);
+        match r.threads as u64 {
+            1 => {
+                t1.insert(cell, r.ns_per_op);
+            }
+            4 => {
+                t4.insert(cell, r.ns_per_op);
+            }
+            _ => {}
+        }
+    }
+    let speedups: Vec<((String, u64), f64)> = t1
+        .iter()
+        .filter_map(|(cell, &one)| t4.get(cell).map(|&four| (cell.clone(), one / four.max(1.0))))
+        .collect();
+    let summary: Vec<String> =
+        speedups.iter().map(|((kernel, nodes), s)| format!("{kernel}@{nodes} {s:.2}x")).collect();
+    println!("scaling 1T->4T: {}", summary.join(", "));
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut scaling_failures = 0usize;
+    if cores >= 4 {
+        for ((kernel, nodes), speedup) in &speedups {
+            if *speedup < 1.0 / 1.10 {
+                scaling_failures += 1;
+                eprintln!(
+                    "bench_check: {kernel}@{nodes} is {:.0}% slower at 4T than 1T \
+                     (limit: 10%)",
+                    (1.0 / speedup - 1.0) * 100.0
+                );
+            }
+            let gated_kernel = kernel == "smooth_sensitivity" || kernel == "per_node_triangles";
+            if gated_kernel && *nodes >= 100_000 && *speedup < 1.5 {
+                scaling_failures += 1;
+                eprintln!(
+                    "bench_check: {kernel}@{nodes} reaches only {speedup:.2}x at 4T vs 1T \
+                     (required: >=1.5x at the ~10^5-node scale)"
+                );
+            }
+        }
+    } else if !speedups.is_empty() {
+        println!(
+            "note: scaling gates skipped — host has {cores} hardware thread(s), \
+             a 4-worker pool cannot run in parallel here"
+        );
+    }
+
+    if scaling_failures > 0 {
+        eprintln!("bench_check: {scaling_failures} scaling gate(s) failed on a {cores}-core host");
+        return ExitCode::FAILURE;
     }
     if regressions > 0 {
         eprintln!(

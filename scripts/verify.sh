@@ -37,7 +37,10 @@ if [[ "${1:-}" == "--quick" ]]; then
     # Fails on >2x (override: BENCH_MAX_RATIO) per-kernel ns/op regressions against the
     # committed baseline; refresh with `cp BENCH_kernels.json BENCH_baseline.json` after an
     # intentional perf change — or after moving to a slower machine class, since the baseline
-    # records absolute ns/op of whatever machine produced it.
+    # records absolute ns/op of whatever machine produced it. Also prints the one-line
+    # "scaling 1T->4T" summary from the fresh records and, on hosts with >=4 hardware
+    # threads, enforces the executor's scaling gates (no kernel >10% slower at 4T;
+    # smooth_sensitivity/per_node_triangles >=1.5x at the ~10^5-node rows).
     cargo run -q --release --offline -p kronpriv-bench --bin bench_check -- \
         --max-ratio "${BENCH_MAX_RATIO:-2.0}"
 

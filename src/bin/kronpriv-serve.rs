@@ -6,11 +6,12 @@
 //! kronpriv-serve --probe 127.0.0.1:8080      # health + tiny end-to-end estimate, then exit
 //! ```
 //!
-//! `--compute-threads N` caps the parallel stages each estimation job may use — the counting
-//! kernels (triangle count, smooth sensitivity), the isotonic degree post-processing and the
-//! fitting stage (the moment-matching fit and the multi-chain KronFit baseline); `0` (the
-//! default) means one thread per available hardware thread. Every stage is deterministic for
-//! any thread count, so the flag never changes results.
+//! `--compute-threads N` sizes the shared compute worker pool, built once at startup and
+//! borrowed by every estimation job for its parallel stages — the counting kernels (triangle
+//! count, smooth sensitivity), the isotonic degree post-processing and the fitting stage (the
+//! moment-matching fit and the multi-chain KronFit baseline); `0` (the default) means one
+//! worker per available hardware thread. Every stage is deterministic for any pool size, so
+//! the flag never changes results.
 //!
 //! `--request-deadline SECS` bounds the wall-clock time a client may take to deliver one full
 //! request (the slowloris guard); the per-read socket timeout alone cannot stop a client

@@ -15,7 +15,7 @@ use kronpriv_optim::{
     grid_search, grid_search_par, multistart_minimize, multistart_minimize_par, Bounds,
     MultistartOptions, NelderMeadOptions,
 };
-use kronpriv_par::Parallelism;
+use kronpriv_par::Executor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -60,7 +60,7 @@ fn multistart_on_an_skg_objective_is_bit_identical_for_all_thread_counts() {
             &bounds,
             &extra,
             &opts,
-            Parallelism::new(threads),
+            &Executor::new(threads),
         );
         assert_same_result(&par, &sequential, &format!("threads {threads}"));
     }
@@ -74,12 +74,8 @@ fn grid_scan_on_an_skg_objective_is_bit_identical_for_all_thread_counts() {
     let bounds = Bounds::unit(3);
     let reference = grid_search(|p| objective.evaluate_params(p), &bounds, 7);
     for threads in THREAD_COUNTS {
-        let got = grid_search_par(
-            |p| objective.evaluate_params(p),
-            &bounds,
-            7,
-            Parallelism::new(threads),
-        );
+        let got =
+            grid_search_par(|p| objective.evaluate_params(p), &bounds, 7, &Executor::new(threads));
         assert_eq!(got.len(), reference.len(), "threads {threads}");
         for (a, b) in got.iter().zip(&reference) {
             assert_eq!(a.value.to_bits(), b.value.to_bits(), "threads {threads}");
@@ -109,7 +105,7 @@ fn equal_objective_restarts_tie_break_deterministically() {
     assert_eq!(sequential.value, 0.0, "both wells bottom out at exactly zero");
     assert!(sequential.point[0] < 0.5, "stable grid order seeds the left well first");
     for threads in THREAD_COUNTS {
-        let par = multistart_minimize_par(f, &bounds, &[], &opts, Parallelism::new(threads));
+        let par = multistart_minimize_par(f, &bounds, &[], &opts, &Executor::new(threads));
         assert_same_result(&par, &sequential, &format!("threads {threads}"));
     }
 }
@@ -121,12 +117,7 @@ fn parallel_isotonic_pass_is_bit_identical_and_tracks_the_sequential_reference()
     let g = skg_graph(13, 0xF17_0003);
     let release = |threads: usize| {
         let mut rng = StdRng::seed_from_u64(0xF17_0004);
-        private_degree_sequence_par(
-            &g,
-            PrivacyParams::pure(0.1),
-            &mut rng,
-            Parallelism::new(threads),
-        )
+        private_degree_sequence_par(&g, PrivacyParams::pure(0.1), &mut rng, &Executor::new(threads))
     };
     let reference = release(1);
     assert!(reference.degrees.len() >= 8192, "want a multi-block sequence");
@@ -141,7 +132,7 @@ fn parallel_isotonic_pass_is_bit_identical_and_tracks_the_sequential_reference()
     }
     // Regression against the element-at-a-time PAVA: identical up to float associativity.
     let sequential = isotonic_increasing(&reference.noisy_degrees);
-    let parallel = isotonic_increasing_par(&reference.noisy_degrees, Parallelism::new(8));
+    let parallel = isotonic_increasing_par(&reference.noisy_degrees, &Executor::new(8));
     for (i, (a, b)) in parallel.iter().zip(&sequential).enumerate() {
         assert!((a - b).abs() < 1e-9, "index {i}: parallel {a} vs sequential {b}");
     }

@@ -14,7 +14,7 @@ use kronpriv_graph::counts::{
     triangle_count_par,
 };
 use kronpriv_graph::generators::preferential_attachment;
-use kronpriv_par::Parallelism;
+use kronpriv_par::Executor;
 use kronpriv_stats::{
     approximate_hop_plot, approximate_hop_plot_par, exact_hop_plot, exact_hop_plot_par,
     HopPlotOptions,
@@ -42,9 +42,9 @@ fn triangle_counts_are_identical_for_all_thread_counts() {
         let per_node = per_node_triangles(&g);
         assert!(count > 0, "{name}: want a non-trivial graph");
         for threads in THREAD_COUNTS {
-            let par = Parallelism::new(threads);
-            assert_eq!(triangle_count_par(&g, par), count, "{name} threads {threads}");
-            assert_eq!(per_node_triangles_par(&g, par), per_node, "{name} threads {threads}");
+            let exec = Executor::new(threads);
+            assert_eq!(triangle_count_par(&g, &exec), count, "{name} threads {threads}");
+            assert_eq!(per_node_triangles_par(&g, &exec), per_node, "{name} threads {threads}");
         }
     }
 }
@@ -56,9 +56,9 @@ fn smooth_sensitivity_is_bit_identical_for_all_thread_counts() {
             let reference = smooth_sensitivity_triangles(&g, beta);
             assert!(reference > 0.0, "{name}: smooth sensitivity must be positive");
             for threads in THREAD_COUNTS {
-                let par = Parallelism::new(threads);
+                let exec = Executor::new(threads);
                 assert_eq!(
-                    smooth_sensitivity_triangles_par(&g, beta, par).to_bits(),
+                    smooth_sensitivity_triangles_par(&g, beta, &exec).to_bits(),
                     reference.to_bits(),
                     "{name} beta {beta} threads {threads}"
                 );
@@ -74,10 +74,10 @@ fn hop_plots_are_identical_for_all_thread_counts() {
         let options = HopPlotOptions { sketches: 16, max_hops: 24 };
         let approx = approximate_hop_plot(&g, &options, &mut StdRng::seed_from_u64(7));
         for threads in THREAD_COUNTS {
-            let par = Parallelism::new(threads);
-            assert_eq!(exact_hop_plot_par(&g, par), exact, "{name} threads {threads}");
+            let exec = Executor::new(threads);
+            assert_eq!(exact_hop_plot_par(&g, &exec), exact, "{name} threads {threads}");
             let approx_par =
-                approximate_hop_plot_par(&g, &options, &mut StdRng::seed_from_u64(7), par);
+                approximate_hop_plot_par(&g, &options, &mut StdRng::seed_from_u64(7), &exec);
             assert_eq!(approx_par.len(), approx.len(), "{name} threads {threads}");
             for (a, b) in approx_par.iter().zip(&approx) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{name} threads {threads}");
@@ -134,7 +134,7 @@ fn hub_heavy_local_sensitivity_runs_in_linear_memory_and_matches_the_reference()
     let big = star_of_stars(125, 30);
     assert_eq!(big.degree(0), 3875);
     for threads in THREAD_COUNTS {
-        let par = Parallelism::new(threads);
-        assert_eq!(triangle_local_sensitivity_par(&big, par), 30, "threads {threads}");
+        let exec = Executor::new(threads);
+        assert_eq!(triangle_local_sensitivity_par(&big, &exec), 30, "threads {threads}");
     }
 }
