@@ -47,6 +47,7 @@ pub use kronpriv_dp;
 pub use kronpriv_estimate;
 pub use kronpriv_graph;
 pub use kronpriv_linalg;
+pub use kronpriv_obs;
 pub use kronpriv_optim;
 pub use kronpriv_par;
 pub use kronpriv_skg;
@@ -54,20 +55,22 @@ pub use kronpriv_stats;
 
 pub use pipeline::{
     estimate_with_all_estimators, estimate_with_all_estimators_on, release_synthetic_graph,
-    try_kronfit_estimate, try_kronfit_estimate_on, try_kronmom_estimate, try_kronmom_estimate_on,
-    try_private_estimate, try_private_estimate_on, try_release_synthetic_graph,
-    try_release_synthetic_graph_on, validate_estimator_inputs, EstimatorSuite, PipelineError,
-    SyntheticRelease,
+    try_kronfit_estimate, try_kronfit_estimate_observed, try_kronfit_estimate_on,
+    try_kronmom_estimate, try_kronmom_estimate_on, try_private_estimate,
+    try_private_estimate_observed, try_private_estimate_on, try_release_synthetic_graph,
+    try_release_synthetic_graph_observed, try_release_synthetic_graph_on,
+    validate_estimator_inputs, EstimatorSuite, PipelineError, SyntheticRelease,
 };
 
 /// The most commonly used items, importable with `use kronpriv::prelude::*`.
 pub mod prelude {
     pub use crate::pipeline::{
         estimate_with_all_estimators, estimate_with_all_estimators_on, release_synthetic_graph,
-        try_kronfit_estimate, try_kronfit_estimate_on, try_kronmom_estimate,
-        try_kronmom_estimate_on, try_private_estimate, try_private_estimate_on,
-        try_release_synthetic_graph, try_release_synthetic_graph_on, validate_estimator_inputs,
-        EstimatorSuite, PipelineError, SyntheticRelease,
+        try_kronfit_estimate, try_kronfit_estimate_observed, try_kronfit_estimate_on,
+        try_kronmom_estimate, try_kronmom_estimate_on, try_private_estimate,
+        try_private_estimate_observed, try_private_estimate_on, try_release_synthetic_graph,
+        try_release_synthetic_graph_observed, try_release_synthetic_graph_on,
+        validate_estimator_inputs, EstimatorSuite, PipelineError, SyntheticRelease,
     };
     pub use kronpriv_datasets::{Dataset, DatasetMetadata};
     pub use kronpriv_dp::{PrivacyParams, PrivateDegreeSequence, PrivateTriangleCount};
@@ -76,6 +79,9 @@ pub mod prelude {
         PrivateEstimate, PrivateEstimator, PrivateEstimatorOptions,
     };
     pub use kronpriv_graph::{Graph, GraphBuilder, MatchingStatistics};
+    pub use kronpriv_obs::{
+        CollectingSink, NullSink, ProgressEvent, ProgressSink, Registry as MetricsRegistry,
+    };
     pub use kronpriv_par::{Executor, Work};
     pub use kronpriv_skg::{
         sample::{sample_exact, sample_fast, SamplerOptions},

@@ -8,6 +8,7 @@ use kronpriv_estimate::{
 };
 use kronpriv_graph::Graph;
 use kronpriv_json::impl_json_struct;
+use kronpriv_obs::ProgressSink;
 use kronpriv_par::Executor;
 use kronpriv_skg::sample::{sample_fast, SamplerOptions};
 use rand::Rng;
@@ -89,11 +90,25 @@ pub fn try_private_estimate_on<R: Rng + ?Sized>(
     rng: &mut R,
     exec: &Executor,
 ) -> Result<PrivateEstimate, PipelineError> {
+    try_private_estimate_observed(g, params, options, rng, exec, &kronpriv_obs::NullSink)
+}
+
+/// [`try_private_estimate_on`] with typed progress reporting: stage boundary events flow into
+/// `sink` (see [`PrivateEstimator::fit_on_observed`]). The sink never changes the estimate —
+/// this is the entry point the HTTP job runner uses to stream per-stage progress.
+pub fn try_private_estimate_observed<R: Rng + ?Sized>(
+    g: &Graph,
+    params: PrivacyParams,
+    options: &PrivateEstimatorOptions,
+    rng: &mut R,
+    exec: &Executor,
+    sink: &dyn ProgressSink,
+) -> Result<PrivateEstimate, PipelineError> {
     if g.node_count() == 0 || g.edge_count() == 0 {
         return Err(PipelineError::EmptyGraph);
     }
     validate_estimator_inputs(params, options)?;
-    Ok(PrivateEstimator::new(*options).fit_on(g, params, rng, exec))
+    Ok(PrivateEstimator::new(*options).fit_on_observed(g, params, rng, exec, sink))
 }
 
 /// Fallible KronFit baseline: checks the graph is non-empty and runs the multi-chain
@@ -116,10 +131,23 @@ pub fn try_kronfit_estimate_on<R: Rng + ?Sized>(
     rng: &mut R,
     exec: &Executor,
 ) -> Result<FittedInitiator, PipelineError> {
+    try_kronfit_estimate_observed(g, options, rng, exec, &kronpriv_obs::NullSink)
+}
+
+/// [`try_kronfit_estimate_on`] with typed progress reporting: the `kronfit` stage pair plus one
+/// `ChainStep` per chain per ascent step flow into `sink` (see
+/// [`KronFitEstimator::fit_graph_on_observed`]). The sink never changes the fit.
+pub fn try_kronfit_estimate_observed<R: Rng + ?Sized>(
+    g: &Graph,
+    options: &KronFitOptions,
+    rng: &mut R,
+    exec: &Executor,
+    sink: &dyn ProgressSink,
+) -> Result<FittedInitiator, PipelineError> {
     if g.node_count() == 0 || g.edge_count() == 0 {
         return Err(PipelineError::EmptyGraph);
     }
-    Ok(KronFitEstimator::new(*options).fit_graph_on(g, rng, exec))
+    Ok(KronFitEstimator::new(*options).fit_graph_on_observed(g, rng, exec, sink))
 }
 
 /// Fallible KronMom baseline: checks the graph is non-empty and runs the exact moment-matching
@@ -164,9 +192,26 @@ pub fn try_release_synthetic_graph_on<R: Rng + ?Sized>(
     rng: &mut R,
     exec: &Executor,
 ) -> Result<SyntheticRelease, PipelineError> {
-    let estimate = try_private_estimate_on(g, params, options, rng, exec)?;
-    let synthetic =
-        sample_fast(&estimate.fit.theta, estimate.fit.k, &SamplerOptions::default(), rng);
+    try_release_synthetic_graph_observed(g, params, options, rng, exec, &kronpriv_obs::NullSink)
+}
+
+/// [`try_release_synthetic_graph_on`] with typed progress reporting: the estimate's stage
+/// events plus a final `sample` stage pair flow into `sink`.
+pub fn try_release_synthetic_graph_observed<R: Rng + ?Sized>(
+    g: &Graph,
+    params: PrivacyParams,
+    options: &PrivateEstimatorOptions,
+    rng: &mut R,
+    exec: &Executor,
+    sink: &dyn ProgressSink,
+) -> Result<SyntheticRelease, PipelineError> {
+    let estimate = try_private_estimate_observed(g, params, options, rng, exec, sink)?;
+    sink.emit(&kronpriv_obs::ProgressEvent::StageStarted { stage: "sample" });
+    let synthetic = {
+        let _span = kronpriv_obs::stage_span("sample");
+        sample_fast(&estimate.fit.theta, estimate.fit.k, &SamplerOptions::default(), rng)
+    };
+    sink.emit(&kronpriv_obs::ProgressEvent::StageFinished { stage: "sample" });
     Ok(SyntheticRelease { estimate, synthetic })
 }
 

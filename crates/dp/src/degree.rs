@@ -144,9 +144,15 @@ pub fn private_degree_sequence_from_sorted_par<R: Rng + ?Sized>(
     rng: &mut R,
     exec: &Executor,
 ) -> PrivateDegreeSequence {
-    let noise = LaplaceNoise::new(DEGREE_SEQUENCE_SENSITIVITY / params.epsilon);
-    let noisy: Vec<f64> = sorted_degrees.iter().map(|&d| d + noise.sample(rng)).collect();
-    let fitted = isotonic_increasing_par(&noisy, exec);
+    let noisy: Vec<f64> = {
+        let _span = kronpriv_obs::stage_span("degree_laplace");
+        let noise = LaplaceNoise::new(DEGREE_SEQUENCE_SENSITIVITY / params.epsilon);
+        sorted_degrees.iter().map(|&d| d + noise.sample(rng)).collect()
+    };
+    let fitted = {
+        let _span = kronpriv_obs::stage_span("isotonic");
+        isotonic_increasing_par(&noisy, exec)
+    };
     PrivateDegreeSequence { degrees: fitted, noisy_degrees: noisy, params }
 }
 

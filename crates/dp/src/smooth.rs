@@ -282,12 +282,18 @@ pub fn private_triangle_count_par<R: Rng + ?Sized>(
 ) -> PrivateTriangleCount {
     assert!(params.delta > 0.0, "the smooth-sensitivity triangle release requires delta > 0");
     let beta = params.epsilon / (2.0 * (2.0 / params.delta).ln());
-    let ss = if exact {
-        smooth_sensitivity_triangles_exact_par(g, beta, exec)
-    } else {
-        smooth_sensitivity_triangles_par(g, beta, exec)
+    let ss = {
+        let _span = kronpriv_obs::stage_span("smooth_sensitivity");
+        if exact {
+            smooth_sensitivity_triangles_exact_par(g, beta, exec)
+        } else {
+            smooth_sensitivity_triangles_par(g, beta, exec)
+        }
     };
-    let exact_count = triangle_count_par(g, exec) as f64;
+    let exact_count = {
+        let _span = kronpriv_obs::stage_span("triangle_count");
+        triangle_count_par(g, exec) as f64
+    };
     let noise = LaplaceNoise::new(1.0);
     let value = exact_count + 2.0 * ss / params.epsilon * noise.sample(rng);
     PrivateTriangleCount { value, exact: exact_count, smooth_sensitivity: ss, beta, params }

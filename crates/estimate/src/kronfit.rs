@@ -33,6 +33,7 @@
 use crate::{kronecker_order_for, FittedInitiator};
 use kronpriv_graph::Graph;
 use kronpriv_json::impl_json_struct_with_defaults;
+use kronpriv_obs::{NullSink, ProgressEvent, ProgressSink};
 use kronpriv_par::{Executor, Work};
 use kronpriv_skg::Initiator2;
 use rand::rngs::StdRng;
@@ -239,6 +240,42 @@ impl KronFitEstimator {
         rng: &mut R,
         exec: &Executor,
     ) -> FittedInitiator {
+        self.fit_graph_on_observed(g, rng, exec, &NullSink)
+    }
+
+    /// [`Self::fit_graph_on`] with typed progress reporting: a
+    /// [`ProgressEvent::StageStarted`]/[`ProgressEvent::StageFinished`] pair for the whole
+    /// `kronfit` stage, plus one [`ProgressEvent::ChainStep`] per chain per ascent step
+    /// (emitted from whichever worker ran the chain, so events from different chains may
+    /// interleave; within one chain the step order is monotone).
+    ///
+    /// `ChainStep::log_likelihood` is `NaN` unless the sink opts in via
+    /// [`ProgressSink::wants_chain_likelihood`] — the extra per-step likelihood evaluation
+    /// consumes no randomness, so opting in (or not) never changes the fit. Either way the
+    /// result is byte-identical to [`Self::fit_graph_on`] with the same seed: the sink is
+    /// strictly an observer (the `kronpriv-obs` no-feedback invariant).
+    pub fn fit_graph_on_observed<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        rng: &mut R,
+        exec: &Executor,
+        sink: &dyn ProgressSink,
+    ) -> FittedInitiator {
+        sink.emit(&ProgressEvent::StageStarted { stage: "kronfit" });
+        let _stage = kronpriv_obs::stage_span("kronfit");
+        let fit = self.fit_chains(g, rng, exec, sink);
+        sink.emit(&ProgressEvent::StageFinished { stage: "kronfit" });
+        fit
+    }
+
+    /// The multi-chain ascent loop behind [`Self::fit_graph_on_observed`].
+    fn fit_chains<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        rng: &mut R,
+        exec: &Executor,
+        sink: &dyn ProgressSink,
+    ) -> FittedInitiator {
         let k = kronecker_order_for(g.node_count());
         let mut theta = clamp_theta(&self.options.initial, self.options.min_parameter);
 
@@ -283,7 +320,21 @@ impl KronFitEstimator {
                     let mut chain =
                         states[chain_index].lock().expect("a chain worker panicked earlier");
                     let chain = &mut *chain;
-                    self.chain_gradient(g, &theta, k, n_padded, chain, exec)
+                    let result = self.chain_gradient(g, &theta, k, n_padded, chain, exec);
+                    // Reporting only: the optional likelihood probe reads the chain state but
+                    // consumes no randomness, so the fit is identical whatever the sink asks for.
+                    let log_likelihood = if sink.wants_chain_likelihood() {
+                        self.log_likelihood(g, &theta, k, &chain.assignment, exec)
+                    } else {
+                        f64::NAN
+                    };
+                    sink.emit(&ProgressEvent::ChainStep {
+                        chain: chain_index,
+                        step,
+                        total_steps: self.options.gradient_steps,
+                        log_likelihood,
+                    });
+                    result
                 },
                 |(mut acc, evals): ([f64; 3], usize), (grad, chain_evals)| {
                     for i in 0..3 {
@@ -772,6 +823,82 @@ mod tests {
                 .theta
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn observed_fit_is_byte_identical_and_reports_every_chain_step() {
+        use kronpriv_obs::CollectingSink;
+        let truth = Initiator2::new(0.9, 0.5, 0.2);
+        let g = sample_fast(&truth, 7, &SamplerOptions::default(), &mut StdRng::seed_from_u64(20));
+        let options = KronFitOptions {
+            gradient_steps: 3,
+            warmup_swaps: 200,
+            samples_per_step: 1,
+            swaps_between_samples: 50,
+            chains: 2,
+            ..Default::default()
+        };
+        let estimator = KronFitEstimator::new(options);
+        let plain = estimator.fit_graph_on(&g, &mut StdRng::seed_from_u64(21), &seq());
+        // The likelihood probe is the expensive sink option, so exercise the opted-in path:
+        // the fit must still be byte-identical (the probe consumes no randomness).
+        let sink = CollectingSink::with_chain_likelihood();
+        let observed =
+            estimator.fit_graph_on_observed(&g, &mut StdRng::seed_from_u64(21), &seq(), &sink);
+        assert_eq!(plain.theta, observed.theta);
+        assert_eq!(plain.objective_value.to_bits(), observed.objective_value.to_bits());
+        assert_eq!(plain.evaluations, observed.evaluations);
+        let events = sink.events();
+        assert_eq!(events.first(), Some(&ProgressEvent::StageStarted { stage: "kronfit" }));
+        assert_eq!(events.last(), Some(&ProgressEvent::StageFinished { stage: "kronfit" }));
+        for chain in 0..2usize {
+            let steps: Vec<usize> = events
+                .iter()
+                .filter_map(|e| match e {
+                    ProgressEvent::ChainStep { chain: c, step, total_steps, log_likelihood }
+                        if *c == chain =>
+                    {
+                        assert_eq!(*total_steps, 3);
+                        assert!(log_likelihood.is_finite(), "sink opted into likelihoods");
+                        Some(*step)
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(steps, vec![0, 1, 2], "chain {chain} must report every step in order");
+        }
+    }
+
+    #[test]
+    fn silent_sink_skips_the_likelihood_probe() {
+        use kronpriv_obs::CollectingSink;
+        let truth = Initiator2::new(0.9, 0.5, 0.2);
+        let g = sample_fast(&truth, 6, &SamplerOptions::default(), &mut StdRng::seed_from_u64(22));
+        let options = KronFitOptions {
+            gradient_steps: 2,
+            warmup_swaps: 100,
+            samples_per_step: 1,
+            swaps_between_samples: 50,
+            chains: 1,
+            ..Default::default()
+        };
+        let sink = CollectingSink::new();
+        KronFitEstimator::new(options).fit_graph_on_observed(
+            &g,
+            &mut StdRng::seed_from_u64(23),
+            &seq(),
+            &sink,
+        );
+        let lls: Vec<f64> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ProgressEvent::ChainStep { log_likelihood, .. } => Some(*log_likelihood),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lls.len(), 2);
+        assert!(lls.iter().all(|ll| ll.is_nan()), "no probe unless the sink asks");
     }
 
     #[test]

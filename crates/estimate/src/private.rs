@@ -21,6 +21,7 @@ use kronpriv_dp::{
 };
 use kronpriv_graph::Graph;
 use kronpriv_json::{impl_json_struct, impl_json_struct_with_defaults};
+use kronpriv_obs::{NullSink, ProgressEvent, ProgressSink};
 use kronpriv_par::Executor;
 use rand::Rng;
 
@@ -155,6 +156,23 @@ impl PrivateEstimator {
         rng: &mut R,
         exec: &Executor,
     ) -> PrivateEstimate {
+        self.fit_on_observed(g, params, rng, exec, &NullSink)
+    }
+
+    /// [`Self::fit_on`] with typed progress reporting: emits
+    /// [`ProgressEvent::StageStarted`]/[`ProgressEvent::StageFinished`] pairs for the
+    /// `degree_release`, `triangle_release` (skipped in the degrees-only ablation) and `fit`
+    /// stages into `sink`. The sink is strictly an observer — the estimate is byte-identical
+    /// to [`Self::fit_on`] with the same seed, whatever the sink does (the no-feedback
+    /// invariant of `kronpriv-obs`, pinned by `tests/observability_determinism.rs`).
+    pub fn fit_on_observed<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        params: PrivacyParams,
+        rng: &mut R,
+        exec: &Executor,
+        sink: &dyn ProgressSink,
+    ) -> PrivateEstimate {
         let frac = self.options.degree_budget_fraction;
         assert!(frac > 0.0 && frac < 1.0, "degree_budget_fraction must be in (0,1), got {frac}");
         let k = kronecker_order_for(g.node_count());
@@ -165,8 +183,10 @@ impl PrivateEstimator {
 
         if self.options.degrees_only {
             // Spend everything on the degree sequence and drop Δ from the objective.
+            sink.emit(&ProgressEvent::StageStarted { stage: "degree_release" });
             let degree_release =
                 private_degree_sequence_par(g, PrivacyParams::pure(params.epsilon), rng, exec);
+            sink.emit(&ProgressEvent::StageFinished { stage: "degree_release" });
             let observed = [
                 degree_release.edge_count(),
                 degree_release.hairpin_count(),
@@ -175,7 +195,9 @@ impl PrivateEstimator {
             ];
             let objective = MomentObjective::from_counts(observed, k)
                 .with_features(FeatureSelection::without_triangles());
+            sink.emit(&ProgressEvent::StageStarted { stage: "fit" });
             let fit = kronmom.fit_objective_on(&objective, exec);
+            sink.emit(&ProgressEvent::StageFinished { stage: "fit" });
             return PrivateEstimate {
                 fit,
                 params,
@@ -188,11 +210,14 @@ impl PrivateEstimator {
         // Step 2: (ε·frac, 0)-DP degree sequence, with the isotonic post-processing running on
         // the parallel executor (thread-count-deterministic like every other stage).
         let degree_budget = PrivacyParams::pure(params.epsilon * frac);
+        sink.emit(&ProgressEvent::StageStarted { stage: "degree_release" });
         let degree_release = private_degree_sequence_par(g, degree_budget, rng, exec);
+        sink.emit(&ProgressEvent::StageFinished { stage: "degree_release" });
 
         // Step 5: (ε·(1-frac), δ)-DP triangle count. The parallel kernels are deterministic
         // for any thread count, so the release is a pure function of (graph, budget, rng).
         let triangle_budget = PrivacyParams::new(params.epsilon * (1.0 - frac), params.delta);
+        sink.emit(&ProgressEvent::StageStarted { stage: "triangle_release" });
         let triangle_release = private_triangle_count_par(
             g,
             triangle_budget,
@@ -200,6 +225,7 @@ impl PrivateEstimator {
             rng,
             exec,
         );
+        sink.emit(&ProgressEvent::StageFinished { stage: "triangle_release" });
 
         // Step 6: moment matching on the private statistics. Negative noisy counts are clamped
         // to zero — a postprocessing step that costs no privacy and keeps the objective sane.
@@ -220,7 +246,9 @@ impl PrivateEstimator {
             FeatureSelection::without_triangles()
         };
         let objective = MomentObjective::from_counts(observed, k).with_features(features);
+        sink.emit(&ProgressEvent::StageStarted { stage: "fit" });
         let fit = kronmom.fit_objective_on(&objective, exec);
+        sink.emit(&ProgressEvent::StageFinished { stage: "fit" });
 
         PrivateEstimate {
             fit,
@@ -386,6 +414,72 @@ mod tests {
             assert_eq!(a.value.to_bits(), b.value.to_bits(), "threads {threads}");
             assert_eq!(a.smooth_sensitivity.to_bits(), b.smooth_sensitivity.to_bits());
         }
+    }
+
+    #[test]
+    fn observed_fit_reports_stage_pairs_and_matches_the_plain_fit() {
+        use kronpriv_obs::CollectingSink;
+        let (_, g) = synthetic_graph(9, 40);
+        let exec = Executor::sequential();
+        let params = PrivacyParams::paper_default();
+        let plain =
+            PrivateEstimator::default().fit_on(&g, params, &mut StdRng::seed_from_u64(41), &exec);
+        let sink = CollectingSink::new();
+        let observed = PrivateEstimator::default().fit_on_observed(
+            &g,
+            params,
+            &mut StdRng::seed_from_u64(41),
+            &exec,
+            &sink,
+        );
+        assert_eq!(plain.fit.theta, observed.fit.theta, "the sink must not steer the fit");
+        assert_eq!(plain.private_statistics, observed.private_statistics);
+        // Stage events arrive as ordered started/finished pairs covering the three stages.
+        let stages: Vec<(&str, bool)> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ProgressEvent::StageStarted { stage } => Some((*stage, true)),
+                ProgressEvent::StageFinished { stage } => Some((*stage, false)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            stages,
+            vec![
+                ("degree_release", true),
+                ("degree_release", false),
+                ("triangle_release", true),
+                ("triangle_release", false),
+                ("fit", true),
+                ("fit", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn degrees_only_observed_fit_skips_the_triangle_stage() {
+        use kronpriv_obs::CollectingSink;
+        let (_, g) = synthetic_graph(8, 42);
+        let exec = Executor::sequential();
+        let options = PrivateEstimatorOptions { degrees_only: true, ..Default::default() };
+        let sink = CollectingSink::new();
+        PrivateEstimator::new(options).fit_on_observed(
+            &g,
+            PrivacyParams::pure(0.5),
+            &mut StdRng::seed_from_u64(43),
+            &exec,
+            &sink,
+        );
+        let started: Vec<&str> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ProgressEvent::StageStarted { stage } => Some(*stage),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(started, vec!["degree_release", "fit"]);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Lock-free instruments: counters, gauges, power-of-two histograms and RAII spans.
+//!
+//! Everything here is write-mostly: the hot paths (executor dispatch, kernel inner loops)
+//! only ever `fetch_add` with relaxed ordering, and nothing they record is ever read back by
+//! compute code — see the crate-level no-feedback invariant.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of histogram buckets. Bucket `i < HISTOGRAM_BUCKETS - 1` holds values
+/// `v <= 2^i` nanoseconds (and greater than the previous bound); the last bucket is `+Inf`.
+/// 39 finite bounds cover `2^38` ns ≈ 4.6 minutes, far beyond any span the workspace times.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero. Most callers get shared handles from [`crate::Registry`].
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (reporting only).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (pool sizes, in-flight job counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one, saturating at zero (a late decrement after a reset must not wrap).
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
+    /// Current value (reporting only).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram of nanosecond durations over fixed power-of-two buckets.
+///
+/// Recording is branch-light: the bucket index is derived from the leading zeros of the
+/// value, then two relaxed `fetch_add`s (bucket + sum) and a count increment. Buckets are
+/// monotonic — they only ever grow — so concurrent scrapes see a consistent-enough snapshot
+/// without any locking.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `ns` nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The bucket an observation of `ns` lands in: the smallest `i` with `ns <= 2^i`,
+    /// clamped into the final `+Inf` bucket.
+    fn bucket_index(ns: u64) -> usize {
+        if ns <= 1 { 0 } else { (u64::BITS - (ns - 1).leading_zeros()) as usize }
+            .min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The inclusive upper bound of finite bucket `i` (`2^i` ns); `None` for the `+Inf` bucket.
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        (i < HISTOGRAM_BUCKETS - 1).then(|| 1u64 << i)
+    }
+
+    /// Per-bucket counts (reporting only).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Total nanoseconds observed (reporting only).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Number of observations (reporting only).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Starts an RAII span that records its elapsed time into this histogram on drop.
+    pub fn span(self: &Arc<Histogram>) -> Span {
+        Span { histogram: Arc::clone(self), start: Instant::now() }
+    }
+}
+
+/// An RAII timer: created against a histogram, records the elapsed nanoseconds when dropped.
+/// The elapsed time is write-only — a span exposes no way to read the clock back, keeping the
+/// no-feedback invariant syntactically obvious at every call site.
+#[derive(Debug)]
+pub struct Span {
+    histogram: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.histogram.record_ns(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(3);
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 3);
+        g.set(0);
+        g.dec();
+        assert_eq!(g.get(), 0, "gauge must saturate at zero");
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two_and_cumulative_counts_add_up() {
+        let h = Histogram::new();
+        for ns in [0, 1, 2, 3, 4, 1000, 1024, 1025, u64::MAX] {
+            h.record_ns(ns);
+        }
+        let counts = h.bucket_counts();
+        // 0 and 1 land in bucket 0; 2 in bucket 1; 3 and 4 in bucket 2.
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[2], 2);
+        // 1000 and 1024 are <= 2^10; 1025 goes one bucket up.
+        assert_eq!(counts[10], 2);
+        assert_eq!(counts[11], 1);
+        // u64::MAX overflows every finite bound into the +Inf bucket.
+        assert_eq!(counts[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(h.count(), 9);
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
+        assert_eq!(Histogram::bucket_bound(10), Some(1024));
+        assert_eq!(Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn span_records_exactly_one_observation_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _span = h.span();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum_ns() >= 1_000_000, "1ms sleep must record >= 1ms");
+    }
+}

@@ -60,6 +60,16 @@
 //! function of the input *shape* `(len, chunk_size, work)` — never of the thread count — and
 //! the inline path is exactly the reference loop the parallel path must reproduce bit for bit,
 //! so the cutoff can never change a result.
+//!
+//! # Instrumentation
+//!
+//! Every call records its cutoff decision into the process-global `kronpriv-obs` registry:
+//! calls and planned chunks per mode (`inline` / `pooled`) and per [`Work`] class, engaged
+//! helper counts, whole-call run time, queue wait from job publication to worker attach, and
+//! per-worker busy nanoseconds (`kronpriv_par_*` — see the `metrics` module). The counters are
+//! strictly write-only from this crate's point of view: nothing the executor schedules ever
+//! depends on an instrument value or a clock reading, so the byte-identical guarantee is
+//! untouched (the cutoff remains a pure function of the input shape).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,6 +83,10 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+use std::time::Instant;
+
+mod metrics;
+use metrics::{exec_metrics, INLINE, POOLED};
 
 /// Estimated nanoseconds of kernel work needed to amortize handing a job to one pooled helper
 /// (a `Condvar` wake plus queue bookkeeping, measured in the tens of microseconds with
@@ -110,6 +124,30 @@ impl Work {
     /// Estimated total cost of a `len`-element range.
     fn total_ns(self, len: usize) -> u128 {
         self.ns_per_item as u128 * len as u128
+    }
+
+    /// The metrics label for this hint: one of the named classes, or `custom` for any other
+    /// [`Work::per_item_ns`] estimate. Used to break the executor counters down by work class.
+    pub fn class(self) -> &'static str {
+        if self == Work::LIGHT {
+            "light"
+        } else if self == Work::MODERATE {
+            "moderate"
+        } else if self == Work::HEAVY {
+            "heavy"
+        } else {
+            "custom"
+        }
+    }
+
+    /// `class()` as a dense index into the per-class instrument arrays.
+    fn class_index(self) -> usize {
+        match self.class() {
+            "light" => 0,
+            "moderate" => 1,
+            "heavy" => 2,
+            _ => 3,
+        }
     }
 }
 
@@ -223,6 +261,7 @@ impl Executor {
         let chunk_size = chunk_size.max(1);
         let chunks = len.div_ceil(chunk_size);
         let helpers = self.plan_helpers(len, chunks, work);
+        let _call_span = record_call(work, chunks, helpers);
         if helpers == 0 {
             let mut acc = init;
             for c in 0..chunks {
@@ -278,6 +317,7 @@ impl Executor {
         let chunk_size = chunk_size.max(1);
         let chunks = len.div_ceil(chunk_size);
         let helpers = self.plan_helpers(len, chunks, work);
+        let _call_span = record_call(work, chunks, helpers);
         if helpers == 0 {
             let mut acc = identity();
             for c in 0..chunks {
@@ -344,6 +384,19 @@ impl fmt::Debug for Executor {
 fn chunk_range(c: usize, chunk_size: usize, len: usize) -> Range<usize> {
     let start = c * chunk_size;
     start..(start + chunk_size).min(len)
+}
+
+/// Records one executor call's cutoff decision and returns the RAII span timing the call.
+/// Reporting only: the returned span exposes nothing the caller could branch on.
+fn record_call(work: Work, chunks: usize, helpers: usize) -> kronpriv_obs::Span {
+    let m = exec_metrics();
+    let mode = if helpers == 0 { INLINE } else { POOLED };
+    m.calls[mode][work.class_index()].inc();
+    m.chunks[mode].add(chunks as u64);
+    if helpers > 0 {
+        m.helpers_engaged.add(helpers as u64);
+    }
+    m.call_ns[mode].span()
 }
 
 type PanicPayload = Box<dyn Any + Send + 'static>;
@@ -530,6 +583,8 @@ use raw::RawRunnable;
 struct JobState {
     runnable: RawRunnable,
     attached: AtomicUsize,
+    /// When the job was published to the queue — read only to report queue-wait latency.
+    published: Instant,
 }
 
 /// A queue entry: the job plus how many more helpers may still join it. The entry is removed
@@ -570,7 +625,7 @@ impl Pool {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("kronpriv-exec-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn executor worker thread")
             })
             .collect();
@@ -581,8 +636,11 @@ impl Pool {
     /// thread, then retracts the unclaimed slots and waits until every attached helper has
     /// detached. On return the caller has exclusive access to the job again.
     fn run_shared(&self, job: &(dyn Runnable + Sync), helper_slots: usize) {
-        let state =
-            Arc::new(JobState { runnable: RawRunnable::erase(job), attached: AtomicUsize::new(0) });
+        let state = Arc::new(JobState {
+            runnable: RawRunnable::erase(job),
+            attached: AtomicUsize::new(0),
+            published: Instant::now(),
+        });
         {
             let mut guard = self.shared.state.lock().expect("pool mutex never poisoned");
             guard.jobs.push_back(QueuedJob { job: Arc::clone(&state), helper_slots });
@@ -631,7 +689,8 @@ impl Drop for DrainGuard<'_> {
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &PoolShared, index: usize) {
+    let busy_ns = metrics::worker_busy_counter(index);
     let mut guard = shared.state.lock().expect("pool mutex never poisoned");
     loop {
         if let Some(front) = guard.jobs.front_mut() {
@@ -645,7 +704,13 @@ fn worker_loop(shared: &PoolShared) {
             }
             job.attached.fetch_add(1, Ordering::Relaxed);
             drop(guard);
+            // Reporting only: neither latency feeds back into any scheduling decision.
+            let attach = Instant::now();
+            exec_metrics()
+                .queue_wait_ns
+                .record_ns(duration_ns(attach.duration_since(job.published)));
             job.runnable.run();
+            busy_ns.add(duration_ns(attach.elapsed()));
             guard = shared.state.lock().expect("pool mutex never poisoned");
             job.attached.fetch_sub(1, Ordering::Relaxed);
             shared.done_cv.notify_all();
@@ -655,6 +720,11 @@ fn worker_loop(shared: &PoolShared) {
             guard = shared.work_cv.wait(guard).expect("pool mutex never poisoned");
         }
     }
+}
+
+/// A duration in whole nanoseconds, saturating rather than panicking on absurd values.
+fn duration_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -1010,6 +1080,41 @@ mod tests {
         );
         let expected: u64 = (0..8).flat_map(|i| (0..64).map(move |j| (i * 1_000 + j) as u64)).sum();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn cutoff_decisions_are_visible_in_the_global_registry() {
+        use kronpriv_obs::Registry;
+        let registry = Registry::global();
+        // HEAVY and MODERATE are reserved for this test within this crate's test binary, so
+        // the per-class deltas below cannot race with the other tests (which use LIGHT or
+        // custom hints).
+        let pooled =
+            registry.counter("kronpriv_par_calls_total", &[("mode", "pooled"), ("work", "heavy")]);
+        let inline = registry
+            .counter("kronpriv_par_calls_total", &[("mode", "inline"), ("work", "moderate")]);
+        let (pooled_before, inline_before) = (pooled.get(), inline.get());
+
+        let exec = Executor::new(4);
+        // 1_000 × 20_000ns clears the amortization threshold with 100 chunks: pooled.
+        let sum = exec.map_reduce(1_000, 10, Work::HEAVY, |r| r.len(), |a: usize, m| a + m, 0);
+        assert_eq!(sum, 1_000);
+        // 10 × 400ns is far below it: inline.
+        let sum = exec.map_reduce(10, 2, Work::MODERATE, |r| r.len(), |a: usize, m| a + m, 0);
+        assert_eq!(sum, 10);
+
+        assert_eq!(pooled.get(), pooled_before + 1, "pooled heavy call must be counted");
+        assert_eq!(inline.get(), inline_before + 1, "inline moderate call must be counted");
+        assert!(registry.render().contains("kronpriv_par_calls_total{mode=\"pooled\""));
+    }
+
+    #[test]
+    fn work_classes_have_stable_names() {
+        assert_eq!(Work::LIGHT.class(), "light");
+        assert_eq!(Work::MODERATE.class(), "moderate");
+        assert_eq!(Work::HEAVY.class(), "heavy");
+        assert_eq!(Work::per_item_ns(123).class(), "custom");
+        assert_eq!(FORCE_PARALLEL.class(), "custom");
     }
 
     #[test]

@@ -279,9 +279,12 @@ pub struct SubmitResponse {
     pub job_id: u64,
     /// The status at submission time (always `Queued`).
     pub status: JobStatus,
+    /// Request fields the server accepted but overrode (e.g. a `compute_threads` that differs
+    /// from the server's shared pool). `null` when the request was taken verbatim.
+    pub warnings: Option<Vec<String>>,
 }
 
-impl_json_struct!(SubmitResponse { job_id, status });
+impl_json_struct_lenient!(SubmitResponse { job_id, status, warnings });
 
 /// `GET /api/jobs/{id}` body: the job record snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -294,9 +297,11 @@ pub struct JobResponse {
     pub result: Option<Json>,
     /// The failure message, present exactly when `status` is `Failed`.
     pub error: Option<String>,
+    /// The warnings recorded at submission, echoed on every poll. `null` when there were none.
+    pub warnings: Option<Vec<String>>,
 }
 
-impl_json_struct_lenient!(JobResponse { job_id, status, result, error });
+impl_json_struct_lenient!(JobResponse { job_id, status, result, error, warnings });
 
 /// `POST /api/sample`: synchronously sample a synthetic graph from a (public) fitted initiator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -324,7 +329,7 @@ pub struct SampleResponse {
 
 impl_json_struct!(SampleResponse { nodes, edges, edge_list });
 
-/// `GET /healthz` body.
+/// `GET /healthz` body: a status document, not just a bare 200.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthResponse {
     /// Always `"ok"` when the server can respond at all.
@@ -333,9 +338,31 @@ pub struct HealthResponse {
     pub service: String,
     /// Total estimation jobs submitted since startup.
     pub jobs_submitted: u64,
+    /// Whole seconds since the server started.
+    pub uptime_seconds: u64,
+    /// Participant count of the shared compute executor (calling thread + pooled helpers).
+    pub compute_threads: u64,
+    /// Jobs currently waiting for an estimation worker.
+    pub jobs_queued: u64,
+    /// Jobs currently executing.
+    pub jobs_running: u64,
+    /// Jobs finished successfully since startup.
+    pub jobs_done: u64,
+    /// Jobs finished with an error since startup.
+    pub jobs_failed: u64,
 }
 
-impl_json_struct!(HealthResponse { status, service, jobs_submitted });
+impl_json_struct!(HealthResponse {
+    status,
+    service,
+    jobs_submitted,
+    uptime_seconds,
+    compute_threads,
+    jobs_queued,
+    jobs_running,
+    jobs_done,
+    jobs_failed,
+});
 
 /// The body of every non-2xx response.
 #[derive(Debug, Clone, PartialEq)]

@@ -44,6 +44,59 @@ pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
     request(addr, "GET", path, None)
 }
 
+/// `GET {path}` against a streaming endpoint: blocks until the server closes the connection
+/// and returns `(status, head, body)` with a `Transfer-Encoding: chunked` body de-chunked.
+/// The job event stream follows a running job, so the read timeout is generous.
+pub fn get_stream(addr: SocketAddr, path: &str) -> io::Result<(u16, String, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body split"))?;
+    let head = String::from_utf8_lossy(&raw[..split]).to_string();
+    let body_bytes = &raw[split + 4..];
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparseable status line"))?;
+    let body = if head.to_ascii_lowercase().contains("transfer-encoding: chunked") {
+        decode_chunked(body_bytes)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed chunked body"))?
+    } else {
+        body_bytes.to_vec()
+    };
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))?;
+    Ok((status, head, body))
+}
+
+/// Decodes a complete `Transfer-Encoding: chunked` body (hex size line, payload, CRLF,
+/// repeated; zero-size chunk terminates). `None` if the framing is broken or unterminated.
+fn decode_chunked(mut rest: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let newline = rest.windows(2).position(|w| w == b"\r\n")?;
+        let size_line = std::str::from_utf8(&rest[..newline]).ok()?;
+        let size = usize::from_str_radix(size_line.trim(), 16).ok()?;
+        rest = &rest[newline + 2..];
+        if size == 0 {
+            return Some(out);
+        }
+        if rest.len() < size + 2 || &rest[size..size + 2] != b"\r\n" {
+            return None;
+        }
+        out.extend_from_slice(&rest[..size]);
+        rest = &rest[size + 2..];
+    }
+}
+
 /// `POST {path}` with a JSON body.
 pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> io::Result<(u16, String)> {
     request(addr, "POST", path, Some(body))
@@ -58,5 +111,17 @@ mod tests {
         let raw = "HTTP/1.1 202 Accepted\r\nContent-Length: 2\r\n\r\n{}";
         assert_eq!(parse_response(raw), Some((202, "{}".to_string())));
         assert!(parse_response("garbage").is_none());
+    }
+
+    #[test]
+    fn decodes_chunked_bodies_and_rejects_broken_framing() {
+        assert_eq!(
+            decode_chunked(b"5\r\nhello\r\n8\r\n, world\n\r\n0\r\n\r\n"),
+            Some(b"hello, world\n".to_vec())
+        );
+        assert_eq!(decode_chunked(b"0\r\n\r\n"), Some(Vec::new()));
+        assert!(decode_chunked(b"5\r\nhello").is_none(), "unterminated chunk");
+        assert!(decode_chunked(b"zz\r\nhello\r\n0\r\n\r\n").is_none(), "bad size line");
+        assert!(decode_chunked(b"5\r\nhello, world\r\n").is_none(), "payload/CRLF mismatch");
     }
 }

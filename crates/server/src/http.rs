@@ -196,33 +196,80 @@ fn read_head_line(head: &mut impl BufRead, deadline: Instant) -> Result<String, 
     }
 }
 
-/// An HTTP response: a status code plus a JSON body.
+/// An HTTP response: a status code plus a body with its content type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// The status code (200, 202, 400, 404, ...).
     pub status: u16,
-    /// The response body; the service always emits `application/json`.
+    /// The response body.
     pub body: String,
+    /// The `Content-Type` header value; every constructor sets a static one.
+    pub content_type: &'static str,
 }
 
+/// The Prometheus text exposition content type served by `/metrics`.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 impl Response {
-    /// Builds a JSON response.
+    /// Builds an `application/json` response.
     pub fn json(status: u16, body: impl Into<String>) -> Self {
-        Response { status, body: body.into() }
+        Response { status, body: body.into(), content_type: "application/json" }
+    }
+
+    /// Builds a Prometheus text-exposition response (used by `/metrics`).
+    pub fn metrics_text(status: u16, body: impl Into<String>) -> Self {
+        Response { status, body: body.into(), content_type: METRICS_CONTENT_TYPE }
     }
 
     /// Serialises the response (status line, headers, body) onto a writer.
     pub fn write_to(&self, mut writer: impl Write) -> io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
             self.status,
             reason_phrase(self.status),
+            self.content_type,
             self.body.len()
         )?;
         writer.write_all(self.body.as_bytes())?;
         writer.flush()
     }
+}
+
+/// Writes the head of a chunked (`Transfer-Encoding: chunked`) streaming response. The body
+/// then follows as [`write_chunk`] calls terminated by one [`finish_chunked`]. Used by the
+/// job event stream, whose length is unknown while the job runs.
+pub fn write_chunked_head(
+    mut writer: impl Write,
+    status: u16,
+    content_type: &str,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        status,
+        reason_phrase(status),
+        content_type
+    )?;
+    writer.flush()
+}
+
+/// Writes one chunk (hex size line, payload, CRLF) and flushes so the client sees progress
+/// immediately. Empty payloads are skipped: a zero-length chunk would terminate the stream.
+pub fn write_chunk(mut writer: impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.is_empty() {
+        return Ok(());
+    }
+    write!(writer, "{:x}\r\n", payload.len())?;
+    writer.write_all(payload)?;
+    writer.write_all(b"\r\n")?;
+    writer.flush()
+}
+
+/// Writes the terminating zero-length chunk of a chunked response.
+pub fn finish_chunked(mut writer: impl Write) -> io::Result<()> {
+    writer.write_all(b"0\r\n\r\n")?;
+    writer.flush()
 }
 
 /// The reason phrase for the status codes the service emits.
@@ -336,8 +383,35 @@ mod tests {
         Response::json(202, "{\"job_id\":1}").write_to(&mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.contains("Content-Length: 12\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"job_id\":1}"));
+    }
+
+    #[test]
+    fn metrics_responses_carry_the_prometheus_content_type() {
+        let mut out = Vec::new();
+        Response::metrics_text(200, "x_total 1\n").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+        assert!(text.ends_with("x_total 1\n"));
+    }
+
+    #[test]
+    fn chunked_stream_wire_format_is_hex_framed_and_zero_terminated() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, 200, "application/x-ndjson").unwrap();
+        write_chunk(&mut out, b"{\"event\":\"queued\"}\n").unwrap();
+        write_chunk(&mut out, b"").unwrap(); // must not emit a premature terminator
+        write_chunk(&mut out, b"{\"event\":\"done\"}\n").unwrap();
+        finish_chunked(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(!text.contains("Content-Length"));
+        assert!(text.contains("13\r\n{\"event\":\"queued\"}\n\r\n"));
+        assert!(text.contains("11\r\n{\"event\":\"done\"}\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
     }
 }

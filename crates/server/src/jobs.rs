@@ -1,16 +1,25 @@
-//! The in-memory job store: submit → poll → fetch result.
+//! The in-memory job store: submit → poll → fetch result, with a streaming event log.
 //!
 //! A private-release estimation can take seconds on a large graph, so `/api/estimate` must not
 //! hold its connection open while Algorithm 1 runs. Instead the router submits a closure here
 //! and immediately returns a job id; the closure runs on a dedicated estimation pool (separate
 //! from the HTTP worker pool, so slow estimations never starve `/healthz` or job polling), and
 //! clients poll `/api/jobs/{id}` until the record flips to `Done` or `Failed`.
+//!
+//! Every job additionally carries an append-only **event log** of typed JSON documents:
+//! `queued` and `running` lifecycle markers, the pipeline's stage/chain progress (the closure
+//! receives a [`JobEventSink`], which implements [`kronpriv_obs::ProgressSink`]), and a
+//! terminal `done`/`failed` document carrying the same result/error the poll endpoint serves.
+//! Streamers follow the log with [`JobStore::wait_events`], which blocks on a condvar instead
+//! of polling.
 
 use crate::pool::ThreadPool;
 use kronpriv_json::{impl_json_enum, Json};
+use kronpriv_obs::{ProgressEvent, ProgressSink, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Default number of finished (`Done`/`Failed`) job records retained for polling. Older
 /// finished records are evicted oldest-first so a long-running server cannot grow without
@@ -43,6 +52,21 @@ pub struct JobSnapshot {
     pub result: Option<Json>,
     /// The failure message (present exactly when `status == Failed`).
     pub error: Option<String>,
+    /// Request-level warnings recorded at submission (e.g. an ignored `compute_threads`).
+    pub warnings: Vec<String>,
+}
+
+/// Monotonic job counters since startup, reported by `/healthz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCounts {
+    /// Jobs currently waiting for an estimation worker.
+    pub queued: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Jobs finished successfully since startup (eviction does not decrement this).
+    pub done: u64,
+    /// Jobs finished with an error since startup (eviction does not decrement this).
+    pub failed: u64,
 }
 
 #[derive(Debug)]
@@ -50,6 +74,9 @@ struct JobRecord {
     status: JobStatus,
     result: Option<Json>,
     error: Option<String>,
+    warnings: Vec<String>,
+    /// Append-only typed progress log; see the module docs for the document shapes.
+    events: Vec<Json>,
 }
 
 #[derive(Debug)]
@@ -59,19 +86,40 @@ struct JobTable {
     /// Finished job ids in completion order, for oldest-first eviction.
     finished: VecDeque<u64>,
     max_finished: usize,
+    completed_done: u64,
+    completed_failed: u64,
+}
+
+/// The table plus the condvar event streamers block on. One condvar covers all jobs: event
+/// traffic is a handful of documents per job, so spurious wakeups are irrelevant.
+#[derive(Debug)]
+struct Shared {
+    table: Mutex<JobTable>,
+    events: Condvar,
 }
 
 impl JobTable {
     fn complete(&mut self, id: u64, outcome: Result<Json, String>) {
         if let Some(record) = self.jobs.get_mut(&id) {
+            let registry = Registry::global();
             match outcome {
                 Ok(result) => {
                     record.status = JobStatus::Done;
+                    record.events.push(event_doc("done", &[("result", result.clone())]));
                     record.result = Some(result);
+                    self.completed_done += 1;
+                    registry.counter("kronpriv_jobs_completed_total", &[("outcome", "done")]).inc();
                 }
                 Err(message) => {
                     record.status = JobStatus::Failed;
+                    record
+                        .events
+                        .push(event_doc("failed", &[("error", Json::String(message.clone()))]));
                     record.error = Some(message);
+                    self.completed_failed += 1;
+                    registry
+                        .counter("kronpriv_jobs_completed_total", &[("outcome", "failed")])
+                        .inc();
                 }
             }
             self.finished.push_back(id);
@@ -84,11 +132,78 @@ impl JobTable {
     }
 }
 
+/// Builds one typed event document: `{"event": kind, ...fields}`.
+fn event_doc(kind: &str, fields: &[(&str, Json)]) -> Json {
+    let mut pairs = vec![("event".to_string(), Json::String(kind.to_string()))];
+    pairs.extend(fields.iter().map(|(k, v)| (k.to_string(), v.clone())));
+    Json::Object(pairs)
+}
+
+/// The progress sink one running job emits into: appends typed JSON documents to the job's
+/// event log and wakes any streamer blocked in [`JobStore::wait_events`].
+///
+/// Implements [`ProgressSink`], so it plugs directly into the `*_observed` pipeline entry
+/// points. It opts into per-step chain log-likelihoods (`wants_chain_likelihood`) because the
+/// streamed `chain_step` documents carry them — an extra likelihood evaluation per step that
+/// consumes no randomness, so results stay byte-identical (the `kronpriv-obs` no-feedback
+/// invariant).
+pub struct JobEventSink {
+    shared: Arc<Shared>,
+    id: u64,
+}
+
+impl JobEventSink {
+    /// Appends one event document to the job's log and wakes streamers. Events for an evicted
+    /// job are silently dropped.
+    pub fn push(&self, event: Json) {
+        let mut table = self.shared.table.lock().expect("job table poisoned");
+        if let Some(record) = table.jobs.get_mut(&self.id) {
+            record.events.push(event);
+            self.shared.events.notify_all();
+        }
+    }
+}
+
+impl ProgressSink for JobEventSink {
+    fn emit(&self, event: &ProgressEvent) {
+        let doc = match event {
+            ProgressEvent::StageStarted { stage } => {
+                event_doc("stage_started", &[("stage", Json::String(stage.to_string()))])
+            }
+            ProgressEvent::StageFinished { stage } => {
+                event_doc("stage_finished", &[("stage", Json::String(stage.to_string()))])
+            }
+            ProgressEvent::ChainStep { chain, step, total_steps, log_likelihood } => event_doc(
+                "chain_step",
+                &[
+                    ("chain", Json::Number(*chain as f64)),
+                    ("step", Json::Number(*step as f64)),
+                    ("total_steps", Json::Number(*total_steps as f64)),
+                    // JSON has no NaN; an unevaluated likelihood becomes null.
+                    (
+                        "log_likelihood",
+                        if log_likelihood.is_finite() {
+                            Json::Number(*log_likelihood)
+                        } else {
+                            Json::Null
+                        },
+                    ),
+                ],
+            ),
+        };
+        self.push(doc);
+    }
+
+    fn wants_chain_likelihood(&self) -> bool {
+        true
+    }
+}
+
 /// The store: a job table plus the worker pool that executes submitted jobs.
 ///
 /// Dropping the store waits for in-flight jobs to finish (via the pool's graceful shutdown).
 pub struct JobStore {
-    table: Arc<Mutex<JobTable>>,
+    shared: Arc<Shared>,
     pool: ThreadPool,
 }
 
@@ -106,57 +221,134 @@ impl JobStore {
     pub fn with_retention(workers: usize, max_finished: usize) -> Self {
         assert!(max_finished > 0, "must retain at least one finished job");
         JobStore {
-            table: Arc::new(Mutex::new(JobTable {
-                next_id: 0,
-                jobs: HashMap::new(),
-                finished: VecDeque::new(),
-                max_finished,
-            })),
+            shared: Arc::new(Shared {
+                table: Mutex::new(JobTable {
+                    next_id: 0,
+                    jobs: HashMap::new(),
+                    finished: VecDeque::new(),
+                    max_finished,
+                    completed_done: 0,
+                    completed_failed: 0,
+                }),
+                events: Condvar::new(),
+            }),
             pool: ThreadPool::new(workers, "kronpriv-job"),
         }
     }
 
     /// Submits a job and returns its id immediately. The closure's `Ok` document becomes the
-    /// job result; `Err` (or a panic, which is caught) marks the job `Failed`.
-    pub fn submit(&self, work: impl FnOnce() -> Result<Json, String> + Send + 'static) -> u64 {
+    /// job result; `Err` (or a panic, which is caught) marks the job `Failed`. The closure
+    /// receives the job's [`JobEventSink`] for progress reporting; `warnings` are recorded on
+    /// the job verbatim (e.g. request fields the server overrode).
+    pub fn submit(
+        &self,
+        warnings: Vec<String>,
+        work: impl FnOnce(&JobEventSink) -> Result<Json, String> + Send + 'static,
+    ) -> u64 {
         let id = {
-            let mut table = self.table.lock().expect("job table poisoned");
+            let mut table = self.shared.table.lock().expect("job table poisoned");
             table.next_id += 1;
             let id = table.next_id;
-            table
-                .jobs
-                .insert(id, JobRecord { status: JobStatus::Queued, result: None, error: None });
+            table.jobs.insert(
+                id,
+                JobRecord {
+                    status: JobStatus::Queued,
+                    result: None,
+                    error: None,
+                    warnings,
+                    events: vec![event_doc("queued", &[("job_id", Json::Number(id as f64))])],
+                },
+            );
             id
         };
-        let table = Arc::clone(&self.table);
+        Registry::global().counter("kronpriv_jobs_submitted_total", &[]).inc();
+        self.shared.events.notify_all();
+        let shared = Arc::clone(&self.shared);
         self.pool.execute(move || {
-            set_status(&table, id, JobStatus::Running);
-            let outcome = panic::catch_unwind(AssertUnwindSafe(work))
+            let sink = JobEventSink { shared: Arc::clone(&shared), id };
+            set_status(&shared, id, JobStatus::Running);
+            sink.push(event_doc("running", &[]));
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| work(&sink)))
                 .unwrap_or_else(|_| Err("job panicked".to_string()));
-            table.lock().expect("job table poisoned").complete(id, outcome);
+            shared.table.lock().expect("job table poisoned").complete(id, outcome);
+            shared.events.notify_all();
         });
         id
     }
 
     /// A snapshot of the job, or `None` for an unknown id.
     pub fn get(&self, id: u64) -> Option<JobSnapshot> {
-        let table = self.table.lock().expect("job table poisoned");
+        let table = self.shared.table.lock().expect("job table poisoned");
         table.jobs.get(&id).map(|record| JobSnapshot {
             id,
             status: record.status,
             result: record.result.clone(),
             error: record.error.clone(),
+            warnings: record.warnings.clone(),
         })
+    }
+
+    /// The job's event documents from index `from` onward, blocking up to `timeout` for new
+    /// ones. Returns `(events, terminal)` where `terminal` says the returned slice reaches the
+    /// end of a finished job's log — the stream is complete. `None` for an unknown (or
+    /// evicted) id.
+    ///
+    /// A timeout with no fresh events returns `(vec![], false)` so streamers can keep the
+    /// connection alive and re-wait.
+    pub fn wait_events(
+        &self,
+        id: u64,
+        from: usize,
+        timeout: Duration,
+    ) -> Option<(Vec<Json>, bool)> {
+        let deadline = Instant::now() + timeout;
+        let mut table = self.shared.table.lock().expect("job table poisoned");
+        loop {
+            let record = table.jobs.get(&id)?;
+            let finished = matches!(record.status, JobStatus::Done | JobStatus::Failed);
+            if record.events.len() > from || finished {
+                let events = record.events.get(from..).unwrap_or_default().to_vec();
+                return Some((events, finished));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Some((Vec::new(), false));
+            }
+            let (guard, wait) =
+                self.shared.events.wait_timeout(table, remaining).expect("job table poisoned");
+            table = guard;
+            if wait.timed_out() {
+                let record = table.jobs.get(&id)?;
+                let finished = matches!(record.status, JobStatus::Done | JobStatus::Failed);
+                let events = record.events.get(from..).unwrap_or_default().to_vec();
+                return Some((events, finished));
+            }
+        }
     }
 
     /// Total number of jobs ever submitted (reported by `/healthz`).
     pub fn submitted(&self) -> u64 {
-        self.table.lock().expect("job table poisoned").next_id
+        self.shared.table.lock().expect("job table poisoned").next_id
+    }
+
+    /// Current and cumulative lifecycle counts (reported by `/healthz`).
+    pub fn counts(&self) -> JobCounts {
+        let table = self.shared.table.lock().expect("job table poisoned");
+        let mut queued = 0;
+        let mut running = 0;
+        for record in table.jobs.values() {
+            match record.status {
+                JobStatus::Queued => queued += 1,
+                JobStatus::Running => running += 1,
+                _ => {}
+            }
+        }
+        JobCounts { queued, running, done: table.completed_done, failed: table.completed_failed }
     }
 }
 
-fn set_status(table: &Mutex<JobTable>, id: u64, status: JobStatus) {
-    if let Some(record) = table.lock().expect("job table poisoned").jobs.get_mut(&id) {
+fn set_status(shared: &Shared, id: u64, status: JobStatus) {
+    if let Some(record) = shared.table.lock().expect("job table poisoned").jobs.get_mut(&id) {
         record.status = status;
     }
 }
@@ -164,7 +356,6 @@ fn set_status(table: &Mutex<JobTable>, id: u64, status: JobStatus) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::{Duration, Instant};
 
     fn wait_done(store: &JobStore, id: u64) -> JobSnapshot {
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -178,67 +369,137 @@ mod tests {
         }
     }
 
+    fn event_kind(event: &Json) -> String {
+        event.get("event").and_then(|e| e.as_str().map(str::to_string)).expect("untyped event")
+    }
+
     #[test]
     fn submit_poll_fetch_lifecycle() {
         let store = JobStore::new(2);
-        let id = store.submit(|| Ok(Json::Number(42.0)));
+        let id = store.submit(Vec::new(), |_| Ok(Json::Number(42.0)));
         let snap = wait_done(&store, id);
         assert_eq!(snap.status, JobStatus::Done);
         assert_eq!(snap.result, Some(Json::Number(42.0)));
         assert_eq!(snap.error, None);
+        assert!(snap.warnings.is_empty());
         assert_eq!(store.submitted(), 1);
+        let counts = store.counts();
+        assert_eq!((counts.queued, counts.running, counts.done, counts.failed), (0, 0, 1, 0));
     }
 
     #[test]
     fn failures_and_panics_are_recorded_not_fatal() {
         let store = JobStore::new(1);
-        let failing = store.submit(|| Err("bad input".to_string()));
-        let panicking = store.submit(|| panic!("boom"));
-        let ok = store.submit(|| Ok(Json::Bool(true)));
+        let failing = store.submit(Vec::new(), |_| Err("bad input".to_string()));
+        let panicking = store.submit(Vec::new(), |_| panic!("boom"));
+        let ok = store.submit(Vec::new(), |_| Ok(Json::Bool(true)));
         assert_eq!(wait_done(&store, failing).error.as_deref(), Some("bad input"));
         assert_eq!(wait_done(&store, panicking).error.as_deref(), Some("job panicked"));
         assert_eq!(wait_done(&store, ok).status, JobStatus::Done);
+        assert_eq!(store.counts().failed, 2);
     }
 
     #[test]
     fn finished_jobs_are_evicted_oldest_first_beyond_the_retention_cap() {
         let store = JobStore::with_retention(1, 2);
-        let first = store.submit(|| Ok(Json::Number(1.0)));
+        let first = store.submit(Vec::new(), |_| Ok(Json::Number(1.0)));
         wait_done(&store, first);
-        let second = store.submit(|| Ok(Json::Number(2.0)));
+        let second = store.submit(Vec::new(), |_| Ok(Json::Number(2.0)));
         wait_done(&store, second);
-        let third = store.submit(|| Ok(Json::Number(3.0)));
+        let third = store.submit(Vec::new(), |_| Ok(Json::Number(3.0)));
         wait_done(&store, third);
         assert!(store.get(first).is_none(), "oldest finished job must be evicted");
         assert!(store.get(second).is_some());
         assert!(store.get(third).is_some());
         // The submission counter is unaffected by eviction.
         assert_eq!(store.submitted(), 3);
+        // An evicted job's event stream reports unknown, not empty.
+        assert!(store.wait_events(first, 0, Duration::from_millis(1)).is_none());
     }
 
     #[test]
     fn ids_are_unique_and_unknown_ids_are_none() {
         let store = JobStore::new(2);
-        let a = store.submit(|| Ok(Json::Null));
-        let b = store.submit(|| Ok(Json::Null));
+        let a = store.submit(Vec::new(), |_| Ok(Json::Null));
+        let b = store.submit(Vec::new(), |_| Ok(Json::Null));
         assert_ne!(a, b);
         assert!(store.get(u64::MAX).is_none());
+        assert!(store.wait_events(u64::MAX, 0, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn warnings_are_echoed_on_the_snapshot() {
+        let store = JobStore::new(1);
+        let id = store.submit(vec!["heads up".to_string()], |_| Ok(Json::Null));
+        assert_eq!(wait_done(&store, id).warnings, vec!["heads up".to_string()]);
+    }
+
+    #[test]
+    fn event_log_runs_queued_to_terminal_in_order() {
+        let store = JobStore::new(1);
+        let id = store.submit(Vec::new(), |sink| {
+            sink.emit(&ProgressEvent::StageStarted { stage: "fit" });
+            sink.emit(&ProgressEvent::ChainStep {
+                chain: 0,
+                step: 1,
+                total_steps: 4,
+                log_likelihood: f64::NAN,
+            });
+            sink.emit(&ProgressEvent::StageFinished { stage: "fit" });
+            Ok(Json::Number(7.0))
+        });
+        wait_done(&store, id);
+        let (events, terminal) = store.wait_events(id, 0, Duration::from_secs(5)).unwrap();
+        assert!(terminal);
+        let kinds: Vec<String> = events.iter().map(event_kind).collect();
+        assert_eq!(
+            kinds,
+            ["queued", "running", "stage_started", "chain_step", "stage_finished", "done"]
+        );
+        // The terminal event embeds the same result the poll endpoint serves.
+        assert_eq!(events.last().unwrap().get("result"), Some(&Json::Number(7.0)));
+        // NaN log-likelihoods cross the wire as null.
+        assert_eq!(events[3].get("log_likelihood"), Some(&Json::Null));
+        // A cursor past the queued/running prefix sees only the tail.
+        let (tail, terminal) = store.wait_events(id, 4, Duration::from_secs(5)).unwrap();
+        assert!(terminal);
+        assert_eq!(tail.iter().map(event_kind).collect::<Vec<_>>(), ["stage_finished", "done"]);
+    }
+
+    #[test]
+    fn wait_events_blocks_until_events_arrive() {
+        let store = JobStore::new(1);
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let id = store.submit(Vec::new(), move |sink| {
+            release_rx.recv().unwrap();
+            sink.push(Json::String("late".to_string()));
+            Ok(Json::Null)
+        });
+        // Nothing beyond queued/running yet: a short wait times out empty and non-terminal.
+        let (events, _) = store.wait_events(id, 2, Duration::from_millis(30)).unwrap();
+        assert!(events.is_empty());
+        release_tx.send(()).unwrap();
+        // Now the blocked wait must be woken by the push/completion, well before its timeout.
+        let started = Instant::now();
+        let (events, _) = store.wait_events(id, 2, Duration::from_secs(10)).unwrap();
+        assert!(!events.is_empty());
+        assert!(started.elapsed() < Duration::from_secs(5), "condvar wake, not timeout");
     }
 
     #[test]
     fn dropping_the_store_waits_for_running_jobs() {
-        let table;
+        let shared;
         {
             let store = JobStore::new(1);
-            table = Arc::clone(&store.table);
+            shared = Arc::clone(&store.shared);
             for _ in 0..8 {
-                store.submit(|| {
+                store.submit(Vec::new(), |_| {
                     std::thread::sleep(Duration::from_millis(2));
                     Ok(Json::Null)
                 });
             }
         }
-        let table = table.lock().unwrap();
+        let table = shared.table.lock().unwrap();
         assert!(table.jobs.values().all(|r| r.status == JobStatus::Done));
     }
 }

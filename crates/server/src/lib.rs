@@ -8,22 +8,25 @@
 //!   hard size limits,
 //! * [`pool`] — a fixed-size worker thread pool with graceful drain-on-drop shutdown,
 //! * [`jobs`] — the in-memory job store (submit → poll → fetch) that keeps long estimations
-//!   off the connection threads,
+//!   off the connection threads, with a per-job event log streamers can follow,
 //! * [`api`] — the wire request/response types, built with the `kronpriv-json` macros; untrusted
 //!   fields land in `*Spec` types and pass explicit validation before touching the pipeline,
-//! * [`router`] — `(method, path)` dispatch onto the four endpoints,
-//! * [`server`] — the accept loop, connection handling and [`ServerHandle`] lifecycle,
+//! * [`router`] — `(method, path)` dispatch onto the endpoints,
+//! * [`server`] — the accept loop, connection handling (including the chunked event stream and
+//!   the structured access log) and [`ServerHandle`] lifecycle,
 //! * [`client`] — the tiny blocking HTTP client the integration tests and the `--probe` mode
 //!   drive the server with.
 //!
 //! # Endpoints
 //!
-//! | Method & path        | Purpose                                                        |
-//! |----------------------|----------------------------------------------------------------|
-//! | `GET /healthz`       | liveness + job counter                                         |
-//! | `POST /api/estimate` | submit an Algorithm 1 private-release job (edge list or SKG)   |
-//! | `GET /api/jobs/{id}` | poll a job; carries the result document when finished          |
-//! | `POST /api/sample`   | synchronously sample a synthetic graph from a public initiator |
+//! | Method & path               | Purpose                                                        |
+//! |-----------------------------|----------------------------------------------------------------|
+//! | `GET /healthz`              | status document: uptime, pool size, job lifecycle counts       |
+//! | `GET /metrics`              | Prometheus text exposition of the process-global registry      |
+//! | `POST /api/estimate`        | submit an Algorithm 1 private-release job (edge list or SKG)   |
+//! | `GET /api/jobs/{id}`        | poll a job; carries the result document when finished          |
+//! | `GET /api/jobs/{id}/events` | chunked NDJSON stream of the job's typed progress events       |
+//! | `POST /api/sample`          | synchronously sample a synthetic graph from a public initiator |
 //!
 //! See `API.md` at the repository root for request/response examples.
 //!

@@ -9,19 +9,21 @@ use crate::api::{
 use crate::http::{Request, Response};
 use crate::jobs::{JobStatus, JobStore};
 use kronpriv::pipeline::{
-    try_kronfit_estimate_on, try_kronmom_estimate_on, try_private_estimate_on,
+    try_kronfit_estimate_observed, try_kronmom_estimate_on, try_private_estimate_observed,
     validate_estimator_inputs,
 };
 use kronpriv_estimate::{KronFitOptions, KronMomOptions};
 use kronpriv_graph::io::{parse_edge_list_reader, to_edge_list_string};
 use kronpriv_graph::Graph;
 use kronpriv_json::{from_str, to_string, ToJson};
+use kronpriv_obs::{ProgressEvent, ProgressSink, Registry};
 use kronpriv_par::Executor;
 use kronpriv_skg::sample::{sample_fast, SamplerOptions};
 use kronpriv_skg::Initiator2;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Shared state the handlers operate on.
 pub struct AppState {
@@ -34,6 +36,8 @@ pub struct AppState {
     /// call. Enforced over request options because the kernels are pool-size-deterministic,
     /// so only resources — never results — are at stake.
     pub executor: Arc<Executor>,
+    /// When the state was built; `/healthz` reports the elapsed whole seconds as uptime.
+    pub started: Instant,
 }
 
 impl AppState {
@@ -45,6 +49,7 @@ impl AppState {
             jobs: JobStore::new(job_workers),
             max_order,
             executor: Arc::new(Executor::new(compute_threads)),
+            started: Instant::now(),
         }
     }
 }
@@ -57,6 +62,10 @@ pub fn route(state: &AppState, request: &Request) -> Response {
             "GET" => health(state),
             _ => method_not_allowed("GET"),
         },
+        "/metrics" => match request.method.as_str() {
+            "GET" => metrics(),
+            _ => method_not_allowed("GET"),
+        },
         "/api/estimate" => match request.method.as_str() {
             "POST" => estimate(state, request),
             _ => method_not_allowed("POST"),
@@ -66,9 +75,19 @@ pub fn route(state: &AppState, request: &Request) -> Response {
             _ => method_not_allowed("POST"),
         },
         _ => {
-            if let Some(id) = path.strip_prefix("/api/jobs/") {
+            if let Some(rest) = path.strip_prefix("/api/jobs/") {
+                if let Some(raw_id) = rest.strip_suffix("/events") {
+                    // The chunked event stream is written by the connection layer, which
+                    // intercepts this path before routing (it needs the raw socket). The
+                    // router still owns the validation, and answers for transports that
+                    // cannot stream.
+                    return match events_target(state, request.method.as_str(), raw_id) {
+                        Ok(_) => error(400, "the event stream requires a direct connection"),
+                        Err(response) => response,
+                    };
+                }
                 match request.method.as_str() {
-                    "GET" => job(state, id),
+                    "GET" => job(state, rest),
                     _ => method_not_allowed("GET"),
                 }
             } else {
@@ -76,6 +95,22 @@ pub fn route(state: &AppState, request: &Request) -> Response {
             }
         }
     }
+}
+
+/// Validates a `GET /api/jobs/{id}/events` target: the method, the id syntax, and that the job
+/// exists right now. `Ok(id)` means the caller may stream; `Err` is the response to send
+/// instead. Shared by [`route`] and the connection layer's streaming intercept.
+pub(crate) fn events_target(state: &AppState, method: &str, raw_id: &str) -> Result<u64, Response> {
+    if method != "GET" {
+        return Err(method_not_allowed("GET"));
+    }
+    let id: u64 = raw_id
+        .parse()
+        .map_err(|_| error(400, format!("job id must be an integer, got {raw_id:?}")))?;
+    if state.jobs.get(id).is_none() {
+        return Err(error(404, format!("no such job: {id}")));
+    }
+    Ok(id)
 }
 
 /// Builds a JSON error response.
@@ -92,14 +127,42 @@ fn ok_json<T: ToJson>(status: u16, body: &T) -> Response {
 }
 
 fn health(state: &AppState) -> Response {
+    let counts = state.jobs.counts();
     ok_json(
         200,
         &HealthResponse {
             status: "ok".to_string(),
             service: "kronpriv-server".to_string(),
             jobs_submitted: state.jobs.submitted(),
+            uptime_seconds: state.started.elapsed().as_secs(),
+            compute_threads: state.executor.threads() as u64,
+            jobs_queued: counts.queued,
+            jobs_running: counts.running,
+            jobs_done: counts.done,
+            jobs_failed: counts.failed,
         },
     )
+}
+
+/// `GET /metrics`: the process-global registry in Prometheus text exposition format. Label
+/// sets are bounded (fixed stage/mode names, normalized HTTP paths), so the scrape size is
+/// O(instrument count), not O(traffic).
+fn metrics() -> Response {
+    Response::metrics_text(200, Registry::global().render())
+}
+
+/// The warning recorded when a request carries an explicit `compute_threads` that differs
+/// from the server's startup-built shared pool. The request field is accepted (old clients
+/// keep working) but has no effect on resources; it never affects results either, because
+/// every parallel kernel is pool-size-deterministic.
+fn compute_threads_warning(field: &str, requested: usize, exec: &Executor) -> Option<String> {
+    (requested != 0 && requested != exec.threads()).then(|| {
+        format!(
+            "{field}={requested} is ignored: jobs run on the server's shared compute pool of \
+             {} thread(s); results are byte-identical for any pool size",
+            exec.threads()
+        )
+    })
 }
 
 /// Parses a request body as UTF-8 JSON into `T`, or produces the 400 response.
@@ -240,9 +303,10 @@ fn estimate(state: &AppState, request: &Request) -> Response {
     let edge_list = req.graph.edge_list;
     // The server owns its compute resources: every estimator runs on the startup-built shared
     // executor, ignoring whatever thread count the request carried. Safe because all parallel
-    // stages are deterministic for any pool size, so this cannot change the result document.
+    // stages are deterministic for any pool size, so this cannot change the result document —
+    // but the request is told so via the `warnings` field rather than silently.
     let exec = Arc::clone(&state.executor);
-    let job_id = match kind {
+    let (job_id, warnings) = match kind {
         EstimatorKind::Private => {
             let params = match req.params {
                 Some(spec) => match spec.validate() {
@@ -258,48 +322,83 @@ fn estimate(state: &AppState, request: &Request) -> Response {
             if let Err(e) = validate_kronmom_options(&options.kronmom) {
                 return error(400, e);
             }
+            let warnings: Vec<String> = [
+                compute_threads_warning("options.compute_threads", options.compute_threads, &exec),
+                compute_threads_warning(
+                    "options.kronmom.compute_threads",
+                    options.kronmom.compute_threads,
+                    &exec,
+                ),
+            ]
+            .into_iter()
+            .flatten()
+            .collect();
             let include_degrees = req.include_degree_sequence.unwrap_or(false);
-            state.jobs.submit(move || {
+            let id = state.jobs.submit(warnings.clone(), move |sink| {
                 // One seeded RNG drives both the optional SKG realization and the privacy
                 // noise, so the whole job is a pure function of the request document.
                 let mut rng = StdRng::seed_from_u64(seed);
                 let graph = materialize_graph(&edge_list, skg, &mut rng)?;
-                let estimate = try_private_estimate_on(&graph, params, &options, &mut rng, &exec)
-                    .map_err(|e| format!("estimation rejected: {e}"))?;
+                let estimate =
+                    try_private_estimate_observed(&graph, params, &options, &mut rng, &exec, sink)
+                        .map_err(|e| format!("estimation rejected: {e}"))?;
                 Ok(EstimateResult::from_estimate(&estimate, seed, include_degrees).to_json())
-            })
+            });
+            (id, warnings)
         }
         EstimatorKind::KronMom => {
             let options = req.options.unwrap_or_default().kronmom;
             if let Err(e) = validate_kronmom_options(&options) {
                 return error(400, e);
             }
-            state.jobs.submit(move || {
+            let warnings: Vec<String> = compute_threads_warning(
+                "options.kronmom.compute_threads",
+                options.compute_threads,
+                &exec,
+            )
+            .into_iter()
+            .collect();
+            let id = state.jobs.submit(warnings.clone(), move |sink| {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let graph = materialize_graph(&edge_list, skg, &mut rng)?;
+                sink.emit(&ProgressEvent::StageStarted { stage: "fit" });
                 let fit = try_kronmom_estimate_on(&graph, &options, &exec)
                     .map_err(|e| format!("estimation rejected: {e}"))?;
+                sink.emit(&ProgressEvent::StageFinished { stage: "fit" });
                 Ok(BaselineResult::from_fit(EstimatorKind::KronMom, &fit, seed).to_json())
-            })
+            });
+            (id, warnings)
         }
         EstimatorKind::KronFit => {
             let options = req.kronfit.unwrap_or_default();
             if let Err(e) = validate_kronfit_options(&options) {
                 return error(400, e);
             }
-            state.jobs.submit(move || {
+            let warnings: Vec<String> =
+                compute_threads_warning("kronfit.compute_threads", options.compute_threads, &exec)
+                    .into_iter()
+                    .collect();
+            let id = state.jobs.submit(warnings.clone(), move |sink| {
                 // The same seeded RNG realizes the optional SKG input and then seeds the
                 // multi-chain permutation sampling, so the fit is a pure function of the
                 // request document (and independent of --compute-threads).
                 let mut rng = StdRng::seed_from_u64(seed);
                 let graph = materialize_graph(&edge_list, skg, &mut rng)?;
-                let fit = try_kronfit_estimate_on(&graph, &options, &mut rng, &exec)
+                let fit = try_kronfit_estimate_observed(&graph, &options, &mut rng, &exec, sink)
                     .map_err(|e| format!("estimation rejected: {e}"))?;
                 Ok(BaselineResult::from_fit(EstimatorKind::KronFit, &fit, seed).to_json())
-            })
+            });
+            (id, warnings)
         }
     };
-    ok_json(202, &SubmitResponse { job_id, status: JobStatus::Queued })
+    ok_json(
+        202,
+        &SubmitResponse {
+            job_id,
+            status: JobStatus::Queued,
+            warnings: (!warnings.is_empty()).then_some(warnings),
+        },
+    )
 }
 
 fn job(state: &AppState, raw_id: &str) -> Response {
@@ -315,6 +414,7 @@ fn job(state: &AppState, raw_id: &str) -> Response {
                 status: snapshot.status,
                 result: snapshot.result,
                 error: snapshot.error,
+                warnings: (!snapshot.warnings.is_empty()).then_some(snapshot.warnings),
             },
         ),
         None => error(404, format!("no such job: {id}")),
@@ -394,6 +494,104 @@ mod tests {
         let body = body_json(&response);
         assert_eq!(body.get("status").unwrap().as_str(), Some("ok"));
         assert_eq!(body.get("jobs_submitted").unwrap().as_f64(), Some(0.0));
+        // The status document: uptime, pool size, and job lifecycle counts.
+        assert!(body.get("uptime_seconds").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(body.get("compute_threads").unwrap().as_f64().unwrap() >= 1.0);
+        for counter in ["jobs_queued", "jobs_running", "jobs_done", "jobs_failed"] {
+            assert_eq!(body.get(counter).unwrap().as_f64(), Some(0.0), "{counter}");
+        }
+    }
+
+    #[test]
+    fn metrics_serves_the_prometheus_exposition() {
+        let state = state();
+        // Run one job so job counters exist in the registry.
+        let response = route(&state, &request("POST", "/api/estimate", SKG_BODY));
+        assert_eq!(response.status, 202, "{}", response.body);
+        let id = body_json(&response).get("job_id").unwrap().as_f64().unwrap() as u64;
+        wait_for_job(&state, id);
+        let scrape = route(&state, &request("GET", "/metrics", ""));
+        assert_eq!(scrape.status, 200);
+        assert_eq!(scrape.content_type, crate::http::METRICS_CONTENT_TYPE);
+        assert!(scrape.body.contains("# TYPE kronpriv_jobs_submitted_total counter"));
+        assert!(scrape.body.contains("kronpriv_jobs_completed_total{outcome=\"done\"}"));
+        assert!(scrape.body.contains("kronpriv_stage_ns_bucket{"), "stage spans missing");
+        for line in scrape.body.lines() {
+            assert!(
+                kronpriv_obs::well_formed_exposition_line(line),
+                "malformed exposition line: {line:?}"
+            );
+        }
+        assert_eq!(route(&state, &request("POST", "/metrics", "")).status, 405);
+    }
+
+    #[test]
+    fn mismatched_compute_threads_requests_get_an_explicit_warning() {
+        let state = state();
+        let pool = state.executor.threads();
+        // An explicit thread count that cannot match the server pool.
+        let options = kronpriv_estimate::PrivateEstimatorOptions {
+            compute_threads: pool + 7,
+            ..Default::default()
+        };
+        let body = SKG_BODY.replace(
+            "\"seed\": 11",
+            &format!("\"seed\": 11, \"options\": {}", kronpriv_json::to_string(&options)),
+        );
+        let response = route(&state, &request("POST", "/api/estimate", &body));
+        assert_eq!(response.status, 202, "{}", response.body);
+        let submitted = body_json(&response);
+        let warnings = submitted.get("warnings").unwrap();
+        let text = kronpriv_json::to_string(warnings);
+        assert!(text.contains("options.compute_threads"), "{text}");
+        assert!(text.contains("ignored"), "{text}");
+        // The poll document echoes the same warnings for the job's whole lifetime.
+        let id = submitted.get("job_id").unwrap().as_f64().unwrap() as u64;
+        let poll = route(&state, &request("GET", &format!("/api/jobs/{id}"), ""));
+        assert!(poll.body.contains("options.compute_threads"), "{}", poll.body);
+        wait_for_job(&state, id);
+        let done = route(&state, &request("GET", &format!("/api/jobs/{id}"), ""));
+        assert!(done.body.contains("options.compute_threads"), "{}", done.body);
+    }
+
+    #[test]
+    fn matching_or_auto_compute_threads_requests_carry_no_warnings() {
+        let state = state();
+        let pool = state.executor.threads();
+        for threads in [0, pool] {
+            let options = kronpriv_estimate::PrivateEstimatorOptions {
+                compute_threads: threads,
+                ..Default::default()
+            };
+            let options = kronpriv_json::to_string(&options);
+            let body =
+                SKG_BODY.replace("\"seed\": 11", &format!("\"seed\": 11, \"options\": {options}"));
+            let response = route(&state, &request("POST", "/api/estimate", &body));
+            assert_eq!(response.status, 202, "{}", response.body);
+            assert_eq!(
+                body_json(&response).get("warnings"),
+                Some(&Json::Null),
+                "{options}: {}",
+                response.body
+            );
+        }
+    }
+
+    #[test]
+    fn events_targets_are_validated_by_the_router() {
+        let state = state();
+        // Unknown job and bad id syntax answer like the poll endpoint.
+        assert_eq!(route(&state, &request("GET", "/api/jobs/999/events", "")).status, 404);
+        assert_eq!(route(&state, &request("GET", "/api/jobs/abc/events", "")).status, 400);
+        assert_eq!(route(&state, &request("POST", "/api/jobs/1/events", "")).status, 405);
+        // A live job is a valid stream target; the plain router cannot stream it.
+        let response = route(&state, &request("POST", "/api/estimate", SKG_BODY));
+        let id = body_json(&response).get("job_id").unwrap().as_f64().unwrap() as u64;
+        assert_eq!(events_target(&state, "GET", &id.to_string()), Ok(id));
+        let plain = route(&state, &request("GET", &format!("/api/jobs/{id}/events"), ""));
+        assert_eq!(plain.status, 400);
+        assert!(plain.body.contains("direct connection"), "{}", plain.body);
+        wait_for_job(&state, id);
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! The TCP accept loop, connection handling and graceful shutdown.
 
-use crate::http::{read_request, HttpError};
+use crate::http::{finish_chunked, read_request, write_chunk, write_chunked_head, HttpError};
 use crate::pool::ThreadPool;
-use crate::router::{error, route, AppState};
+use crate::router::{error, events_target, route, AppState};
+use kronpriv_json::Json;
+use kronpriv_obs::Registry;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +40,11 @@ pub struct ServerConfig {
     /// connection off with a `408 Request Timeout` instead (worst-case overshoot: one
     /// `io_timeout`).
     pub request_deadline: Duration,
+    /// When true, every handled request is logged to stdout as one structured JSON line
+    /// (`{"log":"access","method":...,"path":...,"status":...,"duration_us":...}`). Off by
+    /// default so embedded servers (tests, `serve_ephemeral`) stay quiet; the `kronpriv-serve`
+    /// binary turns it on. Metrics are recorded regardless — only the log line is gated.
+    pub access_log: bool,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +57,7 @@ impl Default for ServerConfig {
             max_order: 16,
             io_timeout: Duration::from_secs(10),
             request_deadline: Duration::from_secs(30),
+            access_log: false,
         }
     }
 }
@@ -112,6 +120,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let flag = Arc::clone(&shutdown);
     let io_timeout = config.io_timeout;
     let request_deadline = config.request_deadline;
+    let access_log = config.access_log;
     let accept = thread::Builder::new().name("kronpriv-accept".to_string()).spawn(move || {
         for stream in listener.incoming() {
             if flag.load(Ordering::SeqCst) {
@@ -127,7 +136,9 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
                 }
             };
             let state = Arc::clone(&state);
-            pool.execute(move || handle_connection(stream, &state, io_timeout, request_deadline));
+            pool.execute(move || {
+                handle_connection(stream, &state, io_timeout, request_deadline, access_log)
+            });
         }
         // `pool` and `state` drop here: workers drain in-flight connections, then the job
         // store's estimation pool drains in-flight jobs.
@@ -135,27 +146,169 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     Ok(ServerHandle { addr, shutdown, accept: Some(accept) })
 }
 
-/// Serves one connection: read a request, route it, write the response, close.
+/// How long one `/api/jobs/{id}/events` connection may follow a job before the server closes
+/// the (well-terminated) stream anyway. Jobs themselves are bounded far below this by the
+/// router's iteration-budget caps; the limit only protects an HTTP worker from a job that
+/// somehow never completes.
+const MAX_EVENT_STREAM: Duration = Duration::from_secs(15 * 60);
+
+/// Serves one connection: read a request, route it, write the response, close. `GET
+/// /api/jobs/{id}/events` is intercepted *before* routing — it needs the raw socket to write
+/// a chunked stream that follows the job, which the request → response router cannot express.
 fn handle_connection(
     stream: TcpStream,
     state: &AppState,
     io_timeout: Duration,
     request_deadline: Duration,
+    access_log: bool,
 ) {
     let _ = stream.set_read_timeout(Some(io_timeout));
     let _ = stream.set_write_timeout(Some(io_timeout));
-    let deadline = std::time::Instant::now() + request_deadline;
+    let started = Instant::now();
+    let deadline = started + request_deadline;
     let mut reader = BufReader::new(stream);
-    let response = match read_request(&mut reader, deadline) {
-        Ok(request) => route(state, &request),
+    let (identity, response) = match read_request(&mut reader, deadline) {
+        Ok(request) => {
+            let path = request.path.split('?').next().unwrap_or("").to_string();
+            let events_id = path
+                .strip_prefix("/api/jobs/")
+                .and_then(|rest| rest.strip_suffix("/events"))
+                .map(|raw_id| events_target(state, request.method.as_str(), raw_id));
+            match events_id {
+                Some(Ok(id)) => {
+                    // Status and latency are observed at stream start (time to first byte);
+                    // folding multi-minute job runtimes into the request histogram would
+                    // drown the signal.
+                    observe_request(&request.method, &path, 200, started, access_log);
+                    let _ = stream_events(reader.into_inner(), state, id);
+                    return;
+                }
+                Some(Err(response)) => (Some((request.method, path)), response),
+                None => {
+                    let response = route(state, &request);
+                    (Some((request.method, path)), response)
+                }
+            }
+        }
         // The shutdown wake-up connection lands here as an immediate EOF; answering a 408/400
         // into a closed socket is harmless.
-        Err(HttpError::Io(e)) => error(400, format!("could not read request: {e}")),
-        Err(HttpError::TooLarge) => error(413, "request exceeds the size limits"),
-        Err(e @ HttpError::Malformed(_)) => error(400, e.to_string()),
-        Err(e @ HttpError::Timeout) => error(408, e.to_string()),
+        Err(HttpError::Io(e)) => (None, error(400, format!("could not read request: {e}"))),
+        Err(HttpError::TooLarge) => (None, error(413, "request exceeds the size limits")),
+        Err(e @ HttpError::Malformed(_)) => (None, error(400, e.to_string())),
+        Err(e @ HttpError::Timeout) => (None, error(408, e.to_string())),
     };
+    let (method, path) = identity.unwrap_or_default();
+    observe_request(&method, &path, response.status, started, access_log);
     let _ = response.write_to(reader.into_inner());
+}
+
+/// Follows one job's event log onto the socket as a chunked `application/x-ndjson` stream:
+/// one JSON document per line, flushed per event batch, terminated by the zero-length chunk
+/// once the job's terminal event has been written (or the job was evicted, or the client went
+/// away, or [`MAX_EVENT_STREAM`] elapsed).
+fn stream_events(stream: TcpStream, state: &AppState, id: u64) -> io::Result<()> {
+    let mut writer = stream;
+    write_chunked_head(&mut writer, 200, "application/x-ndjson")?;
+    let cutoff = Instant::now() + MAX_EVENT_STREAM;
+    let mut cursor = 0usize;
+    while Instant::now() < cutoff {
+        // Short waits keep the loop responsive to the cutoff; the condvar inside wakes the
+        // wait immediately when an event lands, so streaming latency is not 500 ms.
+        match state.jobs.wait_events(id, cursor, Duration::from_millis(500)) {
+            None => break, // evicted mid-stream: terminate cleanly with what was sent
+            Some((events, terminal)) => {
+                let mut batch = String::new();
+                for event in &events {
+                    batch.push_str(&kronpriv_json::to_string(event));
+                    batch.push('\n');
+                }
+                cursor += events.len();
+                write_chunk(&mut writer, batch.as_bytes())?;
+                if terminal {
+                    break;
+                }
+            }
+        }
+    }
+    finish_chunked(&mut writer)
+}
+
+/// Bounded label values for the per-request metrics: free-form request paths are collapsed
+/// onto the route skeleton so one scanning client cannot mint unbounded label sets.
+fn normalize_path(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/api/estimate" => "/api/estimate",
+        "/api/sample" => "/api/sample",
+        _ => match path.strip_prefix("/api/jobs/") {
+            Some(rest) if rest.ends_with("/events") => "/api/jobs/{id}/events",
+            Some(_) => "/api/jobs/{id}",
+            None => "other",
+        },
+    }
+}
+
+fn method_label(method: &str) -> &'static str {
+    match method {
+        "GET" => "GET",
+        "POST" => "POST",
+        "PUT" => "PUT",
+        "DELETE" => "DELETE",
+        "HEAD" => "HEAD",
+        _ => "other",
+    }
+}
+
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        202 => "202",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        408 => "408",
+        413 => "413",
+        500 => "500",
+        _ => "other",
+    }
+}
+
+/// Records one handled request into the global registry and, when enabled, emits the
+/// structured access-log line. A request that never parsed logs with empty method/path and
+/// the `"other"` path label.
+fn observe_request(method: &str, path: &str, status: u16, started: Instant, access_log: bool) {
+    let elapsed = started.elapsed();
+    let registry = Registry::global();
+    let route_label = normalize_path(path);
+    registry
+        .counter(
+            "kronpriv_http_requests_total",
+            &[
+                ("method", method_label(method)),
+                ("path", route_label),
+                ("status", status_label(status)),
+            ],
+        )
+        .inc();
+    registry
+        .histogram("kronpriv_http_request_ns", &[("path", route_label)])
+        .record_ns(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    if access_log {
+        let epoch_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as f64)
+            .unwrap_or(0.0);
+        let line = Json::Object(vec![
+            ("log".to_string(), Json::String("access".to_string())),
+            ("ts_ms".to_string(), Json::Number(epoch_ms)),
+            ("method".to_string(), Json::String(method.to_string())),
+            ("path".to_string(), Json::String(path.to_string())),
+            ("status".to_string(), Json::Number(status as f64)),
+            ("duration_us".to_string(), Json::Number(elapsed.as_micros() as f64)),
+        ]);
+        println!("{}", kronpriv_json::to_string(&line));
+    }
 }
 
 /// One-call convenience used by unit tests and docs: serve on an ephemeral localhost port.
@@ -264,5 +417,59 @@ mod tests {
         )
         .unwrap();
         assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text_over_the_socket() {
+        let handle = serve_ephemeral(2, 1).unwrap();
+        // A prior request guarantees the HTTP counters exist before the scrape renders.
+        client::get(handle.addr(), "/healthz").unwrap();
+        let (status, body) = client::get(handle.addr(), "/metrics").unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            body.contains(
+                "kronpriv_http_requests_total{method=\"GET\",path=\"/healthz\",status=\"200\"}"
+            ),
+            "{body}"
+        );
+        assert!(body.contains("kronpriv_http_request_ns_bucket{"), "{body}");
+        for line in body.lines() {
+            assert!(
+                kronpriv_obs::well_formed_exposition_line(line),
+                "malformed exposition line: {line:?}"
+            );
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn events_stream_is_chunked_ndjson_from_queued_to_done() {
+        let handle = serve_ephemeral(2, 1).unwrap();
+        let body = r#"{"graph": {"skg": {"theta": {"a": 0.95, "b": 0.55, "c": 0.2}, "k": 7}},
+                       "params": {"epsilon": 1.0, "delta": 0.01}, "seed": 3}"#;
+        let (status, submitted) = client::post_json(handle.addr(), "/api/estimate", body).unwrap();
+        assert_eq!(status, 202, "{submitted}");
+        let id = Json::parse(&submitted).unwrap().get("job_id").unwrap().as_f64().unwrap() as u64;
+        let (status, head, stream) =
+            client::get_stream(handle.addr(), &format!("/api/jobs/{id}/events")).unwrap();
+        assert_eq!(status, 200, "{head}");
+        assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+        assert!(head.contains("Content-Type: application/x-ndjson"), "{head}");
+        let kinds: Vec<String> = stream
+            .lines()
+            .map(|line| {
+                let doc = Json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+                doc.get("event").unwrap().as_str().unwrap().to_string()
+            })
+            .collect();
+        assert_eq!(kinds.first().map(String::as_str), Some("queued"), "{kinds:?}");
+        assert_eq!(kinds.last().map(String::as_str), Some("done"), "{kinds:?}");
+        assert!(kinds.iter().any(|k| k == "stage_started"), "{kinds:?}");
+        // Unknown jobs and wrong methods answer as plain (non-chunked) errors.
+        let (status, _) = client::get(handle.addr(), "/api/jobs/424242/events").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client::post_json(handle.addr(), "/api/jobs/1/events", "{}").unwrap();
+        assert_eq!(status, 405);
+        handle.shutdown();
     }
 }

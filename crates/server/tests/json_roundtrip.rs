@@ -88,15 +88,25 @@ fn estimate_result_round_trips_with_and_without_optionals() {
 #[test]
 fn job_and_submit_responses_round_trip() {
     for status in [JobStatus::Queued, JobStatus::Running, JobStatus::Done, JobStatus::Failed] {
-        let submit = SubmitResponse { job_id: 9, status };
+        let submit = SubmitResponse { job_id: 9, status, warnings: None };
         let back: SubmitResponse = from_str(&to_string(&submit)).unwrap();
         assert_eq!(back, submit);
     }
+    let warned = SubmitResponse {
+        job_id: 10,
+        status: JobStatus::Queued,
+        warnings: Some(vec!["options.compute_threads=8 is ignored".to_string()]),
+    };
+    let text = to_string(&warned);
+    assert!(text.contains("\"warnings\":[\"options.compute_threads"), "{text}");
+    let back: SubmitResponse = from_str(&text).unwrap();
+    assert_eq!(back, warned);
     let done = JobResponse {
         job_id: 3,
         status: JobStatus::Done,
         result: Some(Json::Object(vec![("theta".into(), Json::Number(0.5))])),
         error: None,
+        warnings: None,
     };
     let back: JobResponse = from_str(&to_string(&done)).unwrap();
     assert_eq!(back, done);
@@ -105,6 +115,7 @@ fn job_and_submit_responses_round_trip() {
         status: JobStatus::Failed,
         result: None,
         error: Some("edge list rejected: cannot parse edge list line 2".into()),
+        warnings: Some(vec!["kronfit.compute_threads=3 is ignored".to_string()]),
     };
     let back: JobResponse = from_str(&to_string(&failed)).unwrap();
     assert_eq!(back, failed);
@@ -126,6 +137,12 @@ fn sample_and_health_round_trip() {
         status: "ok".to_string(),
         service: "kronpriv-server".to_string(),
         jobs_submitted: 12,
+        uptime_seconds: 3600,
+        compute_threads: 4,
+        jobs_queued: 1,
+        jobs_running: 2,
+        jobs_done: 8,
+        jobs_failed: 1,
     };
     let back: HealthResponse = from_str(&to_string(&health)).unwrap();
     assert_eq!(back, health);

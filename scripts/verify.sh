@@ -24,30 +24,49 @@ if [[ "${1:-}" == "--quick" ]]; then
     echo "==> bench harness smoke run"
     cargo bench -q --offline -p kronpriv-bench --bench model_kernels -- --quick
 
-    echo "==> kernel micro-benchmark matrix (writes BENCH_kernels.json)"
+    echo "==> kernel micro-benchmark matrix + regression guard (BENCH_kernels.json vs baseline)"
     # Machine-readable perf trajectory: one {kernel, nodes, threads, ns_per_op} record per
-    # measurement, so kernel regressions across PRs show up in the checked JSON. The matrix
+    # measurement (the min over samples — robust to background load, which only ever inflates
+    # a sample), so kernel regressions across PRs show up in the checked JSON. The matrix
     # covers the counting kernels, the fitting stage (fit_multistart, isotonic_postprocess)
     # and one multi-chain KronFit ascent step (kronfit_step) at 1/2/4 threads.
-    cargo bench -q --offline -p kronpriv-bench --bench kernels -- --quick \
-        --json "$PWD/BENCH_kernels.json"
-    test -s BENCH_kernels.json || { echo "BENCH_kernels.json was not written" >&2; exit 1; }
-
-    echo "==> bench regression guard (BENCH_kernels.json vs BENCH_baseline.json)"
-    # Fails on >2x (override: BENCH_MAX_RATIO) per-kernel ns/op regressions against the
-    # committed baseline; refresh with `cp BENCH_kernels.json BENCH_baseline.json` after an
-    # intentional perf change — or after moving to a slower machine class, since the baseline
-    # records absolute ns/op of whatever machine produced it. Also prints the one-line
-    # "scaling 1T->4T" summary from the fresh records and, on hosts with >=4 hardware
-    # threads, enforces the executor's scaling gates (no kernel >10% slower at 4T;
-    # smooth_sensitivity/per_node_triangles >=1.5x at the ~10^5-node rows).
-    cargo run -q --release --offline -p kronpriv-bench --bin bench_check -- \
-        --max-ratio "${BENCH_MAX_RATIO:-2.0}"
+    #
+    # bench_check fails on >2x (override: BENCH_MAX_RATIO) per-kernel ns/op regressions
+    # against the committed baseline; refresh with `cp BENCH_kernels.json BENCH_baseline.json`
+    # after an intentional perf change — or after moving to a slower machine class, since the
+    # baseline records absolute ns/op of whatever machine produced it. It also prints the
+    # one-line "scaling 1T->4T" summary and, on hosts with >=4 hardware threads, enforces the
+    # executor's scaling gates (no kernel >10% slower at 4T; smooth_sensitivity/
+    # per_node_triangles >=1.5x at the ~10^5-node rows). The committed baseline predates the
+    # kronpriv-obs instrumentation, so the guard's overhead gate (median 1T fresh/baseline
+    # ratio <= 1.05, override: BENCH_OVERHEAD_RATIO) bounds what the always-on spans and
+    # counters cost the serial compute path.
+    #
+    # The measure-then-check pair is retried up to 3 times: on a small shared runner a load
+    # spike can inflate a whole bench run, and re-measuring filters that out — a *systematic*
+    # regression (real code cost, not transient load) fails all three attempts identically.
+    bench_ok=""
+    for attempt in 1 2 3; do
+        cargo bench -q --offline -p kronpriv-bench --bench kernels -- --quick \
+            --json "$PWD/BENCH_kernels.json"
+        test -s BENCH_kernels.json || { echo "BENCH_kernels.json was not written" >&2; exit 1; }
+        if cargo run -q --release --offline -p kronpriv-bench --bin bench_check -- \
+            --max-ratio "${BENCH_MAX_RATIO:-2.0}" \
+            --overhead-ratio "${BENCH_OVERHEAD_RATIO:-1.05}"; then
+            bench_ok=1
+            break
+        fi
+        echo "bench gate attempt ${attempt}/3 failed; re-measuring" >&2
+    done
+    if [[ -z "$bench_ok" ]]; then
+        echo "bench gate failed on 3 independent measurements — treating as a real regression" >&2
+        exit 1
+    fi
 
     echo "==> example smoke run"
     cargo run -q --release --offline --example quickstart
 
-    echo "==> server smoke run (ephemeral port, healthz + estimate job + sample via --probe)"
+    echo "==> server smoke run (ephemeral port: --probe end to end, then a /metrics scrape gate)"
     server_log="$(mktemp)"
     target/release/kronpriv-serve --addr 127.0.0.1:0 --workers 2 --job-workers 2 \
         > "$server_log" 2>&1 &
@@ -72,6 +91,15 @@ if [[ "${1:-}" == "--quick" ]]; then
         exit 1
     fi
     target/release/kronpriv-serve --probe "$server_addr"
+    # The scrape gate: after real traffic, every line of the live /metrics exposition must
+    # validate (the binary exits non-zero on the first malformed line).
+    target/release/kronpriv-serve --metrics "$server_addr"
+    # The access log must have logged the traffic just driven, as structured JSON lines.
+    grep -q '"log":"access".*"path":"/metrics"' "$server_log" || {
+        echo "no structured access-log line for the /metrics scrape; log follows:" >&2
+        cat "$server_log" >&2
+        exit 1
+    }
     kill "$server_pid"
     wait "$server_pid" 2>/dev/null || true
     trap - EXIT

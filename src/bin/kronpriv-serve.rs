@@ -4,6 +4,7 @@
 //! kronpriv-serve [--addr 127.0.0.1:8080] [--workers 4] [--job-workers 2] \
 //!                [--compute-threads 0] [--max-order 16] [--request-deadline 30]
 //! kronpriv-serve --probe 127.0.0.1:8080      # health + tiny end-to-end estimate, then exit
+//! kronpriv-serve --metrics 127.0.0.1:8080    # scrape /metrics, validate every line, exit
 //! ```
 //!
 //! `--compute-threads N` sizes the shared compute worker pool, built once at startup and
@@ -21,6 +22,7 @@
 //! reports the bound address (`listening on http://<addr>`), which is what
 //! `scripts/verify.sh --quick` scrapes before probing.
 
+use kronpriv::kronpriv_obs::well_formed_exposition_line;
 use kronpriv_server::{client, serve, ServerConfig};
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -31,12 +33,13 @@ fn main() -> ExitCode {
     match parse_args(&args) {
         Ok(Mode::Serve(config)) => run_server(config),
         Ok(Mode::Probe(addr)) => run_probe(addr),
+        Ok(Mode::Metrics(addr)) => run_metrics_check(addr),
         Err(message) => {
             eprintln!("kronpriv-serve: {message}");
             eprintln!(
                 "usage: kronpriv-serve [--addr HOST:PORT] [--workers N] [--job-workers N] \
                  [--compute-threads N] [--max-order K] [--request-deadline SECS] \
-                 | --probe HOST:PORT"
+                 | --probe HOST:PORT | --metrics HOST:PORT"
             );
             ExitCode::from(2)
         }
@@ -46,11 +49,17 @@ fn main() -> ExitCode {
 enum Mode {
     Serve(ServerConfig),
     Probe(SocketAddr),
+    Metrics(SocketAddr),
 }
 
 fn parse_args(args: &[String]) -> Result<Mode, String> {
-    let mut config = ServerConfig { addr: "127.0.0.1:8080".to_string(), ..ServerConfig::default() };
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        access_log: true,
+        ..ServerConfig::default()
+    };
     let mut probe: Option<SocketAddr> = None;
+    let mut metrics: Option<SocketAddr> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -93,12 +102,18 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
                 let raw = value("--probe")?;
                 probe = Some(raw.parse().map_err(|_| format!("--probe: bad address {raw:?}"))?);
             }
+            "--metrics" => {
+                let raw = value("--metrics")?;
+                metrics = Some(raw.parse().map_err(|_| format!("--metrics: bad address {raw:?}"))?);
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok(match probe {
-        Some(addr) => Mode::Probe(addr),
-        None => Mode::Serve(config),
+    Ok(match (probe, metrics) {
+        (Some(_), Some(_)) => return Err("--probe and --metrics are mutually exclusive".into()),
+        (Some(addr), None) => Mode::Probe(addr),
+        (None, Some(addr)) => Mode::Metrics(addr),
+        (None, None) => Mode::Serve(config),
     })
 }
 
@@ -118,8 +133,9 @@ fn run_server(config: ServerConfig) -> ExitCode {
             println!("listening on http://{}", handle.addr());
             println!(
                 "workers={workers} job-workers={job_workers} compute-threads={compute_threads} \
-                 (0=auto); endpoints: GET /healthz, POST /api/estimate, GET /api/jobs/{{id}}, \
-                 POST /api/sample (see API.md)"
+                 (0=auto); endpoints: GET /healthz, GET /metrics, POST /api/estimate, \
+                 GET /api/jobs/{{id}}, GET /api/jobs/{{id}}/events, POST /api/sample \
+                 (see API.md); access log: one JSON line per request on stdout"
             );
             handle.wait();
             ExitCode::SUCCESS
@@ -131,8 +147,44 @@ fn run_server(config: ServerConfig) -> ExitCode {
     }
 }
 
+/// Scrapes `/metrics` from a live server and validates every line of the exposition against
+/// [`well_formed_exposition_line`] — the same validator the in-process tests and the CI gate
+/// use. Exits non-zero on any malformed line, so `scripts/verify.sh --quick` can gate on it.
+fn run_metrics_check(addr: SocketAddr) -> ExitCode {
+    match metrics_check(addr) {
+        Ok(lines) => {
+            println!("metrics: OK ({lines} well-formed lines)");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("metrics: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn metrics_check(addr: SocketAddr) -> Result<usize, String> {
+    let (status, body) =
+        client::get(addr, "/metrics").map_err(|e| format!("scrape failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("/metrics returned {status}: {body}"));
+    }
+    let mut lines = 0usize;
+    for line in body.lines() {
+        if !well_formed_exposition_line(line) {
+            return Err(format!("malformed exposition line: {line:?}"));
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("empty exposition".to_string());
+    }
+    Ok(lines)
+}
+
 /// Drives a live server end to end: `/healthz`, then a tiny sampled-SKG estimate job polled to
-/// completion, then `/api/sample`. Exits non-zero on any failure — the verify-script smoke test.
+/// completion, then `/api/sample`, a `/metrics` scrape and a job event stream. Exits non-zero
+/// on any failure — the verify-script smoke test.
 fn run_probe(addr: SocketAddr) -> ExitCode {
     match probe(addr) {
         Ok(()) => {
@@ -230,6 +282,23 @@ fn probe(addr: SocketAddr) -> Result<(), String> {
         .map_err(|e| format!("sample request failed: {e}"))?;
     if status != 200 || !body.contains("\"edge_list\"") {
         return Err(format!("sample returned {status}: {body}"));
+    }
+
+    // The observability surface: the finished job's event stream replays queued → done, and the
+    // traffic just driven must scrape back as well-formed Prometheus text.
+    let (status, head, stream) = client::get_stream(addr, &format!("/api/jobs/{job_id}/events"))
+        .map_err(|e| format!("event stream failed: {e}"))?;
+    if status != 200 || !head.contains("Content-Type: application/x-ndjson") {
+        return Err(format!("event stream returned {status}: {head}"));
+    }
+    let first = stream.lines().next().unwrap_or_default();
+    let last = stream.lines().last().unwrap_or_default();
+    if !first.contains("\"queued\"") || !last.contains("\"done\"") {
+        return Err(format!("event stream did not replay queued → done: {stream}"));
+    }
+    let lines = metrics_check(addr)?;
+    if lines < 3 {
+        return Err(format!("suspiciously small exposition after a full probe: {lines} lines"));
     }
     Ok(())
 }

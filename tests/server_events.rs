@@ -1,0 +1,220 @@
+//! Live-socket coverage of the observability surface: a slow KronFit job followed over the
+//! chunked `/api/jobs/{id}/events` stream, the `warnings` contract for overridden request
+//! fields, and the `/healthz` status document — all over real localhost HTTP, fully offline.
+
+use kronpriv_json::Json;
+use kronpriv_server::{client, serve, ServerConfig};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn start_server() -> kronpriv_server::ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        job_workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server must bind an ephemeral localhost port")
+}
+
+/// A KronFit request sized to run for a noticeable moment on the single estimation worker —
+/// long enough that the event stream demonstrably attaches while the job is still running.
+fn slow_kronfit_body(seed: u64, compute_threads: usize) -> String {
+    format!(
+        r#"{{"graph": {{"skg": {{"theta": {{"a": 0.95, "b": 0.55, "c": 0.2}}, "k": 8}}}},
+            "estimator": "kronfit", "seed": {seed},
+            "kronfit": {{"gradient_steps": 8, "warmup_swaps": 1500, "samples_per_step": 2,
+                         "swaps_between_samples": 400, "learning_rate": 0.06,
+                         "min_parameter": 0.001, "initial": {{"a": 0.9, "b": 0.6, "c": 0.2}},
+                         "chains": 2, "compute_threads": {compute_threads}}}}}"#
+    )
+}
+
+fn poll_to_done(addr: SocketAddr, job_id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let (status, body) = client::get(addr, &format!("/api/jobs/{job_id}")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let poll = Json::parse(&body).unwrap();
+        match poll.get("status").unwrap().as_str().unwrap() {
+            "Done" => return poll,
+            "Failed" => panic!("job {job_id} failed: {body}"),
+            _ => {
+                assert!(Instant::now() < deadline, "job {job_id} never finished");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// The tentpole scenario: submit a slow KronFit job, attach to its event stream over a live
+/// socket while it runs, and verify the typed document sequence — `queued` first, monotone
+/// per-chain progress with finite log-likelihoods in between, and a terminal `done` whose
+/// embedded result matches the poll endpoint byte for byte.
+#[test]
+fn kronfit_event_stream_follows_the_job_from_queued_to_done() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let (status, submitted) =
+        client::post_json(addr, "/api/estimate", &slow_kronfit_body(17, 0)).unwrap();
+    assert_eq!(status, 202, "{submitted}");
+    let job_id = Json::parse(&submitted).unwrap().get("job_id").unwrap().as_f64().unwrap() as u64;
+
+    // Attach immediately: the single estimation worker is still on (or has barely started)
+    // the job, so the stream follows it live rather than replaying a finished log.
+    let attach = Instant::now();
+    let (status, head, stream) =
+        client::get_stream(addr, &format!("/api/jobs/{job_id}/events")).unwrap();
+    assert_eq!(status, 200, "{head}");
+    assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+    assert!(head.contains("Content-Type: application/x-ndjson"), "{head}");
+    let followed_for = attach.elapsed();
+
+    let events: Vec<Json> = stream
+        .lines()
+        .map(|line| Json::parse(line).unwrap_or_else(|e| panic!("bad NDJSON line {line:?}: {e}")))
+        .collect();
+    let kinds: Vec<&str> =
+        events.iter().map(|e| e.get("event").unwrap().as_str().unwrap()).collect();
+    assert_eq!(kinds.first(), Some(&"queued"), "{kinds:?}");
+    assert_eq!(kinds.last(), Some(&"done"), "{kinds:?}");
+    assert!(kinds.contains(&"running"), "{kinds:?}");
+
+    // The kronfit stage brackets all chain progress.
+    let started = kinds.iter().position(|k| *k == "stage_started").expect("stage_started");
+    assert_eq!(events[started].get("stage").unwrap().as_str(), Some("kronfit"));
+    let finished = kinds.iter().rposition(|k| *k == "stage_finished").expect("stage_finished");
+    let steps: Vec<usize> =
+        kinds.iter().enumerate().filter(|(_, k)| **k == "chain_step").map(|(i, _)| i).collect();
+    assert!(!steps.is_empty(), "no chain progress streamed: {kinds:?}");
+    assert!(started < steps[0] && *steps.last().unwrap() < finished, "{kinds:?}");
+
+    // Per chain: steps 0..total_steps in order, each with a finite log-likelihood (the
+    // streaming sink opts into the likelihood probe).
+    let mut per_chain: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+    for index in steps {
+        let event = &events[index];
+        assert_eq!(event.get("total_steps").unwrap().as_f64(), Some(8.0));
+        let ll = event.get("log_likelihood").unwrap().as_f64().expect("finite log-likelihood");
+        assert!(ll.is_finite(), "{event:?}");
+        per_chain
+            .entry(event.get("chain").unwrap().as_f64().unwrap() as u64)
+            .or_default()
+            .push(event.get("step").unwrap().as_f64().unwrap() as u64);
+    }
+    assert_eq!(per_chain.len(), 2, "both chains must report");
+    for (chain, steps) in &per_chain {
+        assert_eq!(steps, &(0..8).collect::<Vec<u64>>(), "chain {chain} progress {steps:?}");
+    }
+
+    // The terminal event embeds the same result document the poll endpoint serves.
+    let done = events.last().unwrap();
+    let poll = poll_to_done(addr, job_id);
+    assert_eq!(
+        done.get("result").unwrap().to_compact_string(),
+        poll.get("result").unwrap().to_compact_string(),
+        "streamed terminal result must match the fetched one"
+    );
+
+    // Sanity that this was a follow, not an instant replay: the job takes real time, and the
+    // stream stayed open for (at least most of) it.
+    assert!(
+        followed_for > Duration::from_millis(50),
+        "stream closed after {followed_for:?} — job too fast to demonstrate following?"
+    );
+    handle.shutdown();
+}
+
+/// Failed jobs stream a terminal `failed` document carrying the poll endpoint's error.
+#[test]
+fn failed_jobs_stream_a_terminal_failed_event() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let body = r#"{"graph": {"edge_list": "0 0\n"},
+                   "params": {"epsilon": 1.0, "delta": 0.01}, "seed": 1}"#;
+    let (status, submitted) = client::post_json(addr, "/api/estimate", body).unwrap();
+    assert_eq!(status, 202, "{submitted}");
+    let job_id = Json::parse(&submitted).unwrap().get("job_id").unwrap().as_f64().unwrap() as u64;
+    let (status, _, stream) =
+        client::get_stream(addr, &format!("/api/jobs/{job_id}/events")).unwrap();
+    assert_eq!(status, 200);
+    let last = Json::parse(stream.lines().last().unwrap()).unwrap();
+    assert_eq!(last.get("event").unwrap().as_str(), Some("failed"));
+    let message = last.get("error").unwrap().as_str().unwrap();
+    assert!(message.contains("empty"), "{message}");
+    handle.shutdown();
+}
+
+/// The `compute_threads` override contract over live HTTP: a mismatching request value is
+/// accepted but answered with an explicit warning, on the submit response and on every poll.
+#[test]
+fn overridden_compute_threads_warn_on_submit_and_poll() {
+    let handle = start_server();
+    let addr = handle.addr();
+    // 1789 threads will never match a real pool.
+    let (status, submitted) =
+        client::post_json(addr, "/api/estimate", &slow_kronfit_body(3, 1789)).unwrap();
+    assert_eq!(status, 202, "{submitted}");
+    let submit = Json::parse(&submitted).unwrap();
+    let warnings = submit.get("warnings").unwrap().as_array().expect("warnings array");
+    assert_eq!(warnings.len(), 1, "{submitted}");
+    let text = warnings[0].as_str().unwrap();
+    assert!(text.contains("kronfit.compute_threads=1789"), "{text}");
+    assert!(text.contains("ignored"), "{text}");
+
+    let job_id = submit.get("job_id").unwrap().as_f64().unwrap() as u64;
+    let poll = poll_to_done(addr, job_id);
+    let echoed = poll.get("warnings").unwrap().as_array().expect("warnings echoed");
+    assert_eq!(echoed[0].as_str().unwrap(), text, "poll must echo the submission warnings");
+    handle.shutdown();
+}
+
+/// `/healthz` stays a 200 (the bare liveness contract) while carrying the status document:
+/// uptime, compute pool size, and job lifecycle counts that actually move.
+#[test]
+fn healthz_serves_the_status_document() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let (status, body) = client::get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let health = Json::parse(&body).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert!(health.get("uptime_seconds").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(health.get("compute_threads").unwrap().as_f64().unwrap() >= 1.0);
+    assert_eq!(health.get("jobs_done").unwrap().as_f64(), Some(0.0));
+
+    let (status, submitted) =
+        client::post_json(addr, "/api/estimate", &slow_kronfit_body(5, 0)).unwrap();
+    assert_eq!(status, 202, "{submitted}");
+    let job_id = Json::parse(&submitted).unwrap().get("job_id").unwrap().as_f64().unwrap() as u64;
+    poll_to_done(addr, job_id);
+    let (_, body) = client::get(addr, "/healthz").unwrap();
+    let health = Json::parse(&body).unwrap();
+    assert_eq!(health.get("jobs_submitted").unwrap().as_f64(), Some(1.0), "{body}");
+    assert_eq!(health.get("jobs_done").unwrap().as_f64(), Some(1.0), "{body}");
+    assert_eq!(health.get("jobs_failed").unwrap().as_f64(), Some(0.0), "{body}");
+    handle.shutdown();
+}
+
+/// `/metrics` over a live socket is well-formed Prometheus text and reflects served traffic.
+#[test]
+fn metrics_scrape_is_well_formed_and_reflects_traffic() {
+    let handle = start_server();
+    let addr = handle.addr();
+    client::get(addr, "/healthz").unwrap();
+    let (status, body) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(
+            "kronpriv_http_requests_total{method=\"GET\",path=\"/healthz\",status=\"200\"}"
+        ),
+        "{body}"
+    );
+    for line in body.lines() {
+        assert!(
+            kronpriv::kronpriv_obs::well_formed_exposition_line(line),
+            "malformed exposition line: {line:?}"
+        );
+    }
+    handle.shutdown();
+}
