@@ -16,7 +16,7 @@
 use crate::budget::PrivacyParams;
 use crate::laplace::LaplaceNoise;
 use kronpriv_graph::Graph;
-use kronpriv_json::impl_json_struct;
+use kronpriv_json::impl_json_struct_redacted;
 use kronpriv_linalg::{isotonic_increasing, IsotonicBlocks};
 use kronpriv_par::{Executor, Work};
 use rand::Rng;
@@ -36,13 +36,17 @@ pub struct PrivateDegreeSequence {
     /// real-valued and may be slightly negative around degree 0; the derived statistics clamp
     /// where appropriate.
     pub degrees: Vec<f64>,
-    /// The raw noisy sequence before isotonic post-processing (kept for diagnostics/ablations).
+    /// The raw noisy sequence before isotonic post-processing — **never serialized** (redacted
+    /// block below); kept in memory for diagnostics/ablations only. Parsed values are empty.
     pub noisy_degrees: Vec<f64>,
     /// The privacy guarantee spent producing this release.
     pub params: PrivacyParams,
 }
 
-impl_json_struct!(PrivateDegreeSequence { degrees, noisy_degrees, params });
+impl_json_struct_redacted!(PrivateDegreeSequence {
+    released: { degrees, params },
+    redacted: { noisy_degrees: Vec::new() },
+});
 
 impl PrivateDegreeSequence {
     /// `Ẽ`: the private estimate of the number of edges, `½ Σ d̃ᵢ`.
@@ -80,7 +84,7 @@ pub fn private_degree_sequence<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> PrivateDegreeSequence {
     let mut sorted: Vec<f64> = g.degrees().iter().map(|&d| d as f64).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     private_degree_sequence_from_sorted(&sorted, params, rng)
 }
 
@@ -132,7 +136,7 @@ pub fn private_degree_sequence_par<R: Rng + ?Sized>(
     exec: &Executor,
 ) -> PrivateDegreeSequence {
     let mut sorted: Vec<f64> = g.degrees().iter().map(|&d| d as f64).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     private_degree_sequence_from_sorted_par(&sorted, params, rng, exec)
 }
 

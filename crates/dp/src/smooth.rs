@@ -27,7 +27,7 @@ use crate::budget::PrivacyParams;
 use crate::laplace::LaplaceNoise;
 use kronpriv_graph::counts::{common_neighbor_count, exclusive_neighbor_count, triangle_count_par};
 use kronpriv_graph::Graph;
-use kronpriv_json::impl_json_struct;
+use kronpriv_json::impl_json_struct_redacted;
 use kronpriv_par::{Executor, Work};
 use rand::Rng;
 
@@ -235,7 +235,8 @@ pub struct PrivateTriangleCount {
     /// The released (noisy) triangle count. May be negative for very small graphs/budgets;
     /// consumers that need a non-negative count should clamp.
     pub value: f64,
-    /// The exact triangle count (not released; retained for experiment bookkeeping only).
+    /// The exact triangle count — **never serialized** (redacted block below); retained in
+    /// memory for experiment bookkeeping only. Parsed values hold `NAN` here.
     pub exact: f64,
     /// The smooth-sensitivity value used to scale the noise.
     pub smooth_sensitivity: f64,
@@ -245,7 +246,10 @@ pub struct PrivateTriangleCount {
     pub params: PrivacyParams,
 }
 
-impl_json_struct!(PrivateTriangleCount { value, exact, smooth_sensitivity, beta, params });
+impl_json_struct_redacted!(PrivateTriangleCount {
+    released: { value, smooth_sensitivity, beta, params },
+    redacted: { exact: f64::NAN },
+});
 
 /// Releases an `(ε, δ)`-differentially private triangle count of `g` using the smooth-sensitivity
 /// mechanism (Theorem 4.8): `Δ̃ = Δ + (2·SS_β/ε)·Lap(1)` with `β = ε / (2 ln(2/δ))`.

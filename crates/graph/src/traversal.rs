@@ -27,7 +27,7 @@ pub fn bfs_distances(g: &Graph, source: u32) -> Vec<Option<u32>> {
     dist[source as usize] = Some(0);
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
-        let du = dist[u as usize].unwrap();
+        let du = dist[u as usize].expect("queued nodes always carry a distance");
         for &v in g.neighbors(u) {
             if dist[v as usize].is_none() {
                 dist[v as usize] = Some(du + 1);
@@ -81,7 +81,9 @@ pub fn largest_component(g: &Graph) -> Vec<u32> {
     for &l in &labels {
         sizes[l] += 1;
     }
-    let best = (0..k).max_by_key(|&l| (sizes[l], std::cmp::Reverse(l))).unwrap();
+    let best = (0..k)
+        .max_by_key(|&l| (sizes[l], std::cmp::Reverse(l)))
+        .expect("k >= 1: the empty-graph case returned above");
     (0..g.node_count() as u32).filter(|&u| labels[u as usize] == best).collect()
 }
 

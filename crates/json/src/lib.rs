@@ -266,6 +266,64 @@ macro_rules! impl_json_struct_with_defaults {
     };
 }
 
+/// Like [`impl_json_struct!`], but splits the fields into a `released` block that serializes
+/// and a `redacted` block that **never** does — the carrier for types that must hold a
+/// sensitive value in memory (for calibration, testing or diagnostics) without ever letting it
+/// cross the `(ε, δ)`-DP release boundary. Serialization emits only the released fields;
+/// deserialization fills each redacted field with its stated default, so a parsed value is
+/// honest about not knowing the sensitive quantity. `kronpriv-lint`'s `privacy-serialize` rule
+/// checks only the `released` block of this macro, which makes it the one sanctioned way to
+/// keep a sensitive field on a serializable struct.
+///
+/// ```
+/// # use kronpriv_json::{impl_json_struct_redacted, from_str, to_string};
+/// #[derive(Debug)]
+/// struct Release { stat: f64, secret: f64 }
+/// impl_json_struct_redacted!(Release {
+///     released: { stat },
+///     redacted: { secret: f64::NAN },
+/// });
+///
+/// let s = to_string(&Release { stat: 1.0, secret: 42.0 });
+/// assert!(!s.contains("secret"));
+/// let back: Release = from_str(&s).unwrap();
+/// assert_eq!(back.stat, 1.0);
+/// assert!(back.secret.is_nan());
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct_redacted {
+    ($ty:ident {
+        released: { $($field:ident),+ $(,)? },
+        redacted: { $($rfield:ident: $default:expr),+ $(,)? } $(,)?
+    }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Object(vec![
+                    $( (stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)), )+
+                ])
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Json) -> Result<Self, $crate::JsonParseError> {
+                Ok($ty {
+                    $( $field: $crate::FromJson::from_json(
+                        value.get(stringify!($field)).ok_or_else(|| {
+                            $crate::JsonParseError::missing_field(
+                                stringify!($ty),
+                                stringify!($field),
+                            )
+                        })?,
+                    )?, )+
+                    // Redacted fields are never read from the document, even if present: a
+                    // document cannot smuggle a sensitive value into a parsed struct.
+                    $( $rfield: $default, )+
+                })
+            }
+        }
+    };
+}
+
 /// Implements only [`ToJson`] for a plain struct — for types that cannot round-trip (e.g.
 /// `&'static str` fields, which have no owned deserialization target).
 #[macro_export]

@@ -55,9 +55,12 @@ impl IsotonicBlocks {
             if mean_prev <= mean_last {
                 break;
             }
-            let (s, c) = (self.sums.pop().unwrap(), self.counts.pop().unwrap());
-            *self.sums.last_mut().unwrap() += s;
-            *self.counts.last_mut().unwrap() += c;
+            let (s, c) = (
+                self.sums.pop().expect("len >= 2 checked by the loop condition"),
+                self.counts.pop().expect("counts stays parallel to sums"),
+            );
+            *self.sums.last_mut().expect("one block remains after the pop") += s;
+            *self.counts.last_mut().expect("counts stays parallel to sums") += c;
         }
     }
 

@@ -93,7 +93,7 @@ pub fn lanczos_eigenvalues<R: Rng + ?Sized>(
 /// not transitive (a ≈ b and b ≈ c do not imply a ≈ c), which makes `sort_by` output
 /// input-dependent and can trip std's total-order debug check.
 fn sort_by_magnitude_positive_first(values: &mut [f64]) {
-    values.sort_by(|x, y| y.abs().partial_cmp(&x.abs()).unwrap());
+    values.sort_by(|x, y| y.abs().total_cmp(&x.abs()));
     let mut start = 0;
     while start < values.len() {
         // Grow the near-tie run by chaining adjacent comparisons.
@@ -105,7 +105,7 @@ fn sort_by_magnitude_positive_first(values: &mut [f64]) {
             }
             end += 1;
         }
-        values[start..end].sort_by(|a, b| b.partial_cmp(a).unwrap());
+        values[start..end].sort_by(|a, b| b.total_cmp(a));
         start = end;
     }
 }

@@ -105,7 +105,7 @@ pub fn top_eigenpairs<R: Rng + ?Sized>(
         basis.push(x.clone());
         converged.push(EigenPair { value: lambda, vector: x, iterations });
     }
-    converged.sort_by(|p, q| q.value.partial_cmp(&p.value).unwrap());
+    converged.sort_by(|p, q| q.value.total_cmp(&p.value));
     converged
 }
 

@@ -80,7 +80,7 @@ pub fn symmetric_tridiagonal_eigenvalues(diag: &[f64], off: &[f64]) -> Vec<f64> 
         }
     }
 
-    d.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    d.sort_by(|a, b| b.total_cmp(a));
     d
 }
 

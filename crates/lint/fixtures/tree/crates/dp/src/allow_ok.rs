@@ -1,0 +1,11 @@
+// FIXTURE (never compiled): allow-attr near-misses.
+
+// OK: dead_code is not in the workspace lint table.
+#[allow(dead_code)]
+pub fn unused_helper() {}
+
+// OK: clippy::too_many_arguments is not in the table either.
+#[allow(clippy::too_many_arguments)]
+pub fn wide(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) {
+    let _ = (a, b, c, d, e, f, g, h);
+}

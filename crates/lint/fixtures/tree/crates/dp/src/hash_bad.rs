@@ -1,0 +1,21 @@
+// FIXTURE (never compiled): hash-order iteration in a compute crate.
+
+pub fn storage_order(histogram: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    // VIOLATION: `.values()` yields storage order.
+    for v in histogram.values() {
+        total += v;
+    }
+    // VIOLATION: `.keys()` likewise.
+    let first = histogram.keys().next();
+    let _ = first;
+    total
+}
+
+pub fn direct_loop() {
+    let seen: HashSet<u64> = HashSet::new();
+    // VIOLATION: a for-loop over the set traverses storage order.
+    for x in &seen {
+        let _ = x;
+    }
+}

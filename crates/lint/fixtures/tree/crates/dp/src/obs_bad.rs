@@ -1,0 +1,22 @@
+// FIXTURE (never compiled): reading observability state from a compute crate.
+
+pub fn feedback(reg: &Registry) -> String {
+    // VIOLATION: rendering the registry from a compute path.
+    let text = reg.render();
+    text
+}
+
+pub fn read_counter(calls: Counter) -> u64 {
+    // VIOLATION: reading a metric back — instrumentation must not feed results.
+    calls.get()
+}
+
+pub fn read_histogram(lat: &Histogram) -> Vec<u64> {
+    // VIOLATION: histogram read-side accessor.
+    lat.bucket_counts()
+}
+
+pub fn chained_read(reg: &Registry) -> u64 {
+    // VIOLATION: reading through a freshly fetched handle.
+    reg.counter("dp_calls").get()
+}

@@ -1,0 +1,18 @@
+// FIXTURE (never compiled): obs-read near-misses — writes are fine, unrelated `get`s too.
+
+pub fn write_only(calls: &Counter, lat: &Histogram) {
+    // OK: compute code may write counters and record spans.
+    calls.add(1);
+    lat.record_ns(42);
+}
+
+pub fn unrelated_get(n: NonZeroUsize, cell: &OnceLock<u64>) -> u64 {
+    // OK: `get` on non-metric types; only metric-typed bindings are tracked.
+    let _ = cell.get();
+    n.get() as u64
+}
+
+pub fn render_table(rows: &[String]) -> String {
+    // OK: `render_table` is not the registry's `render`.
+    rows.join("\n")
+}

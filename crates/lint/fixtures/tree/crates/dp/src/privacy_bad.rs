@@ -1,0 +1,17 @@
+// FIXTURE (never compiled): privacy-serialize violations.
+
+pub struct TriangleRelease {
+    pub value: f64,
+    pub exact: f64,
+}
+
+// VIOLATION: a sensitive field inside a serialization macro.
+impl_json_struct!(TriangleRelease { value, exact });
+
+// VIOLATION: a sensitive field inside the lenient variant.
+impl_json_struct_lenient!(DegreeRelease { degrees, noisy_degrees });
+
+pub fn manual_json() -> Json {
+    // VIOLATION: manual JSON construction keyed by a sensitive name.
+    Json::Object(vec![("exact_triangle_count".to_string(), Json::Number(3.0))])
+}

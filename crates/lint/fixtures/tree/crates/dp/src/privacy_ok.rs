@@ -1,0 +1,31 @@
+// FIXTURE (never compiled): privacy-serialize near-misses — none of these may be flagged.
+
+pub struct TriangleRelease {
+    pub value: f64,
+    pub exact: f64,
+}
+
+// OK: only released fields serialize.
+impl_json_struct!(CleanRelease { value, smooth_sensitivity, params });
+
+// OK: the sensitive field sits in the redacted block, which never serializes.
+impl_json_struct_redacted!(TriangleRelease {
+    released: { value, smooth_sensitivity },
+    redacted: { exact: f64::NAN },
+});
+
+// OK: holding a sensitive value in memory is fine — only serialization is the boundary.
+pub fn in_memory_use(r: &TriangleRelease) -> f64 {
+    r.exact + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    // OK: test code may name sensitive fields to assert their absence on the wire.
+    #[test]
+    fn exact_is_absent() {
+        let text = String::from("{}");
+        assert!(!text.contains("exact"));
+        assert!(!text.contains("noisy_degrees"));
+    }
+}

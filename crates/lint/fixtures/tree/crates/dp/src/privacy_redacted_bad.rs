@@ -1,0 +1,8 @@
+// FIXTURE (never compiled): the redacted macro does not launder sensitive fields through its
+// released block.
+
+// VIOLATION: `exact` in the released block serializes like any other field.
+impl_json_struct_redacted!(LeakyRelease {
+    released: { value, exact },
+    redacted: { scratch: 0.0 },
+});

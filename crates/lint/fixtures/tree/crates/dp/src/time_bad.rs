@@ -1,0 +1,14 @@
+// FIXTURE (never compiled): wall-clock access in a compute crate.
+
+// VIOLATION: importing the clock.
+use std::time::Instant;
+
+pub fn timed() -> u64 {
+    // VIOLATION: reading the clock.
+    let start = Instant::now();
+    let _ = start;
+    // VIOLATION: SystemTime is a clock too.
+    let now = SystemTime::now();
+    let _ = now;
+    0
+}

@@ -1,0 +1,17 @@
+// FIXTURE (never compiled): waiver hygiene violations.
+
+// VIOLATION (waiver-syntax): a reason is mandatory — and the underlying finding still fires.
+// lint:allow(determinism-time)
+use std::time::Instant;
+
+// VIOLATION (waiver-syntax): empty reasons are malformed too.
+// lint:allow(hash-iter, reason = "")
+pub fn empty_reason() {}
+
+// VIOLATION (waiver-syntax): the named rule does not exist.
+// lint:allow(no-such-rule, reason = "typo'd rule names must not silently waive nothing")
+pub fn unknown_rule() {}
+
+// VIOLATION (stale-waiver): nothing on this or the next line triggers hash-iter.
+// lint:allow(hash-iter, reason = "this waiver matches no finding and must be deleted")
+pub fn stale() {}

@@ -1,0 +1,9 @@
+// FIXTURE (never compiled): a correctly waived finding — counted, reported, not failing.
+
+// lint:allow(determinism-time, reason = "fixture: demonstrates a well-formed waiver on the line above its finding")
+use std::time::Instant;
+
+pub fn waived_same_line() {
+    let t = Instant::now(); // lint:allow(determinism-time, reason = "fixture: same-line waiver form")
+    let _ = t;
+}

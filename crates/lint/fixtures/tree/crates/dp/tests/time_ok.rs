@@ -1,0 +1,9 @@
+// FIXTURE (never compiled): determinism-time near-miss — test code owns its own timeouts.
+
+use std::time::Instant;
+
+#[test]
+fn deadline_polling_is_fine_in_tests() {
+    let deadline = Instant::now();
+    let _ = deadline;
+}

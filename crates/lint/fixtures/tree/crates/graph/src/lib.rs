@@ -1,0 +1,4 @@
+// FIXTURE (never compiled): a crate root missing `#![forbid(unsafe_code)]`.
+// VIOLATION: forbid-unsafe fires on line 1 of this file.
+
+pub fn noop() {}

@@ -1,0 +1,9 @@
+// FIXTURE (never compiled): determinism-thread near-miss — crates/par owns the worker pool.
+
+pub fn pool_spawn() {
+    // OK: this is the one crate allowed to create threads and size itself to the hardware.
+    let handle = std::thread::spawn(|| ());
+    let _ = handle;
+    let n = std::thread::available_parallelism();
+    let _ = n;
+}

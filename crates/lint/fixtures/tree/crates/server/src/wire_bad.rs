@@ -1,0 +1,10 @@
+// FIXTURE (never compiled): sensitive identifiers anywhere in server wire-type code.
+
+pub struct EstimatePayload {
+    pub value: f64,
+}
+
+pub fn build_payload(exact_triangle_count: f64) -> EstimatePayload {
+    // VIOLATION (on the parameter above): the server must only ever handle released values.
+    EstimatePayload { value: exact_triangle_count }
+}

@@ -1,0 +1,5 @@
+// FIXTURE (never compiled): a compliant crate root — the forbid-unsafe near-miss.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

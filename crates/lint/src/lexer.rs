@@ -1,0 +1,415 @@
+//! A small hand-rolled Rust lexer: just enough tokenization for source-level rule scanning.
+//!
+//! The lexer's job is narrower than a compiler's: produce identifier / string-literal /
+//! punctuation tokens with line numbers, while *discarding* comments and handling every string
+//! form (plain, raw, byte, char) so that rule patterns never fire inside literal text or
+//! commentary. Two comment shapes are not discarded but turned into side-channel data:
+//!
+//! * `// lint:allow(<rule>, reason = "...")` waiver comments, collected with their line so the
+//!   scanner can suppress (and account for) findings on the same or the following line;
+//! * nothing else — doc comments are ordinary comments here.
+//!
+//! The lexer is intentionally forgiving: a malformed file produces a best-effort token stream
+//! rather than an error, because the compiler (not this tool) owns syntax diagnostics.
+
+/// The kinds of token the rule scanner distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `HashMap`, `exact`, ...).
+    Ident,
+    /// A string literal; the token text is the *inner* content, quotes stripped, escapes kept
+    /// verbatim (rules compare whole contents against short names that never contain escapes).
+    StrLit,
+    /// A single punctuation character (`.`, `:`, `!`, `(`, `{`, ...).
+    Punct(char),
+    /// A numeric literal (value irrelevant to every rule; kept for stream continuity).
+    Number,
+    /// A lifetime such as `'a` (kept distinct so `'a` is never confused with a char literal).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text (see [`TokenKind`] for the string-literal convention).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A `// lint:allow(rule, reason = "...")` waiver parsed out of a comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule name being waived.
+    pub rule: String,
+    /// The mandatory human reason. `None` means the comment was malformed (missing or empty
+    /// reason) — the scanner reports that as a `waiver-syntax` finding.
+    pub reason: Option<String>,
+    /// 1-based line the waiver comment starts on.
+    pub line: usize,
+}
+
+/// The output of lexing one file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// Every waiver comment found, in source order.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Lexes `source` into tokens and waiver comments.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut waivers = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                if let Some(w) = parse_waiver(&source[start..end], line) {
+                    waivers.push(w);
+                }
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nested per Rust.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (content, next, newlines) = lex_plain_string(source, i);
+                tokens.push(Token { kind: TokenKind::StrLit, text: content, line });
+                line += newlines;
+                i = next;
+            }
+            'r' | 'b' if starts_string(bytes, i) => {
+                let (content, next, newlines, is_char) = lex_prefixed(source, i);
+                if !is_char {
+                    tokens.push(Token { kind: TokenKind::StrLit, text: content, line });
+                }
+                line += newlines;
+                i = next;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let rest = &bytes[i + 1..];
+                let is_lifetime = matches!(rest.first(), Some(&b) if (b as char).is_alphabetic() || b == b'_')
+                    && rest.get(1) != Some(&b'\'');
+                if is_lifetime {
+                    let mut end = i + 1;
+                    while end < bytes.len() && is_ident_byte(bytes[end]) {
+                        end += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[i..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                } else {
+                    // Char literal: consume to the closing quote, honouring a single escape.
+                    let mut end = i + 1;
+                    if bytes.get(end) == Some(&b'\\') {
+                        end += 2;
+                    } else {
+                        // Advance one full UTF-8 character.
+                        end += utf8_len(bytes.get(end).copied().unwrap_or(0));
+                    }
+                    while end < bytes.len() && bytes[end] != b'\'' {
+                        end += 1; // tolerate oddities like '\u{1F600}'
+                    }
+                    i = (end + 1).min(bytes.len());
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len() && is_ident_byte(bytes[end]) {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i;
+                while end < bytes.len() && (is_ident_byte(bytes[end])) {
+                    end += 1;
+                }
+                // A fraction only when `.` is followed by a digit (so `0..n` stays two dots).
+                if end < bytes.len()
+                    && bytes[end] == b'.'
+                    && bytes.get(end + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    end += 1;
+                    while end < bytes.len() && is_ident_byte(bytes[end]) {
+                        end += 1;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: source[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            c => {
+                tokens.push(Token { kind: TokenKind::Punct(c), text: c.to_string(), line });
+                i += c.len_utf8();
+            }
+        }
+    }
+    Lexed { tokens, waivers }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    (b as char).is_alphanumeric() || b == b'_'
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Does position `i` (at `r` or `b`) begin a raw/byte string rather than an identifier?
+fn starts_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    // Allow the prefixes r", r#", b", br", rb"? (rb is not Rust; b, br, r only.)
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+        while j < bytes.len() && bytes[j] == b'#' {
+            j += 1;
+        }
+    }
+    j < bytes.len() && bytes[j] == b'"' && j > i
+}
+
+/// Lexes a plain `"..."` string starting at the opening quote. Returns (content, next index,
+/// newline count inside the literal).
+fn lex_plain_string(source: &str, start: usize) -> (String, usize, usize) {
+    let bytes = source.as_bytes();
+    let mut i = start + 1;
+    let mut newlines = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return (source[start + 1..i].to_string(), i + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (source[start + 1..].to_string(), bytes.len(), newlines)
+}
+
+/// Lexes an `r"..."`, `r#"..."#`, `b"..."` or `br#"..."#` literal starting at the prefix.
+/// Returns (content, next index, newline count, was_char_like) — the last is always false here
+/// but kept for symmetry with the call site.
+fn lex_prefixed(source: &str, start: usize) -> (String, usize, usize, bool) {
+    let bytes = source.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let raw = i < bytes.len() && bytes[i] == b'r';
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert!(bytes.get(i) == Some(&b'"'));
+    i += 1; // opening quote
+    let content_start = i;
+    let mut newlines = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if !raw => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => {
+                // A raw string closes only when followed by the right number of hashes.
+                let mut j = i + 1;
+                let mut seen = 0;
+                while seen < hashes && j < bytes.len() && bytes[j] == b'#' {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return (source[content_start..i].to_string(), j, newlines, false);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (source[content_start..].to_string(), bytes.len(), newlines, false)
+}
+
+/// Parses the body of a `//` comment as a waiver, if it is one.
+fn parse_waiver(comment: &str, line: usize) -> Option<Waiver> {
+    let trimmed = comment.trim_start();
+    let rest = trimmed.strip_prefix("lint:allow(")?;
+    let close = rest.rfind(')')?;
+    let inner = &rest[..close];
+    let (rule, tail) = match inner.find(',') {
+        Some(comma) => (inner[..comma].trim(), inner[comma + 1..].trim()),
+        None => (inner.trim(), ""),
+    };
+    let reason = tail
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('='))
+        .map(str::trim)
+        .and_then(|t| t.strip_prefix('"'))
+        .and_then(|t| t.strip_suffix('"'))
+        .filter(|t| !t.trim().is_empty())
+        .map(str::to_string);
+    Some(Waiver { rule: rule.to_string(), reason, line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents_from_the_ident_stream() {
+        let src = r##"
+            // exact is only a comment here
+            /* noisy_degrees in a block comment */
+            let label = "exact"; // a string literal, surfaced as StrLit not Ident
+            let raw = r#"noisy_degrees"#;
+            let real_ident = 1;
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(ids.contains(&"label".to_string()));
+        assert!(!ids.contains(&"exact".to_string()));
+        assert!(!ids.contains(&"noisy_degrees".to_string()));
+        let strs: Vec<String> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::StrLit)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(strs, vec!["exact".to_string(), "noisy_degrees".to_string()]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }").tokens;
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn char_literals_are_skipped_including_escapes() {
+        let toks = lex("let c = 'x'; let nl = '\\n'; let q = '\\''; let after = 1;").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings_and_block_comments() {
+        let src = "let a = \"two\nlines\";\n/* one\ntwo */\nlet b = 1;";
+        let toks = lex(src).tokens;
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 5);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let toks = lex("for i in 0..n { let x = 1.5; }").tokens;
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "0..n must lex as two dot puncts");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Number && t.text == "1.5"));
+    }
+
+    #[test]
+    fn waivers_parse_rule_and_reason() {
+        let src = "let x = 1; // lint:allow(determinism-time, reason = \"metrics only\")\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.waivers.len(), 1);
+        let w = &lexed.waivers[0];
+        assert_eq!(w.rule, "determinism-time");
+        assert_eq!(w.reason.as_deref(), Some("metrics only"));
+        assert_eq!(w.line, 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_flagged_as_malformed() {
+        for bad in [
+            "// lint:allow(hash-iter)",
+            "// lint:allow(hash-iter, reason = \"\")",
+            "// lint:allow(hash-iter, because)",
+        ] {
+            let lexed = lex(bad);
+            assert_eq!(lexed.waivers.len(), 1, "{bad}");
+            assert!(lexed.waivers[0].reason.is_none(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_waivers() {
+        assert!(lex("// lint: something else\n// allow(foo)\n").waivers.is_empty());
+    }
+}

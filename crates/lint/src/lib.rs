@@ -1,0 +1,167 @@
+//! `kronpriv-lint` — an offline invariant checker for the kronpriv workspace.
+//!
+//! The workspace's value rests on three contracts that are otherwise only enforced
+//! dynamically, by example-based tests:
+//!
+//! 1. **Privacy flow** — sensitive values (the exact triangle count, the raw noisy degree
+//!    sequence) must never serialize: the `(ε, δ)`-DP release boundary of Mir & Wright §3.
+//! 2. **Determinism** — identical seeds produce byte-identical results for any thread count:
+//!    no hash-order iteration, no wall clock, no ad-hoc threads in compute crates.
+//! 3. **Observability no-feedback** — compute paths may *write* metrics but never read them.
+//!
+//! This crate lifts those contracts to a static check over every line of every crate: a small
+//! hand-rolled lexer ([`lexer`]) feeds a rule scanner ([`rules`]) — no `syn`, no network, no
+//! `rustc` invocation, so the tool runs in milliseconds as a CI hard gate. Violations can be
+//! waived inline with `// lint:allow(<rule>, reason = "...")`; waivers are counted, reported
+//! and themselves linted (a waiver that matches nothing is a finding).
+//!
+//! Run it as `cargo run -p kronpriv-lint -- --workspace-root .` (add `--json` for
+//! machine-readable findings). The fixture corpus under `crates/lint/fixtures/` is a miniature
+//! workspace of deliberate violations that the test suite requires the tool to flag.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{
+    classify, scan_source, Category, FileClass, FileReport, Finding, WaivedFinding,
+    DETERMINISTIC_CRATES, RULES, SENSITIVE_IDENTS, WORKSPACE_LINT_TABLE,
+};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The aggregate result of scanning a workspace tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unwaived findings across all files, in (file, line) order. Non-empty ⇒ the gate fails.
+    pub findings: Vec<Finding>,
+    /// Waived findings with their reasons, for the accounting summary.
+    pub waived: Vec<WaivedFinding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Directories never scanned: build output, VCS metadata, and the lint tool's own fixture
+/// corpus of deliberate violations (scanned only by its test suite, never by the real gate).
+fn skip_dir(rel: &str) -> bool {
+    rel == "target" || rel == ".git" || rel == "crates/lint/fixtures" || rel.starts_with('.')
+}
+
+/// Recursively collects workspace-relative paths of `.rs` files under `root`, sorted so scan
+/// output is deterministic.
+fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![PathBuf::new()];
+    while let Some(rel_dir) = stack.pop() {
+        let abs = root.join(&rel_dir);
+        for entry in fs::read_dir(&abs)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let rel = if rel_dir.as_os_str().is_empty() {
+                PathBuf::from(&name)
+            } else {
+                rel_dir.join(&name)
+            };
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                if !skip_dir(&rel_str) {
+                    stack.push(rel);
+                }
+            } else if ty.is_file() && rel_str.ends_with(".rs") {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scans every `.rs` file in the workspace rooted at `root` and aggregates the per-file
+/// reports. Fails only on I/O errors; findings are data, not errors.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for rel in collect_rs_files(root)? {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if rules::classify(&rel_str).is_none() {
+            continue;
+        }
+        let source = fs::read_to_string(root.join(&rel))?;
+        let file_report = scan_source(&rel_str, &source);
+        report.findings.extend(file_report.findings);
+        report.waived.extend(file_report.waived);
+        report.files_scanned += 1;
+    }
+    report.findings.sort_by(|a, b| a.file.cmp(&b.file).then_with(|| a.line.cmp(&b.line)));
+    report.waived.sort_by(|a, b| {
+        a.finding.file.cmp(&b.finding.file).then_with(|| a.finding.line.cmp(&b.finding.line))
+    });
+    Ok(report)
+}
+
+impl Report {
+    /// Renders the human-readable text report (findings, waiver accounting, summary line).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n    {}\n",
+                f.file, f.line, f.rule, f.message, f.snippet
+            ));
+        }
+        if !self.waived.is_empty() {
+            out.push_str(&format!("waivers in effect: {}\n", self.waived.len()));
+            for w in &self.waived {
+                out.push_str(&format!(
+                    "    {}:{} [{}] reason: {}\n",
+                    w.finding.file, w.finding.line, w.finding.rule, w.reason
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "kronpriv-lint: {} files scanned, {} finding(s), {} waiver(s)\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.waived.len()
+        ));
+        out
+    }
+
+    /// Renders the machine-readable JSON report consumed by the CI annotation step.
+    pub fn to_json(&self) -> kronpriv_json::Json {
+        use kronpriv_json::Json;
+        let finding_doc = |f: &Finding| {
+            Json::Object(vec![
+                ("file".to_string(), Json::String(f.file.clone())),
+                ("line".to_string(), Json::Number(f.line as f64)),
+                ("rule".to_string(), Json::String(f.rule.clone())),
+                ("message".to_string(), Json::String(f.message.clone())),
+                ("snippet".to_string(), Json::String(f.snippet.clone())),
+            ])
+        };
+        Json::Object(vec![
+            ("files_scanned".to_string(), Json::Number(self.files_scanned as f64)),
+            ("findings".to_string(), Json::Array(self.findings.iter().map(finding_doc).collect())),
+            (
+                "waivers".to_string(),
+                Json::Array(
+                    self.waived
+                        .iter()
+                        .map(|w| {
+                            let mut doc = match finding_doc(&w.finding) {
+                                Json::Object(fields) => fields,
+                                _ => unreachable!("finding_doc always returns an object"),
+                            };
+                            doc.push(("reason".to_string(), Json::String(w.reason.clone())));
+                            Json::Object(doc)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}

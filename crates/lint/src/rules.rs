@@ -1,0 +1,796 @@
+//! The rule table and the per-file scanner.
+//!
+//! Every rule here encodes a contract the workspace already enforces dynamically somewhere —
+//! the `(ε, δ)` release boundary, the identical-seed ⇒ identical-bytes determinism pins, the
+//! observability no-feedback invariant — lifted to a static check over every line of every
+//! crate. See the README "Static analysis" section for the user-facing rule table.
+//!
+//! Scoping vocabulary used below:
+//!
+//! * **compute crates** — the deterministic kernel/algorithm crates
+//!   ([`DETERMINISTIC_CRATES`]): everything whose outputs must be byte-identical for a fixed
+//!   seed regardless of thread count or wall clock. `obs`, `server` and `bench` are *not*
+//!   compute crates (they own time, threads and metric reads by design).
+//! * **test code** — files under `tests/`, `benches/` or `examples/`, plus `#[cfg(test)]` /
+//!   `#[test]`-gated regions of library files. Most determinism rules skip test code: tests
+//!   pin the contracts with their own machinery (timeouts, thread spawns, metric assertions).
+//! * **waiver** — `// lint:allow(<rule>, reason = "...")` on the finding's line or the line
+//!   directly above. Waivers are counted and reported; a waiver that matches nothing is itself
+//!   a finding (`stale-waiver`), so they cannot silently rot.
+
+use crate::lexer::{lex, Token, TokenKind, Waiver};
+
+/// Identifiers that hold *sensitive* (unreleased) values: the exact triangle count and the raw
+/// noisy degree sequence, under every name the workspace uses for them. These must never reach
+/// a serialization context — the `(ε, δ)`-DP release contract of Mir & Wright §3. The wire
+/// boundary (`crates/server/src/api.rs`) enumerates what *is* released; everything here is the
+/// complement that `impl_json_struct!`-family macros and manual `Json` construction must not
+/// touch.
+pub const SENSITIVE_IDENTS: &[&str] =
+    &["exact", "noisy_degrees", "exact_triangle_count", "raw_noisy_degrees"];
+
+/// Crates whose outputs must be deterministic: byte-identical for a fixed seed, independent of
+/// thread count, wall clock and iteration order. `par` is included — its *results* are part of
+/// the determinism contract even though it owns the worker pool (its latency instrumentation
+/// sites carry explicit waivers).
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "graph",
+    "dp",
+    "stats",
+    "estimate",
+    "optim",
+    "skg",
+    "linalg",
+    "core",
+    "json",
+    "rand",
+    "datasets",
+    "par",
+    "par-queue",
+];
+
+/// The workspace lint table (root `Cargo.toml` `[workspace.lints]`): lints that must never be
+/// re-allowed with an `#[allow(...)]` attribute anywhere in the tree. Test code gets its
+/// unwrap/expect latitude from `clippy.toml` (`allow-unwrap-in-tests`), never from attributes.
+pub const WORKSPACE_LINT_TABLE: &[&str] =
+    &["unwrap_used", "dbg_macro", "todo", "unimplemented", "unused_must_use", "unsafe_code"];
+
+/// The serialization macros of `kronpriv-json` whose invocations define the release boundary.
+const SERIALIZE_MACROS: &[&str] = &[
+    "impl_json_struct",
+    "impl_json_struct_lenient",
+    "impl_json_struct_with_defaults",
+    "impl_to_json_struct",
+];
+
+/// Hash-collection methods whose call implies iteration in storage order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Every enforceable rule name, in the order findings are reported.
+pub const RULES: &[&str] = &[
+    "privacy-serialize",
+    "forbid-unsafe",
+    "hash-iter",
+    "determinism-time",
+    "determinism-thread",
+    "allow-attr",
+    "obs-read",
+];
+
+/// One violation (or would-be violation, before waiver matching).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name from [`RULES`] (or `waiver-syntax` / `stale-waiver` for waiver hygiene).
+    pub rule: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The trimmed source line.
+    pub snippet: String,
+}
+
+/// A finding that was suppressed by an inline waiver (still reported, as accounting).
+#[derive(Debug, Clone)]
+pub struct WaivedFinding {
+    /// The suppressed finding.
+    pub finding: Finding,
+    /// The waiver's mandatory reason text.
+    pub reason: String,
+}
+
+/// The scan result for one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Unwaived findings — these fail the gate.
+    pub findings: Vec<Finding>,
+    /// Waived findings — reported for accounting, do not fail the gate.
+    pub waived: Vec<WaivedFinding>,
+}
+
+/// Where a file sits in the workspace, which decides rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Library/binary source under a `src/` directory.
+    Lib,
+    /// Integration tests under a `tests/` directory.
+    Test,
+    /// Bench targets under a `benches/` directory.
+    Bench,
+    /// Examples under an `examples/` directory.
+    Example,
+    /// Repository tooling (`scripts/*.rs`).
+    Tooling,
+}
+
+/// The classification of one workspace-relative path.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// The owning crate directory name under `crates/`, or `None` for the root package.
+    pub crate_name: Option<String>,
+    /// The target category.
+    pub category: Category,
+}
+
+/// Classifies a workspace-relative, `/`-separated path. Returns `None` for paths the scanner
+/// ignores entirely.
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_name, rest) = if parts.first() == Some(&"crates") && parts.len() >= 3 {
+        (Some(parts[1].to_string()), &parts[2..])
+    } else {
+        (None, &parts[..])
+    };
+    let category = match rest.first().copied() {
+        Some("src") => Category::Lib,
+        Some("tests") => Category::Test,
+        Some("benches") => Category::Bench,
+        Some("examples") => Category::Example,
+        Some("scripts") => Category::Tooling,
+        _ => return None,
+    };
+    Some(FileClass { crate_name, category })
+}
+
+/// Scans one file's source text under its workspace-relative path.
+pub fn scan_source(rel: &str, source: &str) -> FileReport {
+    let Some(class) = classify(rel) else {
+        return FileReport::default();
+    };
+    let lexed = lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let test_spans = test_spans(&lexed.tokens);
+    let mut scan =
+        Scan { rel, class, tokens: &lexed.tokens, lines: &lines, test_spans, raw: Vec::new() };
+    scan.privacy_serialize();
+    scan.forbid_unsafe();
+    scan.hash_iter();
+    scan.determinism_time();
+    scan.determinism_thread();
+    scan.allow_attr();
+    scan.obs_read();
+    apply_waivers(scan.raw, &lexed.waivers, rel, &lines)
+}
+
+/// Matches findings against waivers, producing the final per-file report plus waiver-hygiene
+/// findings (malformed, unknown-rule and stale waivers).
+fn apply_waivers(raw: Vec<Finding>, waivers: &[Waiver], rel: &str, lines: &[&str]) -> FileReport {
+    let mut used = vec![false; waivers.len()];
+    let mut report = FileReport::default();
+    for finding in raw {
+        let matched = waivers.iter().enumerate().find(|(_, w)| {
+            w.reason.is_some()
+                && w.rule == finding.rule
+                && (w.line == finding.line || w.line + 1 == finding.line)
+        });
+        match matched {
+            Some((i, w)) => {
+                used[i] = true;
+                report
+                    .waived
+                    .push(WaivedFinding { finding, reason: w.reason.clone().unwrap_or_default() });
+            }
+            None => report.findings.push(finding),
+        }
+    }
+    for (i, w) in waivers.iter().enumerate() {
+        let snippet = snippet_at(lines, w.line);
+        if w.reason.is_none() {
+            report.findings.push(Finding {
+                file: rel.to_string(),
+                line: w.line,
+                rule: "waiver-syntax".to_string(),
+                message: format!(
+                    "malformed waiver for rule `{}`: a non-empty reason = \"...\" is required",
+                    w.rule
+                ),
+                snippet,
+            });
+        } else if !RULES.contains(&w.rule.as_str()) {
+            report.findings.push(Finding {
+                file: rel.to_string(),
+                line: w.line,
+                rule: "waiver-syntax".to_string(),
+                message: format!("waiver names unknown rule `{}`", w.rule),
+                snippet,
+            });
+        } else if !used[i] {
+            report.findings.push(Finding {
+                file: rel.to_string(),
+                line: w.line,
+                rule: "stale-waiver".to_string(),
+                message: format!(
+                    "waiver for `{}` matches no finding on this or the next line — delete it",
+                    w.rule
+                ),
+                snippet,
+            });
+        }
+    }
+    report.findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
+    report
+}
+
+fn snippet_at(lines: &[&str], line: usize) -> String {
+    lines.get(line.saturating_sub(1)).map_or(String::new(), |l| l.trim().to_string())
+}
+
+/// Line spans covered by `#[cfg(test)]`- or `#[test]`-gated items.
+fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_test_attr(tokens, i) {
+            let start_line = tokens[i].line;
+            let end = skip_item(tokens, after_attr);
+            let end_line = tokens.get(end.saturating_sub(1)).map_or(start_line, |t| t.line);
+            spans.push((start_line, end_line));
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// If tokens\[i..\] begins a `#[cfg(test)]`-style or `#[test]` attribute, returns the index
+/// just past the closing `]`.
+fn match_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if !(tokens.get(i)?.is_punct('#') && tokens.get(i + 1)?.is_punct('[')) {
+        return None;
+    }
+    let close = matching(tokens, i + 1, '[', ']')?;
+    let inner = &tokens[i + 2..close];
+    let is_test = match inner.first() {
+        Some(t) if t.is_ident("test") && inner.len() == 1 => true,
+        Some(t) if t.is_ident("cfg") => inner.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    };
+    is_test.then_some(close + 1)
+}
+
+/// Index of the matching `close` for the `open` delimiter at `start` (which must hold `open`).
+fn matching(tokens: &[Token], start: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(start) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Skips one item starting at `i` (past its attributes): ends after the first `;` outside any
+/// braces, or after the matching `}` of the item's body. Intermediate attributes are consumed.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Consume any further attributes on the item.
+    while tokens.get(i).is_some_and(|t| t.is_punct('#'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        match matching(tokens, i + 1, '[', ']') {
+            Some(close) => i = close + 1,
+            None => return tokens.len(),
+        }
+    }
+    let mut paren = 0i64;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => paren += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => paren -= 1,
+            TokenKind::Punct(';') if paren == 0 => return i + 1,
+            TokenKind::Punct('{') if paren == 0 => {
+                return matching(tokens, i, '{', '}').map_or(tokens.len(), |j| j + 1);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+struct Scan<'a> {
+    rel: &'a str,
+    class: FileClass,
+    tokens: &'a [Token],
+    lines: &'a [&'a str],
+    test_spans: Vec<(usize, usize)>,
+    raw: Vec<Finding>,
+}
+
+impl Scan<'_> {
+    fn in_test(&self, line: usize) -> bool {
+        self.class.category != Category::Lib
+            || self.test_spans.iter().any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    fn crate_is(&self, name: &str) -> bool {
+        self.class.crate_name.as_deref() == Some(name)
+    }
+
+    fn in_deterministic_crate(&self) -> bool {
+        self.class.crate_name.as_deref().is_some_and(|c| DETERMINISTIC_CRATES.contains(&c))
+    }
+
+    fn push(&mut self, rule: &str, line: usize, message: String) {
+        // One finding per (rule, line): a single `use std::time::Instant;` is one violation.
+        if self.raw.iter().any(|f| f.rule == rule && f.line == line) {
+            return;
+        }
+        self.raw.push(Finding {
+            file: self.rel.to_string(),
+            line,
+            rule: rule.to_string(),
+            message,
+            snippet: snippet_at(self.lines, line),
+        });
+    }
+
+    /// Does an ident path `a::b` start at `i`? (`parts` are the idents; `::` is implied.)
+    fn path_at(&self, i: usize, parts: &[&str]) -> bool {
+        let mut j = i;
+        for (n, part) in parts.iter().enumerate() {
+            if !self.tokens.get(j).is_some_and(|t| t.is_ident(part)) {
+                return false;
+            }
+            j += 1;
+            if n + 1 < parts.len() {
+                if !(self.tokens.get(j).is_some_and(|t| t.is_punct(':'))
+                    && self.tokens.get(j + 1).is_some_and(|t| t.is_punct(':')))
+                {
+                    return false;
+                }
+                j += 2;
+            }
+        }
+        true
+    }
+
+    /// Rule `privacy-serialize`: sensitive identifiers must never reach a serialization
+    /// context — an `impl_json_struct!`-family invocation (except the `redacted:` block of
+    /// `impl_json_struct_redacted!`), a string literal used as a manual JSON key, or anywhere
+    /// in the server's wire-type code.
+    fn privacy_serialize(&mut self) {
+        // (a) Serialization-macro invocations, every category: the release boundary is the
+        // macro, wherever it is written.
+        let mut i = 0;
+        while i < self.tokens.len() {
+            let t = &self.tokens[i];
+            let is_macro = t.kind == TokenKind::Ident
+                && SERIALIZE_MACROS.contains(&t.text.as_str())
+                && self.tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            let is_redacted = t.is_ident("impl_json_struct_redacted")
+                && self.tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if is_macro || is_redacted {
+                if let Some(close) = matching(self.tokens, i + 2, '(', ')') {
+                    if is_redacted {
+                        self.check_redacted_invocation(i + 2, close);
+                    } else {
+                        self.check_span_for_sensitive(i + 2, close, &t.text.clone());
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        // (b) A string literal that *is* a sensitive name — the manual `Json` construction
+        // path (`Json::Object(vec![("exact".into(), ...)])`). Test code may name the fields to
+        // assert their absence; the lint crate's own deny table is likewise exempt.
+        if !self.crate_is("lint") {
+            for t in self.tokens {
+                if t.kind == TokenKind::StrLit
+                    && SENSITIVE_IDENTS.contains(&t.text.as_str())
+                    && !self.in_test(t.line)
+                {
+                    let (line, text) = (t.line, t.text.clone());
+                    self.push(
+                        "privacy-serialize",
+                        line,
+                        format!(
+                            "string literal \"{text}\" names a sensitive value — manual JSON \
+                             construction of unreleased fields is forbidden"
+                        ),
+                    );
+                }
+            }
+        }
+        // (c) Inside the server's wire-type code no sensitive identifier may appear at all:
+        // the server only ever sees released values.
+        if self.crate_is("server") {
+            for t in self.tokens {
+                if t.kind == TokenKind::Ident
+                    && SENSITIVE_IDENTS.contains(&t.text.as_str())
+                    && !self.in_test(t.line)
+                {
+                    let (line, text) = (t.line, t.text.clone());
+                    self.push(
+                        "privacy-serialize",
+                        line,
+                        format!(
+                            "sensitive identifier `{text}` in server wire-type code — the \
+                             server must only handle released values"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_span_for_sensitive(&mut self, open: usize, close: usize, macro_name: &str) {
+        for j in open..close {
+            let t = &self.tokens[j];
+            if t.kind == TokenKind::Ident && SENSITIVE_IDENTS.contains(&t.text.as_str()) {
+                let (line, text) = (t.line, t.text.clone());
+                self.push(
+                    "privacy-serialize",
+                    line,
+                    format!(
+                        "sensitive field `{text}` inside `{macro_name}!` — unreleased values \
+                         must never serialize (use impl_json_struct_redacted!)"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// `impl_json_struct_redacted!` is the sanctioned carrier for sensitive in-memory fields:
+    /// only its `released:` block serializes, so only that block is checked.
+    fn check_redacted_invocation(&mut self, open: usize, close: usize) {
+        let mut j = open;
+        while j < close {
+            if self.tokens[j].is_ident("released")
+                && self.tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                && self.tokens.get(j + 2).is_some_and(|t| t.is_punct('{'))
+            {
+                if let Some(block_close) = matching(self.tokens, j + 2, '{', '}') {
+                    self.check_span_for_sensitive(j + 3, block_close, "impl_json_struct_redacted");
+                    j = block_close + 1;
+                    continue;
+                }
+            }
+            j += 1;
+        }
+    }
+
+    /// Rule `forbid-unsafe`: every crate root must carry `#![forbid(unsafe_code)]`.
+    fn forbid_unsafe(&mut self) {
+        let parts: Vec<&str> = self.rel.split('/').collect();
+        let is_crate_root = matches!(
+            parts.as_slice(),
+            ["crates", _, "src", "lib.rs" | "main.rs"] | ["src", "workspace_lib.rs"]
+        );
+        if !is_crate_root {
+            return;
+        }
+        for i in 0..self.tokens.len() {
+            if self.tokens[i].is_punct('#')
+                && self.tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                && self.tokens.get(i + 2).is_some_and(|t| t.is_punct('['))
+                && self.tokens.get(i + 3).is_some_and(|t| t.is_ident("forbid"))
+                && self.tokens.get(i + 4).is_some_and(|t| t.is_punct('('))
+                && self.tokens.get(i + 5).is_some_and(|t| t.is_ident("unsafe_code"))
+            {
+                return;
+            }
+        }
+        self.push(
+            "forbid-unsafe",
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+
+    /// Rule `hash-iter`: no iteration over `HashMap`/`HashSet` storage order outside test
+    /// code. Keyed access (`get`, `entry`, `contains_key`, `len`) is fine — only
+    /// order-revealing traversal is flagged.
+    fn hash_iter(&mut self) {
+        let tracked = self.typed_idents(&["HashMap", "HashSet"]);
+        if tracked.is_empty() {
+            return;
+        }
+        for i in 0..self.tokens.len() {
+            let t = &self.tokens[i];
+            if t.kind != TokenKind::Ident || !tracked.contains(&t.text) || self.in_test(t.line) {
+                continue;
+            }
+            // `name.iter()` / `.keys()` / ... — iteration methods on a hash-typed binding.
+            if self.tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                && self
+                    .tokens
+                    .get(i + 2)
+                    .is_some_and(|m| HASH_ITER_METHODS.contains(&m.text.as_str()))
+                && self.tokens.get(i + 3).is_some_and(|p| p.is_punct('('))
+            {
+                let (line, name, method) =
+                    (t.line, t.text.clone(), self.tokens[i + 2].text.clone());
+                self.push(
+                    "hash-iter",
+                    line,
+                    format!(
+                        "`{name}.{method}()` iterates a hash collection in storage order — \
+                         use a sorted/Vec-based form or a BTreeMap"
+                    ),
+                );
+            }
+            // `for x in name {` / `for x in &name {` — direct for-loop traversal.
+            if i >= 1 {
+                let mut j = i - 1;
+                while j > 0 && (self.tokens[j].is_punct('&') || self.tokens[j].is_ident("mut")) {
+                    j -= 1;
+                }
+                if self.tokens[j].is_ident("in")
+                    && self.tokens.get(i + 1).is_some_and(|n| n.is_punct('{'))
+                {
+                    let (line, name) = (t.line, t.text.clone());
+                    self.push(
+                        "hash-iter",
+                        line,
+                        format!(
+                            "`for ... in {name}` traverses a hash collection in storage order — \
+                             use a sorted/Vec-based form or a BTreeMap"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rule `determinism-time`: no wall-clock access in compute crates. The clock is an input
+    /// the determinism contract does not admit; `obs`/`server`/`bench` own all timing.
+    fn determinism_time(&mut self) {
+        if !self.in_deterministic_crate() || self.class.category != Category::Lib {
+            return;
+        }
+        for i in 0..self.tokens.len() {
+            let t = &self.tokens[i];
+            if self.in_test(t.line) {
+                continue;
+            }
+            if t.is_ident("Instant") || t.is_ident("SystemTime") {
+                let (line, text) = (t.line, t.text.clone());
+                self.push(
+                    "determinism-time",
+                    line,
+                    format!("`{text}` in a compute crate — wall-clock reads break determinism"),
+                );
+            } else if self.path_at(i, &["std", "time"]) {
+                let line = t.line;
+                self.push(
+                    "determinism-time",
+                    line,
+                    "`std::time` in a compute crate — wall-clock reads break determinism"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    /// Rule `determinism-thread`: all thread creation and hardware-parallelism discovery lives
+    /// in `crates/par` — the one place the byte-identical-for-any-thread-count contract is
+    /// engineered. Everything else (the server's HTTP pool included) must either borrow the
+    /// executor or carry an explicit waiver.
+    fn determinism_thread(&mut self) {
+        if self.crate_is("par") || self.class.category != Category::Lib {
+            return;
+        }
+        for i in 0..self.tokens.len() {
+            let t = &self.tokens[i];
+            if self.in_test(t.line) {
+                continue;
+            }
+            let hit = if self.path_at(i, &["thread", "spawn"]) {
+                Some("thread::spawn")
+            } else if self.path_at(i, &["thread", "Builder"]) {
+                Some("thread::Builder")
+            } else if t.is_ident("available_parallelism") {
+                Some("available_parallelism")
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                let line = t.line;
+                self.push(
+                    "determinism-thread",
+                    line,
+                    format!(
+                        "`{what}` outside crates/par — thread management belongs to the \
+                         deterministic executor"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Rule `allow-attr`: the workspace lint table must not be re-allowed anywhere.
+    fn allow_attr(&mut self) {
+        for i in 0..self.tokens.len() {
+            let t = &self.tokens[i];
+            if !t.is_ident("allow") || !self.tokens.get(i + 1).is_some_and(|p| p.is_punct('(')) {
+                continue;
+            }
+            let Some(close) = matching(self.tokens, i + 1, '(', ')') else { continue };
+            for j in i + 2..close {
+                let inner = &self.tokens[j];
+                if inner.kind == TokenKind::Ident
+                    && WORKSPACE_LINT_TABLE.contains(&inner.text.as_str())
+                {
+                    let (line, text) = (t.line, inner.text.clone());
+                    self.push(
+                        "allow-attr",
+                        line,
+                        format!(
+                            "`#[allow({text})]` re-allows a workspace-table lint — fix the \
+                             code instead (tests get unwrap latitude from clippy.toml)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rule `obs-read`: compute code may *write* metrics (counters, spans, progress events)
+    /// but must never read them back — rendering the registry or calling a getter from a
+    /// compute path would let instrumentation feed back into results.
+    fn obs_read(&mut self) {
+        if !self.in_deterministic_crate() || self.class.category != Category::Lib {
+            return;
+        }
+        let metric_idents = self.typed_idents(&["Counter", "Gauge", "Histogram"]);
+        for i in 0..self.tokens.len() {
+            let t = &self.tokens[i];
+            if self.in_test(t.line) {
+                continue;
+            }
+            // `.render(` / `::render(` — rendering the registry.
+            if t.is_ident("render")
+                && i >= 1
+                && (self.tokens[i - 1].is_punct('.') || self.tokens[i - 1].is_punct(':'))
+                && self.tokens.get(i + 1).is_some_and(|p| p.is_punct('('))
+            {
+                let line = t.line;
+                self.push(
+                    "obs-read",
+                    line,
+                    "registry render in a compute crate — observability is write-only from \
+                     compute paths"
+                        .to_string(),
+                );
+            }
+            // Histogram read-side accessors.
+            if (t.is_ident("bucket_counts") || t.is_ident("sum_ns") || t.is_ident("bucket_bound"))
+                && self.tokens.get(i + 1).is_some_and(|p| p.is_punct('('))
+            {
+                let (line, text) = (t.line, t.text.clone());
+                self.push(
+                    "obs-read",
+                    line,
+                    format!("`{text}()` reads a histogram from a compute crate"),
+                );
+            }
+            // `metric.get()` on a binding typed Counter/Gauge/Histogram.
+            if t.kind == TokenKind::Ident
+                && metric_idents.contains(&t.text)
+                && self.tokens.get(i + 1).is_some_and(|p| p.is_punct('.'))
+                && self.tokens.get(i + 2).is_some_and(|m| m.is_ident("get"))
+                && self.tokens.get(i + 3).is_some_and(|p| p.is_punct('('))
+            {
+                let (line, name) = (t.line, t.text.clone());
+                self.push(
+                    "obs-read",
+                    line,
+                    format!("`{name}.get()` reads a metric from a compute crate"),
+                );
+            }
+            // `registry.counter(...).get()` — reading through a freshly-fetched handle.
+            if (t.is_ident("counter") || t.is_ident("gauge") || t.is_ident("histogram"))
+                && self.tokens.get(i + 1).is_some_and(|p| p.is_punct('('))
+            {
+                if let Some(close) = matching(self.tokens, i + 1, '(', ')') {
+                    if self.tokens.get(close + 1).is_some_and(|p| p.is_punct('.'))
+                        && self.tokens.get(close + 2).is_some_and(|m| m.is_ident("get"))
+                        && self.tokens.get(close + 3).is_some_and(|p| p.is_punct('('))
+                    {
+                        let line = self.tokens[close + 2].line;
+                        self.push(
+                            "obs-read",
+                            line,
+                            "metric getter chained off the registry in a compute crate".to_string(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Identifiers in this file whose declared type (ascription, field, parameter) or
+    /// constructor mentions one of `type_names`. Heuristic but source-local, which keeps the
+    /// tool fast and offline; fixtures pin the recognized declaration shapes.
+    fn typed_idents(&self, type_names: &[&str]) -> Vec<String> {
+        let mut found: Vec<String> = Vec::new();
+        for i in 0..self.tokens.len() {
+            let t = &self.tokens[i];
+            // Bindings declared inside test regions never taint non-test code: the rules that
+            // consume this list all skip test lines, so a `#[cfg(test)]`-local `m: HashMap`
+            // must not turn an unrelated non-test `m` into a tracked hash binding.
+            if t.kind != TokenKind::Ident || self.in_test(t.line) {
+                continue;
+            }
+            // `name: ...Type...` up to a shape terminator (single colon only: `a::b` paths
+            // must not bind `a`).
+            if self.tokens.get(i + 1).is_some_and(|p| p.is_punct(':'))
+                && !self.tokens.get(i + 2).is_some_and(|p| p.is_punct(':'))
+                && (i == 0 || !self.tokens[i - 1].is_punct(':'))
+            {
+                let mut j = i + 2;
+                let mut angle = 0i64;
+                while let Some(tok) = self.tokens.get(j) {
+                    match tok.kind {
+                        TokenKind::Punct('<') => angle += 1,
+                        TokenKind::Punct('>') => angle -= 1,
+                        TokenKind::Punct(';' | '=' | '{' | '}') => break,
+                        TokenKind::Punct(',' | ')') if angle <= 0 => break,
+                        TokenKind::Ident if type_names.contains(&tok.text.as_str()) => {
+                            found.push(t.text.clone());
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // `name = Type::...` (constructor binding, e.g. `let m = HashMap::new()`).
+            if self.tokens.get(i + 1).is_some_and(|p| p.is_punct('='))
+                && self.tokens.get(i + 2).is_some_and(|n| {
+                    n.kind == TokenKind::Ident && type_names.contains(&n.text.as_str())
+                })
+            {
+                found.push(t.text.clone());
+            }
+        }
+        found.sort();
+        found.dedup();
+        found
+    }
+}

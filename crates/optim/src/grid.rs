@@ -48,7 +48,7 @@ fn check_grid_arguments(bounds: &Bounds, points_per_axis: usize) -> usize {
 /// Sorts evaluated lattice points by increasing value; the sort is stable, so equal-valued
 /// points stay in lattice-enumeration order (the tie-break the multistart seeding relies on).
 fn sort_grid(mut results: Vec<GridPoint>) -> Vec<GridPoint> {
-    results.sort_by(|a, b| a.value.partial_cmp(&b.value).unwrap());
+    results.sort_by(|a, b| a.value.total_cmp(&b.value));
     results
 }
 

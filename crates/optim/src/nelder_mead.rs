@@ -230,7 +230,7 @@ fn run_simplex<F: FnMut(&[f64]) -> f64>(
     while *evaluations < options.max_evaluations {
         // Order the simplex by objective value.
         let mut order: Vec<usize> = (0..simplex.len()).collect();
-        order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap());
+        order.sort_by(|&i, &j| values[i].total_cmp(&values[j]));
         simplex = order.iter().map(|&i| simplex[i].clone()).collect();
         values = order.iter().map(|&i| values[i]).collect();
 
@@ -294,8 +294,9 @@ fn run_simplex<F: FnMut(&[f64]) -> f64>(
         }
     }
 
-    let best_idx =
-        (0..values.len()).min_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap()).unwrap();
+    let best_idx = (0..values.len())
+        .min_by(|&i, &j| values[i].total_cmp(&values[j]))
+        .expect("the simplex always holds dim + 1 points");
     (simplex[best_idx].clone(), values[best_idx], converged)
 }
 

@@ -1,0 +1,71 @@
+// lint:allow(forbid-unsafe, reason = "this micro-crate IS the workspace's one unsafe exception: it isolates the lifetime-erased job pointer of the kronpriv-par queue so that every other crate root can carry a real #![forbid(unsafe_code)]")
+//! `kronpriv-par-queue` — the lifetime-erased job cell at the core of the `kronpriv-par`
+//! worker queue.
+//!
+//! Jobs submitted to the pool live on the submitting thread's stack, so the queue cannot store
+//! an owned or `'static` handle to them: it stores a [`RawRunnable`], a `*const dyn Runnable`
+//! whose lifetime has been erased. Erasing a lifetime is inherently `unsafe`; this crate exists
+//! so that unsafety has exactly one home. Everything else in the workspace — the executor
+//! itself included — builds with `#![forbid(unsafe_code)]` at the crate root, and the
+//! `kronpriv-lint` `forbid-unsafe` rule keeps it that way (this crate carries the sole waiver).
+//!
+//! The soundness argument cannot live here, because it is a property of the *pool*, not of the
+//! pointer: see the drain protocol documented on `kronpriv-par`'s `Pool::run_shared`. In short,
+//! a worker only dereferences the pointer between incrementing and decrementing the job's
+//! `attached` counter (both under the pool mutex), and the submitting thread does not return —
+//! and therefore does not invalidate the referent — until it has removed the job from the
+//! queue and observed `attached == 0` under that same mutex.
+
+#![warn(missing_docs)]
+
+/// A job the pool can participate in: claim chunks until none remain, containing panics.
+/// `run` must never unwind — implementations catch panics internally and record the payload.
+pub trait Runnable {
+    /// Participates in the job until no work remains. Must not unwind.
+    fn run(&self);
+}
+
+/// The erased-pointer cell. Scoping the `allow` to this module (rather than the crate root)
+/// keeps the safe surface — the [`Runnable`] trait — outside the unsafe boundary.
+mod erased {
+    // lint:allow(allow-attr, reason = "the erased-pointer cell is the workspace's only unsafe code; its soundness rests on the pool's drain protocol (see kronpriv-par Pool::run_shared) and is scoped to this module")
+    #![allow(unsafe_code)]
+
+    use super::Runnable;
+
+    /// A lifetime-erased `&dyn Runnable`. Only the pool in `kronpriv-par` may hold one, and
+    /// only under the drain protocol described in the crate docs.
+    pub struct RawRunnable(*const (dyn Runnable + 'static));
+
+    // SAFETY: the pointee is a `Sync` job (enforced by `erase`'s bound) that the submitting
+    // thread keeps alive for as long as any worker may dereference the pointer (the drain
+    // protocol), so sending/sharing the pointer itself across threads is sound.
+    unsafe impl Send for RawRunnable {}
+    // SAFETY: as above — dereferencing yields `&dyn Runnable` to a `Sync` value.
+    unsafe impl Sync for RawRunnable {}
+
+    impl RawRunnable {
+        /// Erases the lifetime of `job` so it can sit in the pool queue.
+        pub fn erase<'a>(job: &'a (dyn Runnable + 'a)) -> RawRunnable {
+            let ptr: *const (dyn Runnable + 'a) = job;
+            // SAFETY: only the lifetime brand changes; the fat-pointer layout is identical.
+            // Validity past `'a` is guaranteed by the drain protocol, not by the type.
+            RawRunnable(unsafe {
+                std::mem::transmute::<*const (dyn Runnable + 'a), *const (dyn Runnable + 'static)>(
+                    ptr,
+                )
+            })
+        }
+
+        /// Runs the erased job. Sound only because every call site sits between the
+        /// attach/detach bookkeeping of the drain protocol (see crate docs).
+        pub fn run(&self) {
+            // SAFETY: the submitting thread is blocked in `run_shared` until this participant
+            // detaches, so the referent is alive for the duration of the call.
+            let job: &dyn Runnable = unsafe { &*self.0 };
+            job.run();
+        }
+    }
+}
+
+pub use erased::RawRunnable;

@@ -71,7 +71,7 @@
 //! depends on an instrument value or a clock reading, so the byte-identical guarantee is
 //! untouched (the cutoff remains a pure function of the input shape).
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::any::Any;
@@ -83,7 +83,10 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+// lint:allow(determinism-time, reason = "write-only latency instrumentation: Instant readings feed kronpriv-obs histograms and never influence scheduling or results")
 use std::time::Instant;
+
+use kronpriv_par_queue::{RawRunnable, Runnable};
 
 mod metrics;
 use metrics::{exec_metrics, INLINE, POOLED};
@@ -401,12 +404,6 @@ fn record_call(work: Work, chunks: usize, helpers: usize) -> kronpriv_obs::Span 
 
 type PanicPayload = Box<dyn Any + Send + 'static>;
 
-/// A job the pool can participate in: claim chunks until none remain, containing panics.
-/// `run` must never unwind — implementations catch panics internally and record the payload.
-trait Runnable {
-    fn run(&self);
-}
-
 /// Claims the next chunk index, or `None` when the job is exhausted (or aborted).
 fn claim(next: &AtomicUsize, chunks: usize) -> Option<usize> {
     let c = next.fetch_add(1, Ordering::Relaxed);
@@ -525,57 +522,15 @@ where
     }
 }
 
-/// The erased-pointer corner of the pool: jobs live on the submitting thread's stack, so the
-/// queue stores a lifetime-erased pointer to them. This module is the crate's **only** unsafe
-/// code; everything else is `#![deny(unsafe_code)]`.
-///
-/// The safety argument is the drain protocol in [`Pool::run_shared`]: a worker only dereferences
-/// the pointer between incrementing and decrementing the job's `attached` counter, both under
-/// the pool mutex, and the submitting thread does not return (and therefore does not invalidate
-/// the referent) until it has removed the job from the queue and observed `attached == 0` under
-/// that same mutex. After the removal no worker can attach anymore, so the wait is a true
-/// barrier on every dereference.
-mod raw {
-    #![allow(unsafe_code)]
-
-    use super::Runnable;
-
-    /// A lifetime-erased `&dyn Runnable`. Crate-private: only [`super::Pool`] may hold one, and
-    /// only under the drain protocol described in the module docs.
-    pub(super) struct RawRunnable(*const (dyn Runnable + 'static));
-
-    // SAFETY: the pointee is a `Sync` job (enforced by `erase`'s bound) that the submitting
-    // thread keeps alive for as long as any worker may dereference the pointer (the drain
-    // protocol), so sending/sharing the pointer itself across threads is sound.
-    unsafe impl Send for RawRunnable {}
-    // SAFETY: as above — dereferencing yields `&dyn Runnable` to a `Sync` value.
-    unsafe impl Sync for RawRunnable {}
-
-    impl RawRunnable {
-        /// Erases the lifetime of `job` so it can sit in the pool queue.
-        pub(super) fn erase<'a>(job: &'a (dyn Runnable + 'a)) -> RawRunnable {
-            let ptr: *const (dyn Runnable + 'a) = job;
-            // SAFETY: only the lifetime brand changes; the fat-pointer layout is identical.
-            // Validity past `'a` is guaranteed by the drain protocol, not by the type.
-            RawRunnable(unsafe {
-                std::mem::transmute::<*const (dyn Runnable + 'a), *const (dyn Runnable + 'static)>(
-                    ptr,
-                )
-            })
-        }
-
-        /// Runs the erased job. Sound only because every call site sits between the
-        /// attach/detach bookkeeping of the drain protocol (see module docs).
-        pub(super) fn run(&self) {
-            // SAFETY: the submitting thread is blocked in `run_shared` until this participant
-            // detaches, so the referent is alive for the duration of the call.
-            let job: &dyn Runnable = unsafe { &*self.0 };
-            job.run();
-        }
-    }
-}
-
-use raw::RawRunnable;
+// The erased-pointer corner of the pool lives in `kronpriv-par-queue`: jobs live on the
+// submitting thread's stack, so the queue stores a lifetime-erased pointer to them. That
+// erasure is the workspace's only unsafe code, isolated in the micro-crate so this crate can
+// `#![forbid(unsafe_code)]`. Its safety argument is the drain protocol in [`Pool::run_shared`]:
+// a worker only dereferences the pointer between incrementing and decrementing the job's
+// `attached` counter, both under the pool mutex, and the submitting thread does not return
+// (and therefore does not invalidate the referent) until it has removed the job from the queue
+// and observed `attached == 0` under that same mutex. After the removal no worker can attach
+// anymore, so the wait is a true barrier on every dereference.
 
 /// Per-job pool bookkeeping. `attached` counts the workers currently inside the job's `run`;
 /// it is only ever mutated under the pool mutex (the atomic is for shared mutability, not for
@@ -584,6 +539,7 @@ struct JobState {
     runnable: RawRunnable,
     attached: AtomicUsize,
     /// When the job was published to the queue — read only to report queue-wait latency.
+    // lint:allow(determinism-time, reason = "write-only latency instrumentation: the timestamp feeds the queue-wait histogram and never influences scheduling or results")
     published: Instant,
 }
 
@@ -639,6 +595,7 @@ impl Pool {
         let state = Arc::new(JobState {
             runnable: RawRunnable::erase(job),
             attached: AtomicUsize::new(0),
+            // lint:allow(determinism-time, reason = "write-only latency instrumentation: the timestamp feeds the queue-wait histogram and never influences scheduling or results")
             published: Instant::now(),
         });
         {
@@ -704,7 +661,7 @@ fn worker_loop(shared: &PoolShared, index: usize) {
             }
             job.attached.fetch_add(1, Ordering::Relaxed);
             drop(guard);
-            // Reporting only: neither latency feeds back into any scheduling decision.
+            // lint:allow(determinism-time, reason = "reporting only: neither latency feeds back into any scheduling decision")
             let attach = Instant::now();
             exec_metrics()
                 .queue_wait_ns
@@ -723,6 +680,7 @@ fn worker_loop(shared: &PoolShared, index: usize) {
 }
 
 /// A duration in whole nanoseconds, saturating rather than panicking on absurd values.
+// lint:allow(determinism-time, reason = "pure unit conversion for the latency histograms; no clock is read here")
 fn duration_ns(d: std::time::Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }

@@ -336,6 +336,7 @@ impl JobStore {
         let table = self.shared.table.lock().expect("job table poisoned");
         let mut queued = 0;
         let mut running = 0;
+        // lint:allow(hash-iter, reason = "order-independent counting fold: every record is inspected exactly once and only status tallies accumulate, so storage order cannot leak")
         for record in table.jobs.values() {
             match record.status {
                 JobStatus::Queued => queued += 1,

@@ -31,6 +31,7 @@ impl ThreadPool {
         let workers = (0..size)
             .map(|index| {
                 let receiver = Arc::clone(&receiver);
+                // lint:allow(determinism-thread, reason = "HTTP worker pool: serves wire requests only; no compute kernel runs on these threads outside the deterministic executor")
                 thread::Builder::new()
                     .name(format!("{name}-{index}"))
                     .spawn(move || worker_loop(&receiver))

@@ -121,6 +121,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let io_timeout = config.io_timeout;
     let request_deadline = config.request_deadline;
     let access_log = config.access_log;
+    // lint:allow(determinism-thread, reason = "the listener accept loop: dispatches connections to the HTTP pool and never touches compute state")
     let accept = thread::Builder::new().name("kronpriv-accept".to_string()).spawn(move || {
         for stream in listener.incoming() {
             if flag.load(Ordering::SeqCst) {

@@ -49,7 +49,7 @@ pub fn scree_plot<R: Rng + ?Sized>(g: &Graph, options: &SpectralOptions, rng: &m
         .into_iter()
         .map(f64::abs)
         .collect::<Vec<_>>();
-    values.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    values.sort_by(|a, b| b.total_cmp(a));
     values
 }
 
@@ -69,7 +69,7 @@ pub fn network_values<R: Rng + ?Sized>(
         None => return Vec::new(),
     };
     let mut components: Vec<f64> = pair.vector.iter().map(|x| x.abs()).collect();
-    components.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    components.sort_by(|a, b| b.total_cmp(a));
     if options.network_values > 0 {
         components.truncate(options.network_values);
     }

@@ -20,6 +20,11 @@ cargo test -q --offline
 echo "==> cargo clippy --offline --all-targets -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "==> kronpriv-lint (static privacy/determinism/no-feedback gate)"
+# The invariant checker (crates/lint): zero unwaived findings or the build fails. Waivers
+# (`// lint:allow(<rule>, reason = "...")`) are printed with their reasons for the record.
+cargo run -q --release --offline -p kronpriv-lint -- --workspace-root .
+
 if [[ "${1:-}" == "--quick" ]]; then
     echo "==> bench harness smoke run"
     cargo bench -q --offline -p kronpriv-bench --bench model_kernels -- --quick

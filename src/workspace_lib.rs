@@ -2,4 +2,6 @@
 //! integration tests (`tests/`). The library itself only re-exports the `kronpriv` facade so
 //! that examples and tests can use a single import path.
 
+#![forbid(unsafe_code)]
+
 pub use kronpriv::prelude;

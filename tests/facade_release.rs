@@ -43,6 +43,11 @@ fn release_synthetic_graph_end_to_end_on_a_small_seeded_graph() {
     // bookkeeping, and the document round-trips structurally.
     let doc = release.estimate.to_json();
     let text = doc.to_pretty_string();
+    // The privacy boundary, at the outermost serialization point: the exact triangle count and
+    // the raw noisy degree sequence are redacted fields — they must never appear anywhere in
+    // the serialized release, under any nesting. (kronpriv-lint enforces the same statically.)
+    assert!(!text.contains("\"exact\""), "exact triangle count leaked into the release JSON");
+    assert!(!text.contains("noisy_degrees"), "raw noisy degrees leaked into the release JSON");
     let reparsed = kronpriv_json::Json::parse(&text).expect("release JSON reparses");
     let a = reparsed
         .get("fit")

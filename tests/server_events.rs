@@ -33,10 +33,11 @@ fn slow_kronfit_body(seed: u64, compute_threads: usize) -> String {
 fn poll_to_done(addr: SocketAddr, job_id: u64) -> Json {
     let deadline = Instant::now() + Duration::from_secs(300);
     loop {
-        let (status, body) = client::get(addr, &format!("/api/jobs/{job_id}")).unwrap();
+        let (status, body) =
+            client::get(addr, &format!("/api/jobs/{job_id}")).expect("poll must succeed");
         assert_eq!(status, 200, "{body}");
-        let poll = Json::parse(&body).unwrap();
-        match poll.get("status").unwrap().as_str().unwrap() {
+        let poll = Json::parse(&body).expect("poll body is JSON");
+        match poll.get("status").and_then(|s| s.as_str()).expect("poll has a status string") {
             "Done" => return poll,
             "Failed" => panic!("job {job_id} failed: {body}"),
             _ => {

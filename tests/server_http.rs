@@ -32,8 +32,10 @@ fn run_job_to_done(addr: SocketAddr, body: &str) -> (String, Json) {
         client::post_json(addr, "/api/estimate", body).expect("submit must succeed");
     assert_eq!(status, 202, "submit response: {submit_body}");
     let submit = Json::parse(&submit_body).expect("submit body is JSON");
-    assert_eq!(submit.get("status").unwrap().as_str(), Some("Queued"));
-    let job_id = submit.get("job_id").unwrap().as_f64().expect("job_id is a number") as u64;
+    assert_eq!(submit.get("status").expect("submit has status").as_str(), Some("Queued"));
+    let job_id =
+        submit.get("job_id").expect("submit has job_id").as_f64().expect("job_id is a number")
+            as u64;
 
     let deadline = Instant::now() + Duration::from_secs(120);
     loop {
@@ -41,7 +43,7 @@ fn run_job_to_done(addr: SocketAddr, body: &str) -> (String, Json) {
             client::get(addr, &format!("/api/jobs/{job_id}")).expect("poll must succeed");
         assert_eq!(status, 200, "poll response: {poll_body}");
         let poll = Json::parse(&poll_body).expect("poll body is JSON");
-        match poll.get("status").unwrap().as_str().unwrap() {
+        match poll.get("status").and_then(|s| s.as_str()).expect("poll has a status string") {
             "Done" => return (poll_body, poll),
             "Failed" => panic!("job {job_id} failed: {poll_body}"),
             _ => {
@@ -54,26 +56,29 @@ fn run_job_to_done(addr: SocketAddr, body: &str) -> (String, Json) {
 
 fn assert_valid_release(result: &Json, expected_epsilon: f64) {
     let params = result.get("params").expect("result has params");
-    assert_eq!(params.get("epsilon").unwrap().as_f64(), Some(expected_epsilon));
-    assert_eq!(params.get("delta").unwrap().as_f64(), Some(0.01));
+    assert_eq!(params.get("epsilon").expect("params has epsilon").as_f64(), Some(expected_epsilon));
+    assert_eq!(params.get("delta").expect("params has delta").as_f64(), Some(0.01));
     let theta = result.get("theta").expect("result has theta");
-    let a = theta.get("a").unwrap().as_f64().unwrap();
-    let b = theta.get("b").unwrap().as_f64().unwrap();
-    let c = theta.get("c").unwrap().as_f64().unwrap();
+    let entry =
+        |name: &str| theta.get(name).and_then(|v| v.as_f64()).expect("theta entries are numbers");
+    let (a, b, c) = (entry("a"), entry("b"), entry("c"));
     for p in [a, b, c] {
         assert!((0.0..=1.0).contains(&p), "initiator entry {p} out of range");
     }
     assert!(a >= c, "canonical form violated: a={a} c={c}");
-    let stats = result.get("private_statistics").unwrap().as_array().unwrap();
+    let stats = result
+        .get("private_statistics")
+        .and_then(|s| s.as_array())
+        .expect("result has the private-statistics array");
     assert_eq!(stats.len(), 4);
     for s in stats {
-        let v = s.as_f64().unwrap();
+        let v = s.as_f64().expect("private statistics are numbers");
         assert!(v.is_finite() && v >= 0.0, "private statistic {v}");
     }
     // The privacy boundary: the exact triangle count must never appear on the wire.
     let triangle = result.get("triangle_release").expect("result has triangle_release");
     assert!(triangle.get("exact").is_none(), "exact triangle count leaked");
-    assert!(triangle.get("value").unwrap().as_f64().is_some());
+    assert!(triangle.get("value").expect("release has value").as_f64().is_some());
 }
 
 /// The acceptance scenario: 4 concurrent clients against an HTTP pool of 2 (and 2 estimation
