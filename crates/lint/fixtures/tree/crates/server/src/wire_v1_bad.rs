@@ -1,0 +1,10 @@
+// FIXTURE (never compiled): sensitive identifiers in the v1 dataset wire types.
+
+pub struct BudgetDoc {
+    pub epsilon_spent: f64,
+}
+
+pub fn dataset_debug_doc(noisy_degrees: &[f64]) -> BudgetDoc {
+    // VIOLATION (on the parameter above): the ledger only ever accounts released draws.
+    BudgetDoc { epsilon_spent: noisy_degrees.len() as f64 }
+}

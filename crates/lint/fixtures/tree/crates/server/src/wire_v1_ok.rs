@@ -1,0 +1,15 @@
+// FIXTURE (never compiled): the v1 dataset/budget wire types are passing near-misses — the
+// ledger document carries only released accounting values (limits, spend, remainders), and
+// `exactly` shares a prefix with a denied identifier but is a different token.
+
+pub struct DatasetBudgetDoc {
+    pub name: String,
+    pub epsilon_limit: f64,
+    pub epsilon_spent: f64,
+    pub remaining_epsilon: f64,
+}
+
+pub fn refuses_next_draw(doc: &DatasetBudgetDoc, draw: f64) -> bool {
+    let fits_exactly = doc.epsilon_spent + draw <= doc.epsilon_limit;
+    !fits_exactly
+}

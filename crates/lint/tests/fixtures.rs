@@ -49,6 +49,8 @@ const EXPECTED: &[(&str, usize, &str)] = &[
     ("crates/graph/src/lib.rs", 1, "forbid-unsafe"),
     ("crates/server/src/wire_bad.rs", 7, "privacy-serialize"),
     ("crates/server/src/wire_bad.rs", 9, "privacy-serialize"),
+    ("crates/server/src/wire_v1_bad.rs", 7, "privacy-serialize"),
+    ("crates/server/src/wire_v1_bad.rs", 9, "privacy-serialize"),
     ("crates/stats/src/thread_bad.rs", 5, "determinism-thread"),
     ("crates/stats/src/thread_bad.rs", 8, "determinism-thread"),
     ("crates/stats/src/thread_bad.rs", 11, "determinism-thread"),

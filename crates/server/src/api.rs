@@ -8,7 +8,9 @@
 //! particular the exact triangle count, which [`kronpriv_dp::PrivateTriangleCount`] retains for
 //! experiment bookkeeping, is never serialized by the server.
 
+use crate::datasets::DatasetMeta;
 use crate::jobs::JobStatus;
+use crate::ledger::BudgetLedger;
 use kronpriv_dp::{ParamError, PrivacyParams};
 use kronpriv_estimate::{
     FittedInitiator, KronFitOptions, PrivateEstimate, PrivateEstimatorOptions,
@@ -165,6 +167,78 @@ impl_json_struct_lenient!(EstimateRequest {
     kronfit,
     include_degree_sequence,
 });
+
+/// The normalized form every estimate submission reduces to — both `POST /api/v1/estimate`
+/// (inline graph) and `POST /api/v1/datasets/{name}/estimate` (named dataset) build one, and
+/// it is what the durable store persists so a pending job can be re-validated and re-run
+/// byte-identically after a restart. Exactly one of `dataset`, `edge_list`, `skg` names the
+/// input graph.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Named dataset to estimate (its stored edge list is resolved server-side).
+    pub dataset: Option<String>,
+    /// A SNAP-format edge list uploaded inline with the request.
+    pub edge_list: Option<String>,
+    /// A sampled-SKG specification realized server-side from the request seed.
+    pub skg: Option<SkgSpec>,
+    /// The `(ε, δ)` draw. Required for the private estimator.
+    pub params: Option<BudgetSpec>,
+    /// Seed for all server-side randomness; identical specs with identical seeds produce
+    /// byte-identical result documents (this is what makes crash replay exact).
+    pub seed: u64,
+    /// Which estimator to run: `"private"` (default), `"kronmom"` or `"kronfit"`.
+    pub estimator: Option<String>,
+    /// Options for the private pipeline / KronMom baseline.
+    pub options: Option<PrivateEstimatorOptions>,
+    /// Options for the KronFit baseline.
+    pub kronfit: Option<KronFitOptions>,
+    /// Opt-in for the released private degree sequence on the result document.
+    pub include_degree_sequence: Option<bool>,
+}
+
+impl_json_struct_lenient!(JobSpec {
+    dataset,
+    edge_list,
+    skg,
+    params,
+    seed,
+    estimator,
+    options,
+    kronfit,
+    include_degree_sequence,
+});
+
+impl JobSpec {
+    /// Normalizes a legacy/v1 inline estimate request.
+    pub fn from_estimate_request(req: EstimateRequest) -> Self {
+        JobSpec {
+            dataset: None,
+            edge_list: req.graph.edge_list,
+            skg: req.graph.skg,
+            params: req.params,
+            seed: req.seed,
+            estimator: req.estimator,
+            options: req.options,
+            kronfit: req.kronfit,
+            include_degree_sequence: req.include_degree_sequence,
+        }
+    }
+
+    /// Normalizes a dataset-scoped estimate request against the named dataset.
+    pub fn from_dataset_request(name: &str, req: DatasetEstimateRequest) -> Self {
+        JobSpec {
+            dataset: Some(name.to_string()),
+            edge_list: None,
+            skg: None,
+            params: req.params,
+            seed: req.seed,
+            estimator: req.estimator,
+            options: req.options,
+            kronfit: None,
+            include_degree_sequence: req.include_degree_sequence,
+        }
+    }
+}
 
 /// The published part of the smooth-sensitivity triangle release.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -329,6 +403,143 @@ pub struct SampleResponse {
 
 impl_json_struct!(SampleResponse { nodes, edges, edge_list });
 
+/// `POST /api/v1/datasets`: upload a named dataset once, with its lifetime `(ε, δ)` budget.
+/// The edge list is stored server-side and **never served back**; every later estimate on the
+/// dataset draws from the declared budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetCreateRequest {
+    /// The dataset name: 1–64 chars of `[A-Za-z0-9._-]`, starting alphanumeric.
+    pub name: String,
+    /// The sensitive graph as a SNAP-format edge list.
+    pub edge_list: String,
+    /// The cumulative `(ε, δ)` the dataset may ever spend across all estimates.
+    pub budget: BudgetSpec,
+}
+
+impl_json_struct!(DatasetCreateRequest { name, edge_list, budget });
+
+/// `GET /api/v1/datasets/{name}/budget` body (also embedded in every dataset document): the
+/// ledger state plus the derived remainders, so clients never re-derive float arithmetic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetDoc {
+    /// The dataset name.
+    pub name: String,
+    /// The total `ε` the dataset may ever spend.
+    pub epsilon_limit: f64,
+    /// The total `δ` the dataset may ever spend.
+    pub delta_limit: f64,
+    /// `ε` debited so far across all admitted estimates.
+    pub epsilon_spent: f64,
+    /// `δ` debited so far.
+    pub delta_spent: f64,
+    /// `ε` still available (clamped to zero).
+    pub remaining_epsilon: f64,
+    /// `δ` still available (clamped to zero).
+    pub remaining_delta: f64,
+    /// Whether no meaningfully positive `ε` draw can ever be admitted again.
+    pub exhausted: bool,
+}
+
+impl_json_struct!(BudgetDoc {
+    name,
+    epsilon_limit,
+    delta_limit,
+    epsilon_spent,
+    delta_spent,
+    remaining_epsilon,
+    remaining_delta,
+    exhausted,
+});
+
+impl BudgetDoc {
+    /// The wire form of one dataset's ledger.
+    pub fn of(name: &str, ledger: &BudgetLedger) -> Self {
+        BudgetDoc {
+            name: name.to_string(),
+            epsilon_limit: ledger.epsilon_limit,
+            delta_limit: ledger.delta_limit,
+            epsilon_spent: ledger.epsilon_spent,
+            delta_spent: ledger.delta_spent,
+            remaining_epsilon: ledger.remaining_epsilon(),
+            remaining_delta: ledger.remaining_delta(),
+            exhausted: ledger.exhausted(),
+        }
+    }
+}
+
+/// One dataset as served by `GET /api/v1/datasets[/{name}]` — released metadata only, never
+/// the edge list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetDoc {
+    /// The dataset name.
+    pub name: String,
+    /// Node count of the uploaded graph.
+    pub nodes: u64,
+    /// Undirected edge count of the uploaded graph.
+    pub edges: u64,
+    /// The budget ledger state.
+    pub budget: BudgetDoc,
+}
+
+impl_json_struct!(DatasetDoc { name, nodes, edges, budget });
+
+impl DatasetDoc {
+    /// The wire form of one dataset's released metadata.
+    pub fn of(meta: &DatasetMeta) -> Self {
+        DatasetDoc {
+            name: meta.name.clone(),
+            nodes: meta.nodes,
+            edges: meta.edges,
+            budget: BudgetDoc::of(&meta.name, &meta.ledger),
+        }
+    }
+}
+
+/// `GET /api/v1/datasets` body: every dataset, in name order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetListResponse {
+    /// The datasets, in name order.
+    pub datasets: Vec<DatasetDoc>,
+    /// Convenience count (`datasets.len()`).
+    pub count: u64,
+}
+
+impl_json_struct!(DatasetListResponse { datasets, count });
+
+/// `DELETE /api/v1/datasets/{name}` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetDeleteResponse {
+    /// The name of the dataset that was deleted.
+    pub deleted: String,
+}
+
+impl_json_struct!(DatasetDeleteResponse { deleted });
+
+/// `POST /api/v1/datasets/{name}/estimate`: run a **private** estimate against a stored
+/// dataset, drawing `params` from its ledger. Baselines (`kronmom`/`kronfit`) are refused on
+/// datasets — they fit the exact graph and would void the ledger's guarantee.
+#[derive(Debug, Clone)]
+pub struct DatasetEstimateRequest {
+    /// The `(ε, δ)` this estimate draws from the dataset's budget.
+    pub params: Option<BudgetSpec>,
+    /// Seed for all server-side randomness.
+    pub seed: u64,
+    /// Estimator selector; only `"private"` (or absent) is accepted on datasets.
+    pub estimator: Option<String>,
+    /// Estimator options for the private pipeline.
+    pub options: Option<PrivateEstimatorOptions>,
+    /// Opt-in for the released private degree sequence.
+    pub include_degree_sequence: Option<bool>,
+}
+
+impl_json_struct_lenient!(DatasetEstimateRequest {
+    params,
+    seed,
+    estimator,
+    options,
+    include_degree_sequence,
+});
+
 /// `GET /healthz` body: a status document, not just a bare 200.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthResponse {
@@ -350,6 +561,10 @@ pub struct HealthResponse {
     pub jobs_done: u64,
     /// Jobs finished with an error since startup.
     pub jobs_failed: u64,
+    /// Number of named datasets currently stored.
+    pub datasets: u64,
+    /// The durable data directory, or `null` when running in-memory.
+    pub data_dir: Option<String>,
 }
 
 impl_json_struct!(HealthResponse {
@@ -362,16 +577,28 @@ impl_json_struct!(HealthResponse {
     jobs_running,
     jobs_done,
     jobs_failed,
+    datasets,
+    data_dir,
 });
 
-/// The body of every non-2xx response.
+/// The one typed body of every non-2xx response: a human-readable `error`, a stable machine
+/// `code` (the full code table lives in `API.md`), and optional extras — `detail` for
+/// free-form context, and the remaining budget on `429 budget_exhausted` refusals.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ErrorBody {
     /// Human-readable description of what was wrong with the request.
     pub error: String,
+    /// Stable machine-readable error code (e.g. `"bad_request"`, `"budget_exhausted"`).
+    pub code: String,
+    /// Optional free-form context.
+    pub detail: Option<String>,
+    /// `ε` still available, on budget refusals only.
+    pub remaining_epsilon: Option<f64>,
+    /// `δ` still available, on budget refusals only.
+    pub remaining_delta: Option<f64>,
 }
 
-impl_json_struct!(ErrorBody { error });
+impl_json_struct_lenient!(ErrorBody { error, code, detail, remaining_epsilon, remaining_delta });
 
 #[cfg(test)]
 mod tests {

@@ -32,6 +32,38 @@ pub fn request(
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response"))
 }
 
+/// Sends one request and returns `(status, head, body)`: like [`request`], but keeps the raw
+/// response head so callers can assert on headers (e.g. `Deprecation: true` on the legacy
+/// alias paths).
+pub fn request_with_head(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body split"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparseable status line"))?;
+    Ok((status, head.to_string(), body.to_string()))
+}
+
 /// Splits a full `Connection: close` response into `(status, body)`.
 fn parse_response(raw: &str) -> Option<(u16, String)> {
     let status: u16 = raw.split_whitespace().nth(1)?.parse().ok()?;
@@ -100,6 +132,11 @@ fn decode_chunked(mut rest: &[u8]) -> Option<Vec<u8>> {
 /// `POST {path}` with a JSON body.
 pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> io::Result<(u16, String)> {
     request(addr, "POST", path, Some(body))
+}
+
+/// `DELETE {path}`.
+pub fn delete(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    request(addr, "DELETE", path, None)
 }
 
 #[cfg(test)]

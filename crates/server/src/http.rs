@@ -196,7 +196,8 @@ fn read_head_line(head: &mut impl BufRead, deadline: Instant) -> Result<String, 
     }
 }
 
-/// An HTTP response: a status code plus a body with its content type.
+/// An HTTP response: a status code plus a body with its content type, and optional extra
+/// headers (e.g. `Deprecation: true` on legacy alias paths).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// The status code (200, 202, 400, 404, ...).
@@ -205,6 +206,9 @@ pub struct Response {
     pub body: String,
     /// The `Content-Type` header value; every constructor sets a static one.
     pub content_type: &'static str,
+    /// Extra headers appended after the fixed ones. Static name/value pairs only: extra
+    /// headers carry protocol signals (deprecation, allow lists), never request data.
+    pub headers: Vec<(&'static str, &'static str)>,
 }
 
 /// The Prometheus text exposition content type served by `/metrics`.
@@ -213,44 +217,70 @@ pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8
 impl Response {
     /// Builds an `application/json` response.
     pub fn json(status: u16, body: impl Into<String>) -> Self {
-        Response { status, body: body.into(), content_type: "application/json" }
+        Response {
+            status,
+            body: body.into(),
+            content_type: "application/json",
+            headers: Vec::new(),
+        }
     }
 
     /// Builds a Prometheus text-exposition response (used by `/metrics`).
     pub fn metrics_text(status: u16, body: impl Into<String>) -> Self {
-        Response { status, body: body.into(), content_type: METRICS_CONTENT_TYPE }
+        Response {
+            status,
+            body: body.into(),
+            content_type: METRICS_CONTENT_TYPE,
+            headers: Vec::new(),
+        }
+    }
+
+    /// Returns the response with an extra header appended.
+    pub fn with_header(mut self, name: &'static str, value: &'static str) -> Self {
+        self.headers.push((name, value));
+        self
     }
 
     /// Serialises the response (status line, headers, body) onto a writer.
     pub fn write_to(&self, mut writer: impl Write) -> io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason_phrase(self.status),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        writer.write_all(b"\r\n")?;
         writer.write_all(self.body.as_bytes())?;
         writer.flush()
     }
 }
 
-/// Writes the head of a chunked (`Transfer-Encoding: chunked`) streaming response. The body
-/// then follows as [`write_chunk`] calls terminated by one [`finish_chunked`]. Used by the
-/// job event stream, whose length is unknown while the job runs.
+/// Writes the head of a chunked (`Transfer-Encoding: chunked`) streaming response, with any
+/// `extra` headers after the fixed ones. The body then follows as [`write_chunk`] calls
+/// terminated by one [`finish_chunked`]. Used by the job event stream, whose length is
+/// unknown while the job runs.
 pub fn write_chunked_head(
     mut writer: impl Write,
     status: u16,
     content_type: &str,
+    extra: &[(&str, &str)],
 ) -> io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
         status,
         reason_phrase(status),
         content_type
     )?;
+    for (name, value) in extra {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.flush()
 }
 
@@ -276,12 +306,16 @@ pub fn finish_chunked(mut writer: impl Write) -> io::Result<()> {
 pub fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
         202 => "Accepted",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         _ => "Unknown",
     }
@@ -401,7 +435,7 @@ mod tests {
     #[test]
     fn chunked_stream_wire_format_is_hex_framed_and_zero_terminated() {
         let mut out = Vec::new();
-        write_chunked_head(&mut out, 200, "application/x-ndjson").unwrap();
+        write_chunked_head(&mut out, 200, "application/x-ndjson", &[]).unwrap();
         write_chunk(&mut out, b"{\"event\":\"queued\"}\n").unwrap();
         write_chunk(&mut out, b"").unwrap(); // must not emit a premature terminator
         write_chunk(&mut out, b"{\"event\":\"done\"}\n").unwrap();

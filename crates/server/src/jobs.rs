@@ -16,10 +16,14 @@
 use crate::pool::ThreadPool;
 use kronpriv_json::{impl_json_enum, Json};
 use kronpriv_obs::{ProgressEvent, ProgressSink, Registry};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// A callback the store runs after a job reaches `Done`/`Failed` — the persistence layer's
+/// write-behind for `job_finished` records. Invoked outside the table lock.
+pub type CompletionHook = Arc<dyn Fn(u64, &Result<Json, String>) + Send + Sync>;
 
 /// Default number of finished (`Done`/`Failed`) job records retained for polling. Older
 /// finished records are evicted oldest-first so a long-running server cannot grow without
@@ -75,14 +79,19 @@ struct JobRecord {
     result: Option<Json>,
     error: Option<String>,
     warnings: Vec<String>,
+    /// The persisted request spec (durable mode only): what the snapshot stores so a pending
+    /// job can be re-run after a restart. Never served to clients.
+    spec: Option<Json>,
     /// Append-only typed progress log; see the module docs for the document shapes.
     events: Vec<Json>,
 }
 
+/// The job map is id-ordered (`BTreeMap`) so snapshot images and any future listings are
+/// deterministic without sorting.
 #[derive(Debug)]
 struct JobTable {
     next_id: u64,
-    jobs: HashMap<u64, JobRecord>,
+    jobs: BTreeMap<u64, JobRecord>,
     /// Finished job ids in completion order, for oldest-first eviction.
     finished: VecDeque<u64>,
     max_finished: usize,
@@ -92,10 +101,10 @@ struct JobTable {
 
 /// The table plus the condvar event streamers block on. One condvar covers all jobs: event
 /// traffic is a handful of documents per job, so spurious wakeups are irrelevant.
-#[derive(Debug)]
 struct Shared {
     table: Mutex<JobTable>,
     events: Condvar,
+    hook: Mutex<Option<CompletionHook>>,
 }
 
 impl JobTable {
@@ -224,31 +233,48 @@ impl JobStore {
             shared: Arc::new(Shared {
                 table: Mutex::new(JobTable {
                     next_id: 0,
-                    jobs: HashMap::new(),
+                    jobs: BTreeMap::new(),
                     finished: VecDeque::new(),
                     max_finished,
                     completed_done: 0,
                     completed_failed: 0,
                 }),
                 events: Condvar::new(),
+                hook: Mutex::new(None),
             }),
             pool: ThreadPool::new(workers, "kronpriv-job"),
         }
     }
 
-    /// Submits a job and returns its id immediately. The closure's `Ok` document becomes the
-    /// job result; `Err` (or a panic, which is caught) marks the job `Failed`. The closure
-    /// receives the job's [`JobEventSink`] for progress reporting; `warnings` are recorded on
-    /// the job verbatim (e.g. request fields the server overrode).
-    pub fn submit(
-        &self,
-        warnings: Vec<String>,
-        work: impl FnOnce(&JobEventSink) -> Result<Json, String> + Send + 'static,
-    ) -> u64 {
+    /// Installs the completion hook run after every job finishes (outside the table lock) —
+    /// the persistence layer's `job_finished` write-behind. Replaces any previous hook.
+    pub fn set_completion_hook(&self, hook: CompletionHook) {
+        *self.shared.hook.lock().expect("job hook poisoned") = Some(hook);
+    }
+
+    /// A lightweight imaging handle onto the same job table, for the persistence snapshot
+    /// hook (which must not capture the whole `AppState`).
+    pub fn imager(&self) -> JobImager {
+        JobImager { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Creates a `Queued` job record and returns its id, without scheduling any work yet.
+    /// `id` is `Some` only on boot replay, to re-create a job under its persisted id (the
+    /// counter advances past it so fresh ids never collide). `spec` is the persisted request
+    /// spec in durable mode, `None` in-memory.
+    pub fn create(&self, id: Option<u64>, warnings: Vec<String>, spec: Option<Json>) -> u64 {
         let id = {
             let mut table = self.shared.table.lock().expect("job table poisoned");
-            table.next_id += 1;
-            let id = table.next_id;
+            let id = match id {
+                Some(id) => {
+                    table.next_id = table.next_id.max(id);
+                    id
+                }
+                None => {
+                    table.next_id += 1;
+                    table.next_id
+                }
+            };
             table.jobs.insert(
                 id,
                 JobRecord {
@@ -256,6 +282,7 @@ impl JobStore {
                     result: None,
                     error: None,
                     warnings,
+                    spec,
                     events: vec![event_doc("queued", &[("job_id", Json::Number(id as f64))])],
                 },
             );
@@ -263,6 +290,17 @@ impl JobStore {
         };
         Registry::global().counter("kronpriv_jobs_submitted_total", &[]).inc();
         self.shared.events.notify_all();
+        id
+    }
+
+    /// Schedules the work of an already-created job on the estimation pool. The closure's `Ok`
+    /// document becomes the job result; `Err` (or a panic, which is caught) marks the job
+    /// `Failed`. The closure receives the job's [`JobEventSink`] for progress reporting.
+    pub fn run(
+        &self,
+        id: u64,
+        work: impl FnOnce(&JobEventSink) -> Result<Json, String> + Send + 'static,
+    ) {
         let shared = Arc::clone(&self.shared);
         self.pool.execute(move || {
             let sink = JobEventSink { shared: Arc::clone(&shared), id };
@@ -270,10 +308,71 @@ impl JobStore {
             sink.push(event_doc("running", &[]));
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| work(&sink)))
                 .unwrap_or_else(|_| Err("job panicked".to_string()));
-            shared.table.lock().expect("job table poisoned").complete(id, outcome);
+            let hook = shared.hook.lock().expect("job hook poisoned").clone();
+            shared.table.lock().expect("job table poisoned").complete(id, outcome.clone());
             shared.events.notify_all();
+            if let Some(hook) = hook {
+                hook(id, &outcome);
+            }
         });
+    }
+
+    /// Submits a job and returns its id immediately: [`JobStore::create`] followed by
+    /// [`JobStore::run`]. `warnings` are recorded on the job verbatim (e.g. request fields the
+    /// server overrode).
+    pub fn submit(
+        &self,
+        warnings: Vec<String>,
+        work: impl FnOnce(&JobEventSink) -> Result<Json, String> + Send + 'static,
+    ) -> u64 {
+        let id = self.create(None, warnings, None);
+        self.run(id, work);
         id
+    }
+
+    /// Restores an already-finished job verbatim (boot replay): the record appears `Done` or
+    /// `Failed` with a synthesized two-event log, counts towards the `/healthz` completion
+    /// tallies, but does not re-run and does not touch the traffic metrics or the hook.
+    pub fn restore_finished(&self, id: u64, outcome: Result<Json, String>, warnings: Vec<String>) {
+        let mut table = self.shared.table.lock().expect("job table poisoned");
+        table.next_id = table.next_id.max(id);
+        let record = match &outcome {
+            Ok(result) => {
+                table.completed_done += 1;
+                JobRecord {
+                    status: JobStatus::Done,
+                    result: Some(result.clone()),
+                    error: None,
+                    warnings,
+                    spec: None,
+                    events: vec![
+                        event_doc("queued", &[("job_id", Json::Number(id as f64))]),
+                        event_doc("done", &[("result", result.clone())]),
+                    ],
+                }
+            }
+            Err(message) => {
+                table.completed_failed += 1;
+                JobRecord {
+                    status: JobStatus::Failed,
+                    result: None,
+                    error: Some(message.clone()),
+                    warnings,
+                    spec: None,
+                    events: vec![
+                        event_doc("queued", &[("job_id", Json::Number(id as f64))]),
+                        event_doc("failed", &[("error", Json::String(message.clone()))]),
+                    ],
+                }
+            }
+        };
+        table.jobs.insert(id, record);
+        table.finished.push_back(id);
+        while table.finished.len() > table.max_finished {
+            if let Some(oldest) = table.finished.pop_front() {
+                table.jobs.remove(&oldest);
+            }
+        }
     }
 
     /// A snapshot of the job, or `None` for an unknown id.
@@ -326,6 +425,13 @@ impl JobStore {
         }
     }
 
+    /// Raises the id counter to at least `floor` (boot replay: fresh ids must never collide
+    /// with ids the previous process handed out, even ones whose records were compacted away).
+    pub fn seed_next_id(&self, floor: u64) {
+        let mut table = self.shared.table.lock().expect("job table poisoned");
+        table.next_id = table.next_id.max(floor);
+    }
+
     /// Total number of jobs ever submitted (reported by `/healthz`).
     pub fn submitted(&self) -> u64 {
         self.shared.table.lock().expect("job table poisoned").next_id
@@ -336,7 +442,6 @@ impl JobStore {
         let table = self.shared.table.lock().expect("job table poisoned");
         let mut queued = 0;
         let mut running = 0;
-        // lint:allow(hash-iter, reason = "order-independent counting fold: every record is inspected exactly once and only status tallies accumulate, so storage order cannot leak")
         for record in table.jobs.values() {
             match record.status {
                 JobStatus::Queued => queued += 1,
@@ -345,6 +450,54 @@ impl JobStore {
             }
         }
         JobCounts { queued, running, done: table.completed_done, failed: table.completed_failed }
+    }
+}
+
+/// A handle that images the job table for persistence snapshots without owning the pool (so
+/// the snapshot hook can live inside the store's own completion callback without a cycle).
+#[derive(Clone)]
+pub struct JobImager {
+    shared: Arc<Shared>,
+}
+
+impl JobImager {
+    /// `(next_job_id, job documents)` in id order. Finished jobs persist their outcome;
+    /// queued/running jobs persist their spec (to be re-run on boot); pending jobs without a
+    /// spec (in-memory submissions) are skipped — they cannot be replayed.
+    pub fn image_docs(&self) -> (u64, Vec<Json>) {
+        let table = self.shared.table.lock().expect("job table poisoned");
+        let mut docs = Vec::new();
+        for (id, record) in table.jobs.iter() {
+            let mut pairs = vec![("job_id".to_string(), Json::Number(*id as f64))];
+            match record.status {
+                JobStatus::Done => {
+                    pairs.push(("status".to_string(), Json::String("done".to_string())));
+                    if let Some(result) = &record.result {
+                        pairs.push(("result".to_string(), result.clone()));
+                    }
+                }
+                JobStatus::Failed => {
+                    pairs.push(("status".to_string(), Json::String("failed".to_string())));
+                    pairs.push((
+                        "error".to_string(),
+                        Json::String(record.error.clone().unwrap_or_default()),
+                    ));
+                }
+                JobStatus::Queued | JobStatus::Running => match &record.spec {
+                    Some(spec) => {
+                        pairs.push(("status".to_string(), Json::String("pending".to_string())));
+                        pairs.push(("spec".to_string(), spec.clone()));
+                    }
+                    None => continue,
+                },
+            }
+            pairs.push((
+                "warnings".to_string(),
+                Json::Array(record.warnings.iter().map(|w| Json::String(w.clone())).collect()),
+            ));
+            docs.push(Json::Object(pairs));
+        }
+        (table.next_id, docs)
     }
 }
 

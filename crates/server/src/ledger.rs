@@ -1,0 +1,139 @@
+//! The per-dataset privacy-budget ledger.
+//!
+//! The paper's end-to-end guarantee is a *cumulative* `(ε, δ)` bound over everything released
+//! about one sensitive graph. A single estimate spends its declared `(ε, δ)` by sequential
+//! composition; the ledger accumulates those draws against the total budget declared when the
+//! dataset was created, and refuses any draw that would overshoot — **before** the estimation
+//! runs, so a refused request spends nothing.
+
+/// Absolute slack on the budget comparison: draws that sum *exactly* to the limit must be
+/// admitted even when floating-point addition of the individual draws drifts by an ulp or two
+/// (e.g. ten 0.1-ε draws against a 1.0-ε budget).
+const BUDGET_TOLERANCE: f64 = 1e-9;
+
+/// A cumulative `(ε, δ)` ledger for one dataset: fixed limits, monotone spend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetLedger {
+    /// The total `ε` the dataset may ever spend.
+    pub epsilon_limit: f64,
+    /// The total `δ` the dataset may ever spend.
+    pub delta_limit: f64,
+    /// `ε` debited so far (sums over every admitted estimate — sequential composition).
+    pub epsilon_spent: f64,
+    /// `δ` debited so far.
+    pub delta_spent: f64,
+}
+
+/// A refused draw: the remaining budget, reported back to the client on the `429` document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetRefusal {
+    /// `ε` still available (clamped to zero).
+    pub remaining_epsilon: f64,
+    /// `δ` still available (clamped to zero).
+    pub remaining_delta: f64,
+}
+
+impl BudgetLedger {
+    /// A fresh ledger with nothing spent.
+    pub fn new(epsilon_limit: f64, delta_limit: f64) -> Self {
+        BudgetLedger { epsilon_limit, delta_limit, epsilon_spent: 0.0, delta_spent: 0.0 }
+    }
+
+    /// `ε` still available, clamped to zero so accumulated float drift never reports a
+    /// negative remainder.
+    pub fn remaining_epsilon(&self) -> f64 {
+        (self.epsilon_limit - self.epsilon_spent).max(0.0)
+    }
+
+    /// `δ` still available, clamped to zero.
+    pub fn remaining_delta(&self) -> f64 {
+        (self.delta_limit - self.delta_spent).max(0.0)
+    }
+
+    /// Whether no meaningfully positive `ε` draw can ever be admitted again.
+    pub fn exhausted(&self) -> bool {
+        self.remaining_epsilon() <= BUDGET_TOLERANCE
+    }
+
+    /// Whether `(epsilon, delta)` fits in the remaining budget, without spending it.
+    pub fn can_afford(&self, epsilon: f64, delta: f64) -> bool {
+        self.epsilon_spent + epsilon <= self.epsilon_limit + BUDGET_TOLERANCE
+            && self.delta_spent + delta <= self.delta_limit + BUDGET_TOLERANCE
+    }
+
+    /// Debits `(epsilon, delta)` if it fits, or refuses with the remaining budget — in which
+    /// case **nothing is spent**. The debit is final: it is taken before the estimate runs,
+    /// and a later estimation failure does not refund it (the noise draw may already have
+    /// consumed the randomness, so refunding would break the composition bound).
+    pub fn try_debit(&mut self, epsilon: f64, delta: f64) -> Result<(), BudgetRefusal> {
+        if !self.can_afford(epsilon, delta) {
+            return Err(BudgetRefusal {
+                remaining_epsilon: self.remaining_epsilon(),
+                remaining_delta: self.remaining_delta(),
+            });
+        }
+        self.epsilon_spent += epsilon;
+        self.delta_spent += delta;
+        Ok(())
+    }
+
+    /// Applies a debit unconditionally — the replay path, where every record in the log was
+    /// admitted by [`BudgetLedger::try_debit`] when it was first written.
+    pub fn force_debit(&mut self, epsilon: f64, delta: f64) {
+        self.epsilon_spent += epsilon;
+        self.delta_spent += delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debits_accumulate_and_refuse_at_the_limit() {
+        let mut ledger = BudgetLedger::new(1.0, 0.05);
+        assert!(ledger.try_debit(0.4, 0.01).is_ok());
+        assert!(ledger.try_debit(0.4, 0.01).is_ok());
+        assert_eq!(ledger.epsilon_spent, 0.8);
+        // Over-budget: refused, and nothing is spent.
+        let refusal = ledger.try_debit(0.4, 0.01).unwrap_err();
+        assert!((refusal.remaining_epsilon - 0.2).abs() < 1e-12, "{refusal:?}");
+        assert_eq!(ledger.epsilon_spent, 0.8, "a refused draw must spend nothing");
+        assert_eq!(ledger.delta_spent, 0.02);
+        // A smaller draw that fits still goes through after a refusal.
+        assert!(ledger.try_debit(0.2, 0.01).is_ok());
+        assert!(ledger.exhausted());
+    }
+
+    #[test]
+    fn exact_exhaustion_is_admitted_despite_float_drift() {
+        // Ten 0.1 draws against a 1.0 budget: 0.1 is not exact in binary, so the naive sum
+        // overshoots 1.0 by an ulp. The tolerance must admit all ten.
+        let mut ledger = BudgetLedger::new(1.0, 1.0);
+        for i in 0..10 {
+            assert!(ledger.try_debit(0.1, 0.05).is_ok(), "draw {i} refused");
+        }
+        assert!(ledger.exhausted());
+        assert!(ledger.try_debit(0.1, 0.05).is_err(), "the budget is spent");
+        assert_eq!(ledger.remaining_delta(), 0.5);
+    }
+
+    #[test]
+    fn delta_exhaustion_refuses_independently_of_epsilon() {
+        let mut ledger = BudgetLedger::new(10.0, 0.01);
+        assert!(ledger.try_debit(1.0, 0.01).is_ok());
+        let refusal = ledger.try_debit(1.0, 0.01).unwrap_err();
+        assert_eq!(refusal.remaining_delta, 0.0);
+        assert!(refusal.remaining_epsilon > 8.9);
+        assert!(!ledger.exhausted(), "epsilon is still available; only delta ran dry");
+    }
+
+    #[test]
+    fn remaining_never_goes_negative() {
+        let mut ledger = BudgetLedger::new(1.0, 0.1);
+        ledger.force_debit(2.0, 0.2); // replay of a log written under different limits
+        assert_eq!(ledger.remaining_epsilon(), 0.0);
+        assert_eq!(ledger.remaining_delta(), 0.0);
+        assert!(ledger.exhausted());
+    }
+}

@@ -1,13 +1,24 @@
 //! Request routing: maps `(method, path)` onto handlers and untrusted bodies onto validated
 //! pipeline calls. Every response body is JSON; every client error is a 4xx with an
 //! [`ErrorBody`], never a worker panic.
+//!
+//! The route table is versioned and resource-scoped under `/api/v1/`; the pre-versioning
+//! paths (`/api/estimate`, `/api/jobs/{id}`, `/api/sample`) are aliases onto their v1
+//! equivalents via [`canonical_path`] — same handlers, byte-identical bodies, plus a
+//! `Deprecation: true` response header.
 
+use crate::api::BudgetDoc;
 use crate::api::{
-    BaselineResult, ErrorBody, EstimateRequest, EstimateResult, EstimatorKind, HealthResponse,
-    JobResponse, SampleRequest, SampleResponse, SubmitResponse,
+    BaselineResult, DatasetCreateRequest, DatasetDeleteResponse, DatasetDoc,
+    DatasetEstimateRequest, DatasetListResponse, ErrorBody, EstimateRequest, EstimateResult,
+    EstimatorKind, HealthResponse, JobResponse, JobSpec, SampleRequest, SampleResponse,
+    SubmitResponse,
 };
+use crate::datasets::{valid_name, CreateError, DatasetStore, DebitError};
 use crate::http::{Request, Response};
-use crate::jobs::{JobStatus, JobStore};
+use crate::jobs::{JobEventSink, JobStatus, JobStore};
+use crate::ledger::{BudgetLedger, BudgetRefusal};
+use crate::store::{self, PendingJob, Persistence};
 use kronpriv::pipeline::{
     try_kronfit_estimate_observed, try_kronmom_estimate_on, try_private_estimate_observed,
     validate_estimator_inputs,
@@ -15,13 +26,15 @@ use kronpriv::pipeline::{
 use kronpriv_estimate::{KronFitOptions, KronMomOptions};
 use kronpriv_graph::io::{parse_edge_list_reader, to_edge_list_string};
 use kronpriv_graph::Graph;
-use kronpriv_json::{from_str, to_string, ToJson};
+use kronpriv_json::{from_str, to_string, FromJson, Json, ToJson};
 use kronpriv_obs::{ProgressEvent, ProgressSink, Registry};
 use kronpriv_par::Executor;
 use kronpriv_skg::sample::{sample_fast, SamplerOptions};
 use kronpriv_skg::Initiator2;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,6 +42,8 @@ use std::time::Instant;
 pub struct AppState {
     /// The estimation job store (owns the estimation worker pool).
     pub jobs: JobStore,
+    /// The named datasets with their privacy-budget ledgers.
+    pub datasets: DatasetStore,
     /// Largest Kronecker order `/api/sample` and sampled-SKG inputs accept (`2^k` nodes each).
     pub max_order: u32,
     /// The compute executor, built **once** at startup and shared by every estimation job:
@@ -38,25 +53,106 @@ pub struct AppState {
     pub executor: Arc<Executor>,
     /// When the state was built; `/healthz` reports the elapsed whole seconds as uptime.
     pub started: Instant,
+    /// The durable store, or `None` when running in-memory (budget enforcement still applies;
+    /// it just does not survive a restart).
+    pub persist: Option<Arc<Persistence>>,
+    /// Display form of the data dir, reported by `/healthz` (`None` when in-memory).
+    pub data_dir: Option<String>,
 }
 
 impl AppState {
-    /// Creates the state with `job_workers` estimation threads and one shared compute pool of
-    /// `compute_threads` workers (`0` = one per hardware thread) that every job's kernels
-    /// borrow.
+    /// Creates in-memory state with `job_workers` estimation threads and one shared compute
+    /// pool of `compute_threads` workers (`0` = one per hardware thread) that every job's
+    /// kernels borrow.
     pub fn new(job_workers: usize, max_order: u32, compute_threads: usize) -> Self {
         AppState {
             jobs: JobStore::new(job_workers),
+            datasets: DatasetStore::new(),
             max_order,
             executor: Arc::new(Executor::new(compute_threads)),
             started: Instant::now(),
+            persist: None,
+            data_dir: None,
+        }
+    }
+
+    /// Creates durable state backed by `data_dir`: opens (or initialises) the record log,
+    /// restores datasets and finished jobs, and installs the job-completion write-behind.
+    /// Returns the jobs that were still pending at shutdown — pass them to [`replay_pending`]
+    /// once the state is in place, so they re-run (byte-identically, by seed determinism).
+    pub fn with_persistence(
+        job_workers: usize,
+        max_order: u32,
+        compute_threads: usize,
+        data_dir: &Path,
+        snapshot_every: u64,
+    ) -> io::Result<(Self, Vec<PendingJob>)> {
+        let (persist, replay) = Persistence::open(data_dir, snapshot_every)?;
+        let mut state = AppState::new(job_workers, max_order, compute_threads);
+        state.data_dir = Some(data_dir.display().to_string());
+        for image in replay.datasets {
+            state.datasets.restore(image);
+        }
+        for job in replay.finished {
+            state.jobs.restore_finished(job.id, job.outcome, job.warnings);
+        }
+        state.jobs.seed_next_id(replay.next_job_id);
+        let persist = Arc::new(persist);
+        let hook_persist = Arc::clone(&persist);
+        let hook_datasets = state.datasets.clone();
+        let hook_imager = state.jobs.imager();
+        state.jobs.set_completion_hook(Arc::new(move |id, outcome| {
+            let mut fields = vec![("job_id", Json::Number(id as f64))];
+            match outcome {
+                Ok(result) => fields.push(("result", result.clone())),
+                Err(message) => fields.push(("error", Json::String(message.clone()))),
+            }
+            hook_persist.record("job_finished", fields, || {
+                store::state_image(&hook_datasets, &hook_imager)
+            });
+        }));
+        state.persist = Some(persist);
+        Ok((state, replay.pending))
+    }
+
+    /// Appends one record to the durable store, if there is one. `fields` is only evaluated
+    /// in durable mode. Must not be called while holding the dataset or job-table locks (the
+    /// snapshot hook takes both).
+    fn persist_record(&self, kind: &str, fields: impl FnOnce() -> Vec<(&'static str, Json)>) {
+        if let Some(persist) = &self.persist {
+            let imager = self.jobs.imager();
+            persist.record(kind, fields(), || store::state_image(&self.datasets, &imager));
         }
     }
 }
 
-/// Dispatches one request to its handler.
+/// Maps a request path onto its canonical v1 route. Returns the canonical path and whether
+/// the original spelling is a deprecated alias (answered with `Deprecation: true`). This is
+/// the **single** route table: legacy paths never get their own handlers.
+pub(crate) fn canonical_path(path: &str) -> (String, bool) {
+    if path == "/api/estimate" || path == "/api/sample" {
+        return (format!("/api/v1{}", path.trim_start_matches("/api")), true);
+    }
+    if let Some(rest) = path.strip_prefix("/api/jobs/") {
+        return (format!("/api/v1/jobs/{rest}"), true);
+    }
+    (path.to_string(), false)
+}
+
+/// Dispatches one request to its handler, answering deprecated alias spellings with the byte-
+/// identical v1 body plus a `Deprecation: true` header.
 pub fn route(state: &AppState, request: &Request) -> Response {
     let path = request.path.split('?').next().unwrap_or("");
+    let (canonical, deprecated) = canonical_path(path);
+    let response = dispatch(state, request, &canonical);
+    if deprecated {
+        response.with_header("Deprecation", "true")
+    } else {
+        response
+    }
+}
+
+fn dispatch(state: &AppState, request: &Request, path: &str) -> Response {
     match path {
         "/healthz" => match request.method.as_str() {
             "GET" => health(state),
@@ -66,23 +162,32 @@ pub fn route(state: &AppState, request: &Request) -> Response {
             "GET" => metrics(),
             _ => method_not_allowed("GET"),
         },
-        "/api/estimate" => match request.method.as_str() {
+        "/api/v1/estimate" => match request.method.as_str() {
             "POST" => estimate(state, request),
             _ => method_not_allowed("POST"),
         },
-        "/api/sample" => match request.method.as_str() {
+        "/api/v1/sample" => match request.method.as_str() {
             "POST" => sample(state, request),
             _ => method_not_allowed("POST"),
         },
+        "/api/v1/datasets" => match request.method.as_str() {
+            "GET" => list_datasets(state),
+            "POST" => create_dataset(state, request),
+            _ => method_not_allowed("GET, POST"),
+        },
         _ => {
-            if let Some(rest) = path.strip_prefix("/api/jobs/") {
+            if let Some(rest) = path.strip_prefix("/api/v1/jobs/") {
                 if let Some(raw_id) = rest.strip_suffix("/events") {
                     // The chunked event stream is written by the connection layer, which
                     // intercepts this path before routing (it needs the raw socket). The
                     // router still owns the validation, and answers for transports that
                     // cannot stream.
                     return match events_target(state, request.method.as_str(), raw_id) {
-                        Ok(_) => error(400, "the event stream requires a direct connection"),
+                        Ok(_) => error(
+                            400,
+                            "bad_request",
+                            "the event stream requires a direct connection",
+                        ),
                         Err(response) => response,
                     };
                 }
@@ -90,36 +195,100 @@ pub fn route(state: &AppState, request: &Request) -> Response {
                     "GET" => job(state, rest),
                     _ => method_not_allowed("GET"),
                 }
+            } else if let Some(rest) = path.strip_prefix("/api/v1/datasets/") {
+                dataset_route(state, request, rest)
             } else {
-                error(404, format!("no route for {path}"))
+                error(404, "not_found", format!("no route for {path}"))
             }
         }
     }
 }
 
-/// Validates a `GET /api/jobs/{id}/events` target: the method, the id syntax, and that the job
-/// exists right now. `Ok(id)` means the caller may stream; `Err` is the response to send
+/// Routes `/api/v1/datasets/{name}` and its `/estimate` / `/budget` sub-resources.
+fn dataset_route(state: &AppState, request: &Request, rest: &str) -> Response {
+    let (name, action) = match rest.split_once('/') {
+        None => (rest, None),
+        Some((name, action)) => (name, Some(action)),
+    };
+    if !valid_name(name) {
+        return error(400, "bad_request", format!("invalid dataset name {name:?}"));
+    }
+    match (action, request.method.as_str()) {
+        (None, "GET") => match state.datasets.meta(name) {
+            Some(meta) => ok_json(200, &DatasetDoc::of(&meta)),
+            None => no_such_dataset(name),
+        },
+        (None, "DELETE") => delete_dataset(state, name),
+        (None, _) => method_not_allowed("GET, DELETE"),
+        (Some("estimate"), "POST") => dataset_estimate(state, request, name),
+        (Some("estimate"), _) => method_not_allowed("POST"),
+        (Some("budget"), "GET") => match state.datasets.meta(name) {
+            Some(meta) => ok_json(200, &BudgetDoc::of(name, &meta.ledger)),
+            None => no_such_dataset(name),
+        },
+        (Some("budget"), _) => method_not_allowed("GET"),
+        (Some(other), _) => error(404, "not_found", format!("no dataset sub-resource {other:?}")),
+    }
+}
+
+/// Validates a `GET /api/v1/jobs/{id}/events` target: the method, the id syntax, and that the
+/// job exists right now. `Ok(id)` means the caller may stream; `Err` is the response to send
 /// instead. Shared by [`route`] and the connection layer's streaming intercept.
 pub(crate) fn events_target(state: &AppState, method: &str, raw_id: &str) -> Result<u64, Response> {
     if method != "GET" {
         return Err(method_not_allowed("GET"));
     }
-    let id: u64 = raw_id
-        .parse()
-        .map_err(|_| error(400, format!("job id must be an integer, got {raw_id:?}")))?;
+    let id: u64 = raw_id.parse().map_err(|_| {
+        error(400, "bad_request", format!("job id must be an integer, got {raw_id:?}"))
+    })?;
     if state.jobs.get(id).is_none() {
-        return Err(error(404, format!("no such job: {id}")));
+        return Err(error(404, "not_found", format!("no such job: {id}")));
     }
     Ok(id)
 }
 
-/// Builds a JSON error response.
-pub fn error(status: u16, message: impl Into<String>) -> Response {
-    Response::json(status, to_string(&ErrorBody { error: message.into() }))
+/// Builds a JSON error response with the unified [`ErrorBody`] document: a human-readable
+/// `error` plus a stable machine `code` (documented in `API.md`).
+pub fn error(status: u16, code: impl Into<String>, message: impl Into<String>) -> Response {
+    Response::json(
+        status,
+        to_string(&ErrorBody {
+            error: message.into(),
+            code: code.into(),
+            detail: None,
+            remaining_epsilon: None,
+            remaining_delta: None,
+        }),
+    )
+}
+
+/// The `429` budget refusal: `budget_exhausted` plus the remaining budget, so a client can
+/// size a smaller draw without another round-trip.
+fn budget_refused(name: &str, refusal: &BudgetRefusal) -> Response {
+    Response::json(
+        429,
+        to_string(&ErrorBody {
+            error: format!(
+                "privacy budget exhausted for dataset {name:?}: the requested draw exceeds the \
+                 remaining budget"
+            ),
+            code: "budget_exhausted".to_string(),
+            detail: Some(format!(
+                "remaining epsilon {:.6}, remaining delta {:.6}",
+                refusal.remaining_epsilon, refusal.remaining_delta
+            )),
+            remaining_epsilon: Some(refusal.remaining_epsilon),
+            remaining_delta: Some(refusal.remaining_delta),
+        }),
+    )
+}
+
+fn no_such_dataset(name: &str) -> Response {
+    error(404, "no_such_dataset", format!("no such dataset: {name:?}"))
 }
 
 fn method_not_allowed(allowed: &str) -> Response {
-    error(405, format!("method not allowed; use {allowed}"))
+    error(405, "method_not_allowed", format!("method not allowed; use {allowed}"))
 }
 
 fn ok_json<T: ToJson>(status: u16, body: &T) -> Response {
@@ -140,6 +309,8 @@ fn health(state: &AppState) -> Response {
             jobs_running: counts.running,
             jobs_done: counts.done,
             jobs_failed: counts.failed,
+            datasets: state.datasets.count(),
+            data_dir: state.data_dir.clone(),
         },
     )
 }
@@ -166,10 +337,10 @@ fn compute_threads_warning(field: &str, requested: usize, exec: &Executor) -> Op
 }
 
 /// Parses a request body as UTF-8 JSON into `T`, or produces the 400 response.
-fn parse_body<T: kronpriv_json::FromJson>(request: &Request) -> Result<T, Response> {
+fn parse_body<T: FromJson>(request: &Request) -> Result<T, Response> {
     let text = std::str::from_utf8(&request.body)
-        .map_err(|_| error(400, "request body is not valid UTF-8"))?;
-    from_str::<T>(text).map_err(|e| error(400, format!("invalid request body: {e}")))
+        .map_err(|_| error(400, "bad_request", "request body is not valid UTF-8"))?;
+    from_str::<T>(text).map_err(|e| error(400, "bad_request", format!("invalid request body: {e}")))
 }
 
 /// Upper bound on the *total* Metropolis proposals one KronFit request may run
@@ -269,59 +440,118 @@ fn materialize_graph<R: Rng + ?Sized>(
     }
 }
 
-fn estimate(state: &AppState, request: &Request) -> Response {
-    let req: EstimateRequest = match parse_body(request) {
-        Ok(req) => req,
-        Err(resp) => return resp,
-    };
+/// Why a job spec failed validation, mapped onto the response (or a replay failure message).
+enum SpecError {
+    /// A malformed or out-of-bounds field: `400 bad_request`.
+    Bad(String),
+    /// The named dataset does not exist: `404 no_such_dataset`.
+    NoSuchDataset(String),
+    /// A non-private estimator was requested on a dataset: `403 estimator_not_allowed` —
+    /// baselines fit the sensitive input graph directly, which would void the ledger's
+    /// cumulative `(ε, δ)` guarantee.
+    NonPrivate(String),
+}
+
+impl SpecError {
+    fn message(&self) -> String {
+        match self {
+            SpecError::Bad(message) => message.clone(),
+            SpecError::NoSuchDataset(name) => format!("no such dataset: {name:?}"),
+            SpecError::NonPrivate(kind) => format!(
+                "estimator {kind:?} is not allowed on datasets: baselines fit the sensitive \
+                 input graph directly and are not differentially private; use the private \
+                 estimator, or an inline graph for baseline comparisons"
+            ),
+        }
+    }
+
+    fn response(&self) -> Response {
+        match self {
+            SpecError::Bad(message) => error(400, "bad_request", message.clone()),
+            SpecError::NoSuchDataset(name) => no_such_dataset(name),
+            SpecError::NonPrivate(_) => error(403, "estimator_not_allowed", self.message()),
+        }
+    }
+}
+
+/// The job body handed to [`JobStore::run`]: runs on an estimation worker, emitting progress
+/// to the job's event sink.
+type JobWork = Box<dyn FnOnce(&JobEventSink) -> Result<Json, String> + Send + 'static>;
+
+/// A fully validated job, ready to debit (dataset jobs) and launch.
+struct PreparedJob {
+    /// Request fields the server accepted but overrode.
+    warnings: Vec<String>,
+    /// The `(ε, δ)` the job draws — present exactly for the private estimator; what dataset
+    /// jobs debit from their ledger.
+    draw: Option<(f64, f64)>,
+    /// The job body, to hand to [`JobStore::run`].
+    work: JobWork,
+}
+
+/// Validates a normalized [`JobSpec`] into a runnable job, without spending anything: no
+/// budget is debited and no record is persisted here. Shared verbatim by live submissions
+/// (both the inline and the dataset-scoped estimate routes) and boot replay — which is what
+/// guarantees a replayed job re-runs under exactly the rules it was admitted under.
+fn prepare_job(state: &AppState, spec: &JobSpec) -> Result<PreparedJob, SpecError> {
     // Validate everything that does not require touching the (possibly large) graph, so bad
     // requests are rejected on the connection thread with a 400 instead of failing as jobs.
-    let kind = match EstimatorKind::parse(req.estimator.as_deref()) {
-        Ok(kind) => kind,
-        Err(e) => return error(400, e),
-    };
-    let skg = match (&req.graph.edge_list, &req.graph.skg) {
-        (Some(_), None) => None,
-        (None, Some(skg)) => {
-            if skg.k == 0 || skg.k > state.max_order {
-                return error(
-                    400,
-                    format!("graph.skg.k must be in 1..={}, got {}", state.max_order, skg.k),
-                );
+    let kind = EstimatorKind::parse(spec.estimator.as_deref()).map_err(SpecError::Bad)?;
+    let (edge_list, skg) = match (&spec.dataset, &spec.edge_list, &spec.skg) {
+        (Some(name), None, None) => {
+            if kind != EstimatorKind::Private {
+                return Err(SpecError::NonPrivate(kind.as_str().to_string()));
             }
-            match skg.theta.validate() {
-                Ok(theta) => Some((theta, skg.k)),
-                Err(e) => return error(400, e),
+            match state.datasets.edge_text(name) {
+                Some(text) => (Some(text), None),
+                None => return Err(SpecError::NoSuchDataset(name.clone())),
             }
         }
+        (None, Some(text), None) => (Some(text.clone()), None),
+        (None, None, Some(skg)) => {
+            if skg.k == 0 || skg.k > state.max_order {
+                return Err(SpecError::Bad(format!(
+                    "graph.skg.k must be in 1..={}, got {}",
+                    state.max_order, skg.k
+                )));
+            }
+            let theta = skg.theta.validate().map_err(SpecError::Bad)?;
+            (None, Some((theta, skg.k)))
+        }
+        (None, _, _) => {
+            return Err(SpecError::Bad(
+                "graph must specify exactly one of edge_list or skg".to_string(),
+            ));
+        }
         _ => {
-            return error(400, "graph must specify exactly one of edge_list or skg");
+            return Err(SpecError::Bad(
+                "specify exactly one input graph: the dataset in the path, an inline edge_list, \
+                 or an skg"
+                    .to_string(),
+            ));
         }
     };
 
-    let seed = req.seed;
-    let edge_list = req.graph.edge_list;
+    let seed = spec.seed;
     // The server owns its compute resources: every estimator runs on the startup-built shared
     // executor, ignoring whatever thread count the request carried. Safe because all parallel
     // stages are deterministic for any pool size, so this cannot change the result document —
     // but the request is told so via the `warnings` field rather than silently.
     let exec = Arc::clone(&state.executor);
-    let (job_id, warnings) = match kind {
+    match kind {
         EstimatorKind::Private => {
-            let params = match req.params {
-                Some(spec) => match spec.validate() {
-                    Ok(params) => params,
-                    Err(e) => return error(400, e.to_string()),
-                },
-                None => return error(400, "params is required for the private estimator"),
+            let params = match spec.params {
+                Some(budget) => budget.validate().map_err(|e| SpecError::Bad(e.to_string()))?,
+                None => {
+                    return Err(SpecError::Bad(
+                        "params is required for the private estimator".to_string(),
+                    ))
+                }
             };
-            let options = req.options.unwrap_or_default();
-            if let Err(e) = validate_estimator_inputs(params, &options) {
-                return error(400, e.to_string());
-            }
-            if let Err(e) = validate_kronmom_options(&options.kronmom) {
-                return error(400, e);
-            }
+            let options = spec.options.unwrap_or_default();
+            validate_estimator_inputs(params, &options)
+                .map_err(|e| SpecError::Bad(e.to_string()))?;
+            validate_kronmom_options(&options.kronmom).map_err(SpecError::Bad)?;
             let warnings: Vec<String> = [
                 compute_threads_warning("options.compute_threads", options.compute_threads, &exec),
                 compute_threads_warning(
@@ -333,24 +563,26 @@ fn estimate(state: &AppState, request: &Request) -> Response {
             .into_iter()
             .flatten()
             .collect();
-            let include_degrees = req.include_degree_sequence.unwrap_or(false);
-            let id = state.jobs.submit(warnings.clone(), move |sink| {
-                // One seeded RNG drives both the optional SKG realization and the privacy
-                // noise, so the whole job is a pure function of the request document.
-                let mut rng = StdRng::seed_from_u64(seed);
-                let graph = materialize_graph(&edge_list, skg, &mut rng)?;
-                let estimate =
-                    try_private_estimate_observed(&graph, params, &options, &mut rng, &exec, sink)
-                        .map_err(|e| format!("estimation rejected: {e}"))?;
-                Ok(EstimateResult::from_estimate(&estimate, seed, include_degrees).to_json())
-            });
-            (id, warnings)
+            let include_degrees = spec.include_degree_sequence.unwrap_or(false);
+            Ok(PreparedJob {
+                warnings,
+                draw: Some((params.epsilon, params.delta)),
+                work: Box::new(move |sink| {
+                    // One seeded RNG drives both the optional SKG realization and the privacy
+                    // noise, so the whole job is a pure function of the request document.
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let graph = materialize_graph(&edge_list, skg, &mut rng)?;
+                    let estimate = try_private_estimate_observed(
+                        &graph, params, &options, &mut rng, &exec, sink,
+                    )
+                    .map_err(|e| format!("estimation rejected: {e}"))?;
+                    Ok(EstimateResult::from_estimate(&estimate, seed, include_degrees).to_json())
+                }),
+            })
         }
         EstimatorKind::KronMom => {
-            let options = req.options.unwrap_or_default().kronmom;
-            if let Err(e) = validate_kronmom_options(&options) {
-                return error(400, e);
-            }
+            let options = spec.options.unwrap_or_default().kronmom;
+            validate_kronmom_options(&options).map_err(SpecError::Bad)?;
             let warnings: Vec<String> = compute_threads_warning(
                 "options.kronmom.compute_threads",
                 options.compute_threads,
@@ -358,39 +590,81 @@ fn estimate(state: &AppState, request: &Request) -> Response {
             )
             .into_iter()
             .collect();
-            let id = state.jobs.submit(warnings.clone(), move |sink| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let graph = materialize_graph(&edge_list, skg, &mut rng)?;
-                sink.emit(&ProgressEvent::StageStarted { stage: "fit" });
-                let fit = try_kronmom_estimate_on(&graph, &options, &exec)
-                    .map_err(|e| format!("estimation rejected: {e}"))?;
-                sink.emit(&ProgressEvent::StageFinished { stage: "fit" });
-                Ok(BaselineResult::from_fit(EstimatorKind::KronMom, &fit, seed).to_json())
-            });
-            (id, warnings)
+            Ok(PreparedJob {
+                warnings,
+                draw: None,
+                work: Box::new(move |sink| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let graph = materialize_graph(&edge_list, skg, &mut rng)?;
+                    sink.emit(&ProgressEvent::StageStarted { stage: "fit" });
+                    let fit = try_kronmom_estimate_on(&graph, &options, &exec)
+                        .map_err(|e| format!("estimation rejected: {e}"))?;
+                    sink.emit(&ProgressEvent::StageFinished { stage: "fit" });
+                    Ok(BaselineResult::from_fit(EstimatorKind::KronMom, &fit, seed).to_json())
+                }),
+            })
         }
         EstimatorKind::KronFit => {
-            let options = req.kronfit.unwrap_or_default();
-            if let Err(e) = validate_kronfit_options(&options) {
-                return error(400, e);
-            }
+            let options = spec.kronfit.unwrap_or_default();
+            validate_kronfit_options(&options).map_err(SpecError::Bad)?;
             let warnings: Vec<String> =
                 compute_threads_warning("kronfit.compute_threads", options.compute_threads, &exec)
                     .into_iter()
                     .collect();
-            let id = state.jobs.submit(warnings.clone(), move |sink| {
-                // The same seeded RNG realizes the optional SKG input and then seeds the
-                // multi-chain permutation sampling, so the fit is a pure function of the
-                // request document (and independent of --compute-threads).
-                let mut rng = StdRng::seed_from_u64(seed);
-                let graph = materialize_graph(&edge_list, skg, &mut rng)?;
-                let fit = try_kronfit_estimate_observed(&graph, &options, &mut rng, &exec, sink)
-                    .map_err(|e| format!("estimation rejected: {e}"))?;
-                Ok(BaselineResult::from_fit(EstimatorKind::KronFit, &fit, seed).to_json())
-            });
-            (id, warnings)
+            Ok(PreparedJob {
+                warnings,
+                draw: None,
+                work: Box::new(move |sink| {
+                    // The same seeded RNG realizes the optional SKG input and then seeds the
+                    // multi-chain permutation sampling, so the fit is a pure function of the
+                    // request document (and independent of --compute-threads).
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let graph = materialize_graph(&edge_list, skg, &mut rng)?;
+                    let fit =
+                        try_kronfit_estimate_observed(&graph, &options, &mut rng, &exec, sink)
+                            .map_err(|e| format!("estimation rejected: {e}"))?;
+                    Ok(BaselineResult::from_fit(EstimatorKind::KronFit, &fit, seed).to_json())
+                }),
+            })
         }
+    }
+}
+
+/// Validates, debits (dataset jobs only), persists, and launches one normalized job spec.
+/// The ordering is the accountant's contract: validation first (a rejected request spends
+/// nothing), then the atomic ledger debit, then the durable `job_submitted` record, then
+/// execution.
+fn submit_spec(state: &AppState, spec: JobSpec) -> Response {
+    let prepared = match prepare_job(state, &spec) {
+        Ok(prepared) => prepared,
+        Err(e) => return e.response(),
     };
+    if let Some(name) = &spec.dataset {
+        let (epsilon, delta) = prepared.draw.expect("dataset jobs are private and carry a draw");
+        match state.datasets.try_debit(name, epsilon, delta) {
+            Ok(()) => state.persist_record("debit", || {
+                vec![
+                    ("name", Json::String(name.clone())),
+                    ("epsilon", Json::Number(epsilon)),
+                    ("delta", Json::Number(delta)),
+                ]
+            }),
+            // The dataset was deleted between validation and the debit.
+            Err(DebitError::NoSuchDataset) => return no_such_dataset(name),
+            Err(DebitError::Refused(refusal)) => return budget_refused(name, &refusal),
+        }
+    }
+    let spec_json = spec.to_json();
+    let warnings = prepared.warnings;
+    let job_id = state.jobs.create(None, warnings.clone(), Some(spec_json.clone()));
+    state.persist_record("job_submitted", || {
+        vec![
+            ("job_id", Json::Number(job_id as f64)),
+            ("warnings", Json::Array(warnings.iter().map(|w| Json::String(w.clone())).collect())),
+            ("spec", spec_json),
+        ]
+    });
+    state.jobs.run(job_id, prepared.work);
     ok_json(
         202,
         &SubmitResponse {
@@ -401,10 +675,132 @@ fn estimate(state: &AppState, request: &Request) -> Response {
     )
 }
 
+fn estimate(state: &AppState, request: &Request) -> Response {
+    let req: EstimateRequest = match parse_body(request) {
+        Ok(req) => req,
+        Err(resp) => return resp,
+    };
+    submit_spec(state, JobSpec::from_estimate_request(req))
+}
+
+fn dataset_estimate(state: &AppState, request: &Request, name: &str) -> Response {
+    let req: DatasetEstimateRequest = match parse_body(request) {
+        Ok(req) => req,
+        Err(resp) => return resp,
+    };
+    submit_spec(state, JobSpec::from_dataset_request(name, req))
+}
+
+fn create_dataset(state: &AppState, request: &Request) -> Response {
+    let req: DatasetCreateRequest = match parse_body(request) {
+        Ok(req) => req,
+        Err(resp) => return resp,
+    };
+    if !valid_name(&req.name) {
+        return error(
+            400,
+            "bad_request",
+            format!(
+                "invalid dataset name {:?}: use 1-64 characters of [A-Za-z0-9._-], starting \
+                 with a letter or digit",
+                req.name
+            ),
+        );
+    }
+    let budget = match req.budget.validate() {
+        Ok(params) => params,
+        Err(e) => return error(400, "bad_request", format!("budget rejected: {e}")),
+    };
+    // Parse the edge list up front: a dataset that can never be estimated should be rejected
+    // at upload time, and the node/edge counts are part of the created resource.
+    let graph = match parse_edge_list_reader(req.edge_list.as_bytes()) {
+        Ok(graph) => graph,
+        Err(e) => return error(400, "bad_request", format!("edge list rejected: {e}")),
+    };
+    let ledger = BudgetLedger::new(budget.epsilon, budget.delta);
+    let (nodes, edges) = (graph.node_count() as u64, graph.edge_count() as u64);
+    match state.datasets.create(&req.name, req.edge_list.clone(), nodes, edges, ledger) {
+        Ok(()) => {
+            state.persist_record("dataset_put", || {
+                vec![
+                    ("name", Json::String(req.name.clone())),
+                    ("edge_list", Json::String(req.edge_list.clone())),
+                    ("nodes", Json::Number(nodes as f64)),
+                    ("edges", Json::Number(edges as f64)),
+                    ("epsilon_limit", Json::Number(ledger.epsilon_limit)),
+                    ("delta_limit", Json::Number(ledger.delta_limit)),
+                ]
+            });
+            let meta = state.datasets.meta(&req.name).expect("dataset just created");
+            ok_json(201, &DatasetDoc::of(&meta))
+        }
+        Err(CreateError::Exists) => error(
+            409,
+            "dataset_exists",
+            format!(
+                "dataset {:?} already exists; its ledger would be reset by replacement — \
+                 delete it first or pick a new name",
+                req.name
+            ),
+        ),
+    }
+}
+
+fn list_datasets(state: &AppState) -> Response {
+    let datasets: Vec<DatasetDoc> = state.datasets.list().iter().map(DatasetDoc::of).collect();
+    let count = datasets.len() as u64;
+    ok_json(200, &DatasetListResponse { datasets, count })
+}
+
+fn delete_dataset(state: &AppState, name: &str) -> Response {
+    if !state.datasets.remove(name) {
+        return no_such_dataset(name);
+    }
+    state.persist_record("dataset_delete", || vec![("name", Json::String(name.to_string()))]);
+    ok_json(200, &DatasetDeleteResponse { deleted: name.to_string() })
+}
+
+/// Re-launches the jobs that were pending when the previous process stopped. Each persisted
+/// spec passes through the same [`prepare_job`] validation as a live request, and its job id
+/// is re-used so clients' poll URLs stay valid; seed determinism makes the re-run produce the
+/// byte-identical result document. The budget is **not** debited again — the original debit
+/// record replayed with the log. A spec that no longer validates (e.g. its dataset was
+/// deleted later in the log) is restored as a `Failed` record instead of crashing the boot.
+pub fn replay_pending(state: &AppState, pending: Vec<PendingJob>) {
+    for job in pending {
+        let spec = match JobSpec::from_json(&job.spec) {
+            Ok(spec) => spec,
+            Err(e) => {
+                state.jobs.restore_finished(
+                    job.id,
+                    Err(format!("replay rejected: invalid persisted spec: {e}")),
+                    job.warnings,
+                );
+                continue;
+            }
+        };
+        match prepare_job(state, &spec) {
+            Ok(prepared) => {
+                // Persisted warnings — not freshly computed ones — keep the poll document
+                // byte-identical across the restart even if the server config changed.
+                state.jobs.create(Some(job.id), job.warnings, Some(job.spec));
+                state.jobs.run(job.id, prepared.work);
+            }
+            Err(e) => state.jobs.restore_finished(
+                job.id,
+                Err(format!("replay rejected: {}", e.message())),
+                job.warnings,
+            ),
+        }
+    }
+}
+
 fn job(state: &AppState, raw_id: &str) -> Response {
     let id: u64 = match raw_id.parse() {
         Ok(id) => id,
-        Err(_) => return error(400, format!("job id must be an integer, got {raw_id:?}")),
+        Err(_) => {
+            return error(400, "bad_request", format!("job id must be an integer, got {raw_id:?}"))
+        }
     };
     match state.jobs.get(id) {
         Some(snapshot) => ok_json(
@@ -417,7 +813,7 @@ fn job(state: &AppState, raw_id: &str) -> Response {
                 warnings: (!snapshot.warnings.is_empty()).then_some(snapshot.warnings),
             },
         ),
-        None => error(404, format!("no such job: {id}")),
+        None => error(404, "not_found", format!("no such job: {id}")),
     }
 }
 
@@ -428,10 +824,14 @@ fn sample(state: &AppState, request: &Request) -> Response {
     };
     let theta = match req.theta.validate() {
         Ok(theta) => theta,
-        Err(e) => return error(400, e),
+        Err(e) => return error(400, "bad_request", e),
     };
     if req.k == 0 || req.k > state.max_order {
-        return error(400, format!("k must be in 1..={}, got {}", state.max_order, req.k));
+        return error(
+            400,
+            "bad_request",
+            format!("k must be in 1..={}, got {}", state.max_order, req.k),
+        );
     }
     let mut rng = StdRng::seed_from_u64(req.seed);
     let graph = sample_fast(&theta, req.k, &SamplerOptions::default(), &mut rng);

@@ -2,11 +2,13 @@
 
 use crate::http::{finish_chunked, read_request, write_chunk, write_chunked_head, HttpError};
 use crate::pool::ThreadPool;
-use crate::router::{error, events_target, route, AppState};
+use crate::router::{self, canonical_path, error, events_target, route, AppState};
+use crate::store;
 use kronpriv_json::Json;
 use kronpriv_obs::Registry;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -45,6 +47,14 @@ pub struct ServerConfig {
     /// default so embedded servers (tests, `serve_ephemeral`) stay quiet; the `kronpriv-serve`
     /// binary turns it on. Metrics are recorded regardless — only the log line is gated.
     pub access_log: bool,
+    /// Directory for the durable record log and snapshots. `None` (the default) keeps all
+    /// state in memory, exactly as before durability existed; `Some(dir)` replays the
+    /// directory on boot (datasets, ledgers, finished jobs, and pending jobs — which re-run
+    /// deterministically from their persisted specs) and appends every mutation to it.
+    pub data_dir: Option<PathBuf>,
+    /// Appends between snapshot compactions of the record log (only meaningful with
+    /// `data_dir`). Low values bound replay work; high values reduce snapshot churn.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +68,8 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_secs(10),
             request_deadline: Duration::from_secs(30),
             access_log: false,
+            data_dir: None,
+            snapshot_every: store::DEFAULT_SNAPSHOT_EVERY,
         }
     }
 }
@@ -114,8 +126,23 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let state =
-        Arc::new(AppState::new(config.job_workers, config.max_order, config.compute_threads));
+    let (state, pending) = match &config.data_dir {
+        Some(dir) => AppState::with_persistence(
+            config.job_workers,
+            config.max_order,
+            config.compute_threads,
+            dir,
+            config.snapshot_every.max(1),
+        )?,
+        None => (
+            AppState::new(config.job_workers, config.max_order, config.compute_threads),
+            Vec::new(),
+        ),
+    };
+    let state = Arc::new(state);
+    // Pending jobs replay *after* the completion hook is installed (inside
+    // `with_persistence`), so their re-run results are persisted like any live job's.
+    router::replay_pending(&state, pending);
     let pool = ThreadPool::new(config.workers, "kronpriv-http");
     let flag = Arc::clone(&shutdown);
     let io_timeout = config.io_timeout;
@@ -171,8 +198,11 @@ fn handle_connection(
     let (identity, response) = match read_request(&mut reader, deadline) {
         Ok(request) => {
             let path = request.path.split('?').next().unwrap_or("").to_string();
-            let events_id = path
-                .strip_prefix("/api/jobs/")
+            // The event stream is intercepted on the *canonical* spelling so the legacy
+            // `/api/jobs/{id}/events` alias streams identically (plus the Deprecation header).
+            let (canonical, deprecated) = canonical_path(&path);
+            let events_id = canonical
+                .strip_prefix("/api/v1/jobs/")
                 .and_then(|rest| rest.strip_suffix("/events"))
                 .map(|raw_id| events_target(state, request.method.as_str(), raw_id));
             match events_id {
@@ -181,10 +211,17 @@ fn handle_connection(
                     // folding multi-minute job runtimes into the request histogram would
                     // drown the signal.
                     observe_request(&request.method, &path, 200, started, access_log);
-                    let _ = stream_events(reader.into_inner(), state, id);
+                    let _ = stream_events(reader.into_inner(), state, id, deprecated);
                     return;
                 }
-                Some(Err(response)) => (Some((request.method, path)), response),
+                Some(Err(response)) => {
+                    let response = if deprecated {
+                        response.with_header("Deprecation", "true")
+                    } else {
+                        response
+                    };
+                    (Some((request.method, path)), response)
+                }
                 None => {
                     let response = route(state, &request);
                     (Some((request.method, path)), response)
@@ -193,10 +230,14 @@ fn handle_connection(
         }
         // The shutdown wake-up connection lands here as an immediate EOF; answering a 408/400
         // into a closed socket is harmless.
-        Err(HttpError::Io(e)) => (None, error(400, format!("could not read request: {e}"))),
-        Err(HttpError::TooLarge) => (None, error(413, "request exceeds the size limits")),
-        Err(e @ HttpError::Malformed(_)) => (None, error(400, e.to_string())),
-        Err(e @ HttpError::Timeout) => (None, error(408, e.to_string())),
+        Err(HttpError::Io(e)) => {
+            (None, error(400, "bad_request", format!("could not read request: {e}")))
+        }
+        Err(HttpError::TooLarge) => {
+            (None, error(413, "too_large", "request exceeds the size limits"))
+        }
+        Err(e @ HttpError::Malformed(_)) => (None, error(400, "bad_request", e.to_string())),
+        Err(e @ HttpError::Timeout) => (None, error(408, "timeout", e.to_string())),
     };
     let (method, path) = identity.unwrap_or_default();
     observe_request(&method, &path, response.status, started, access_log);
@@ -207,9 +248,10 @@ fn handle_connection(
 /// one JSON document per line, flushed per event batch, terminated by the zero-length chunk
 /// once the job's terminal event has been written (or the job was evicted, or the client went
 /// away, or [`MAX_EVENT_STREAM`] elapsed).
-fn stream_events(stream: TcpStream, state: &AppState, id: u64) -> io::Result<()> {
+fn stream_events(stream: TcpStream, state: &AppState, id: u64, deprecated: bool) -> io::Result<()> {
     let mut writer = stream;
-    write_chunked_head(&mut writer, 200, "application/x-ndjson")?;
+    let extra: &[(&str, &str)] = if deprecated { &[("Deprecation", "true")] } else { &[] };
+    write_chunked_head(&mut writer, 200, "application/x-ndjson", extra)?;
     let cutoff = Instant::now() + MAX_EVENT_STREAM;
     let mut cursor = 0usize;
     while Instant::now() < cutoff {
@@ -242,11 +284,34 @@ fn normalize_path(path: &str) -> &'static str {
         "/metrics" => "/metrics",
         "/api/estimate" => "/api/estimate",
         "/api/sample" => "/api/sample",
-        _ => match path.strip_prefix("/api/jobs/") {
-            Some(rest) if rest.ends_with("/events") => "/api/jobs/{id}/events",
-            Some(_) => "/api/jobs/{id}",
-            None => "other",
-        },
+        "/api/v1/estimate" => "/api/v1/estimate",
+        "/api/v1/sample" => "/api/v1/sample",
+        "/api/v1/datasets" => "/api/v1/datasets",
+        _ => {
+            if let Some(rest) = path.strip_prefix("/api/jobs/") {
+                if rest.ends_with("/events") {
+                    "/api/jobs/{id}/events"
+                } else {
+                    "/api/jobs/{id}"
+                }
+            } else if let Some(rest) = path.strip_prefix("/api/v1/jobs/") {
+                if rest.ends_with("/events") {
+                    "/api/v1/jobs/{id}/events"
+                } else {
+                    "/api/v1/jobs/{id}"
+                }
+            } else if let Some(rest) = path.strip_prefix("/api/v1/datasets/") {
+                if rest.ends_with("/estimate") {
+                    "/api/v1/datasets/{name}/estimate"
+                } else if rest.ends_with("/budget") {
+                    "/api/v1/datasets/{name}/budget"
+                } else {
+                    "/api/v1/datasets/{name}"
+                }
+            } else {
+                "other"
+            }
+        }
     }
 }
 
@@ -264,12 +329,16 @@ fn method_label(method: &str) -> &'static str {
 fn status_label(status: u16) -> &'static str {
     match status {
         200 => "200",
+        201 => "201",
         202 => "202",
         400 => "400",
+        403 => "403",
         404 => "404",
         405 => "405",
         408 => "408",
+        409 => "409",
         413 => "413",
+        429 => "429",
         500 => "500",
         _ => "other",
     }

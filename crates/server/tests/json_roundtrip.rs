@@ -143,21 +143,49 @@ fn sample_and_health_round_trip() {
         jobs_running: 2,
         jobs_done: 8,
         jobs_failed: 1,
+        datasets: 3,
+        data_dir: Some("/var/lib/kronpriv".to_string()),
     };
     let back: HealthResponse = from_str(&to_string(&health)).unwrap();
     assert_eq!(back, health);
+    // An in-memory server reports no data directory; the field stays present as null.
+    let in_memory = HealthResponse { data_dir: None, ..health };
+    let text = to_string(&in_memory);
+    assert!(text.contains("\"data_dir\":null"), "{text}");
+    let back: HealthResponse = from_str(&text).unwrap();
+    assert_eq!(back, in_memory);
 }
 
 #[test]
 fn error_payloads_have_the_documented_shape() {
-    let body = ErrorBody { error: "epsilon must be positive, got -1".to_string() };
+    let body = ErrorBody {
+        error: "epsilon must be positive, got -1".to_string(),
+        code: "bad_request".to_string(),
+        detail: None,
+        remaining_epsilon: None,
+        remaining_delta: None,
+    };
     let text = to_string(&body);
-    assert_eq!(text, "{\"error\":\"epsilon must be positive, got -1\"}");
+    assert_eq!(
+        text,
+        "{\"error\":\"epsilon must be positive, got -1\",\"code\":\"bad_request\",\
+         \"detail\":null,\"remaining_epsilon\":null,\"remaining_delta\":null}"
+    );
     let back: ErrorBody = from_str(&text).unwrap();
     assert_eq!(back, body);
+    // A budget refusal carries the remaining budget so clients can plan their next draw.
+    let refused = ErrorBody {
+        error: "privacy budget exhausted for dataset \"ca-hepph\"".to_string(),
+        code: "budget_exhausted".to_string(),
+        detail: Some("remaining epsilon 0.100000, remaining delta 0.000000".to_string()),
+        remaining_epsilon: Some(0.1),
+        remaining_delta: Some(0.0),
+    };
+    let back: ErrorBody = from_str(&to_string(&refused)).unwrap();
+    assert_eq!(back, refused);
     // Unknown fields in an error payload are tolerated by clients using these types too.
     let back: ErrorBody =
-        from_str("{\"error\": \"x\", \"code\": 400, \"trace_id\": \"abc\"}").unwrap();
+        from_str("{\"error\": \"x\", \"code\": \"bad_request\", \"trace_id\": \"abc\"}").unwrap();
     assert_eq!(back.error, "x");
 }
 

@@ -71,30 +71,36 @@ if [[ "${1:-}" == "--quick" ]]; then
     echo "==> example smoke run"
     cargo run -q --release --offline --example quickstart
 
-    echo "==> server smoke run (ephemeral port: --probe end to end, then a /metrics scrape gate)"
+    echo "==> server smoke run (durable --data-dir: --probe end to end incl. the budget ledger,"
+    echo "    a /metrics scrape gate, then a restart on the same dir gated by --probe-replay)"
     server_log="$(mktemp)"
-    target/release/kronpriv-serve --addr 127.0.0.1:0 --workers 2 --job-workers 2 \
-        > "$server_log" 2>&1 &
-    server_pid=$!
-    trap 'kill "$server_pid" 2>/dev/null || true; rm -f "$server_log"' EXIT
-    for _ in $(seq 1 100); do
-        grep -q "^listening on " "$server_log" && break
-        # A server that crashed during startup will never log its address; without this check
-        # the loop used to spin its full 10 s and then fail with an empty log excerpt. Detect
-        # the early exit, stop immediately and dump the log so CI failures are diagnosable.
-        if ! kill -0 "$server_pid" 2>/dev/null; then
-            echo "kronpriv-serve exited during startup; log follows:" >&2
+    server_data="$(mktemp -d)"
+    trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$server_log" "$server_data"' EXIT
+    start_server() {
+        target/release/kronpriv-serve --addr 127.0.0.1:0 --workers 2 --job-workers 2 \
+            --data-dir "$server_data" > "$server_log" 2>&1 &
+        server_pid=$!
+        for _ in $(seq 1 100); do
+            grep -q "^listening on " "$server_log" && break
+            # A server that crashed during startup will never log its address; without this
+            # check the loop used to spin its full 10 s and then fail with an empty log
+            # excerpt. Detect the early exit, stop immediately and dump the log so CI
+            # failures are diagnosable.
+            if ! kill -0 "$server_pid" 2>/dev/null; then
+                echo "kronpriv-serve exited during startup; log follows:" >&2
+                cat "$server_log" >&2
+                exit 1
+            fi
+            sleep 0.1
+        done
+        server_addr="$(sed -n 's#^listening on http://##p' "$server_log" | head -1)"
+        if [[ -z "$server_addr" ]]; then
+            echo "server never reported its address:" >&2
             cat "$server_log" >&2
             exit 1
         fi
-        sleep 0.1
-    done
-    server_addr="$(sed -n 's#^listening on http://##p' "$server_log" | head -1)"
-    if [[ -z "$server_addr" ]]; then
-        echo "server never reported its address:" >&2
-        cat "$server_log" >&2
-        exit 1
-    fi
+    }
+    start_server
     target/release/kronpriv-serve --probe "$server_addr"
     # The scrape gate: after real traffic, every line of the live /metrics exposition must
     # validate (the binary exits non-zero on the first malformed line).
@@ -107,8 +113,14 @@ if [[ "${1:-}" == "--quick" ]]; then
     }
     kill "$server_pid"
     wait "$server_pid" 2>/dev/null || true
+    # Restart-replay gate: a fresh process on the same --data-dir must replay the datasets,
+    # their spent privacy ledgers (still refusing over-budget draws) and the finished jobs.
+    start_server
+    target/release/kronpriv-serve --probe-replay "$server_addr"
+    kill "$server_pid"
+    wait "$server_pid" 2>/dev/null || true
     trap - EXIT
-    rm -f "$server_log"
+    rm -rf "$server_log" "$server_data"
 fi
 
 echo "verify: OK"

@@ -2,10 +2,18 @@
 //!
 //! ```sh
 //! kronpriv-serve [--addr 127.0.0.1:8080] [--workers 4] [--job-workers 2] \
-//!                [--compute-threads 0] [--max-order 16] [--request-deadline 30]
-//! kronpriv-serve --probe 127.0.0.1:8080      # health + tiny end-to-end estimate, then exit
-//! kronpriv-serve --metrics 127.0.0.1:8080    # scrape /metrics, validate every line, exit
+//!                [--compute-threads 0] [--max-order 16] [--request-deadline 30] \
+//!                [--data-dir PATH] [--snapshot-every N]
+//! kronpriv-serve --probe 127.0.0.1:8080         # end-to-end smoke: estimates, datasets,
+//!                                               # budget ledger (incl. a deliberate 429)
+//! kronpriv-serve --probe-replay 127.0.0.1:8080  # after a restart on the same --data-dir:
+//!                                               # assert datasets/ledgers/jobs survived
+//! kronpriv-serve --metrics 127.0.0.1:8080       # scrape /metrics, validate every line, exit
 //! ```
+//!
+//! `--data-dir PATH` makes the server durable: datasets (with their privacy-budget ledgers)
+//! and jobs are appended to a record log under `PATH` and replayed on the next boot, so a
+//! crash or restart loses nothing. Without the flag all state is in-memory, as before.
 //!
 //! `--compute-threads N` sizes the shared compute worker pool, built once at startup and
 //! borrowed by every estimation job for its parallel stages — the counting kernels (triangle
@@ -33,13 +41,15 @@ fn main() -> ExitCode {
     match parse_args(&args) {
         Ok(Mode::Serve(config)) => run_server(config),
         Ok(Mode::Probe(addr)) => run_probe(addr),
+        Ok(Mode::ProbeReplay(addr)) => run_probe_replay(addr),
         Ok(Mode::Metrics(addr)) => run_metrics_check(addr),
         Err(message) => {
             eprintln!("kronpriv-serve: {message}");
             eprintln!(
                 "usage: kronpriv-serve [--addr HOST:PORT] [--workers N] [--job-workers N] \
                  [--compute-threads N] [--max-order K] [--request-deadline SECS] \
-                 | --probe HOST:PORT | --metrics HOST:PORT"
+                 [--data-dir PATH] [--snapshot-every N] \
+                 | --probe HOST:PORT | --probe-replay HOST:PORT | --metrics HOST:PORT"
             );
             ExitCode::from(2)
         }
@@ -49,6 +59,7 @@ fn main() -> ExitCode {
 enum Mode {
     Serve(ServerConfig),
     Probe(SocketAddr),
+    ProbeReplay(SocketAddr),
     Metrics(SocketAddr),
 }
 
@@ -59,6 +70,7 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
         ..ServerConfig::default()
     };
     let mut probe: Option<SocketAddr> = None;
+    let mut probe_replay: Option<SocketAddr> = None;
     let mut metrics: Option<SocketAddr> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -98,9 +110,21 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
                     }
                 };
             }
+            "--data-dir" => {
+                config.data_dir = Some(std::path::PathBuf::from(value("--data-dir")?));
+            }
+            "--snapshot-every" => {
+                config.snapshot_every =
+                    parse_positive(value("--snapshot-every")?, "--snapshot-every")? as u64;
+            }
             "--probe" => {
                 let raw = value("--probe")?;
                 probe = Some(raw.parse().map_err(|_| format!("--probe: bad address {raw:?}"))?);
+            }
+            "--probe-replay" => {
+                let raw = value("--probe-replay")?;
+                probe_replay =
+                    Some(raw.parse().map_err(|_| format!("--probe-replay: bad address {raw:?}"))?);
             }
             "--metrics" => {
                 let raw = value("--metrics")?;
@@ -109,11 +133,15 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok(match (probe, metrics) {
-        (Some(_), Some(_)) => return Err("--probe and --metrics are mutually exclusive".into()),
-        (Some(addr), None) => Mode::Probe(addr),
-        (None, Some(addr)) => Mode::Metrics(addr),
-        (None, None) => Mode::Serve(config),
+    let modes = probe.is_some() as u8 + probe_replay.is_some() as u8 + metrics.is_some() as u8;
+    if modes > 1 {
+        return Err("--probe, --probe-replay and --metrics are mutually exclusive".into());
+    }
+    Ok(match (probe, probe_replay, metrics) {
+        (Some(addr), _, _) => Mode::Probe(addr),
+        (_, Some(addr), _) => Mode::ProbeReplay(addr),
+        (_, _, Some(addr)) => Mode::Metrics(addr),
+        (None, None, None) => Mode::Serve(config),
     })
 }
 
@@ -128,20 +156,25 @@ fn run_server(config: ServerConfig) -> ExitCode {
     let workers = config.workers;
     let job_workers = config.job_workers;
     let compute_threads = config.compute_threads;
+    let durability = match &config.data_dir {
+        Some(dir) => format!("data-dir={} (durable)", dir.display()),
+        None => "data-dir=none (in-memory)".to_string(),
+    };
     match serve(config) {
         Ok(handle) => {
             println!("listening on http://{}", handle.addr());
             println!(
                 "workers={workers} job-workers={job_workers} compute-threads={compute_threads} \
-                 (0=auto); endpoints: GET /healthz, GET /metrics, POST /api/estimate, \
-                 GET /api/jobs/{{id}}, GET /api/jobs/{{id}}/events, POST /api/sample \
-                 (see API.md); access log: one JSON line per request on stdout"
+                 (0=auto) {durability}; endpoints: GET /healthz, GET /metrics, \
+                 POST /api/v1/estimate, GET /api/v1/jobs/{{id}}[/events], POST /api/v1/sample, \
+                 /api/v1/datasets[/{{name}}[/estimate|/budget]] (see API.md); \
+                 access log: one JSON line per request on stdout"
             );
             handle.wait();
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("kronpriv-serve: cannot bind: {e}");
+            eprintln!("kronpriv-serve: cannot start: {e}");
             ExitCode::FAILURE
         }
     }
@@ -296,9 +329,204 @@ fn probe(addr: SocketAddr) -> Result<(), String> {
     if !first.contains("\"queued\"") || !last.contains("\"done\"") {
         return Err(format!("event stream did not replay queued → done: {stream}"));
     }
+
+    // Legacy alias contract: the pre-versioning spelling answers byte-identically but is
+    // marked deprecated; the canonical spelling is not.
+    let (status, head, legacy_body) =
+        client::request_with_head(addr, "GET", &format!("/api/jobs/{job_id}"), None)
+            .map_err(|e| format!("legacy job poll failed: {e}"))?;
+    if status != 200 || !head.contains("Deprecation: true") {
+        return Err(format!("legacy alias is not marked deprecated ({status}): {head}"));
+    }
+    let (status, head, v1_body) =
+        client::request_with_head(addr, "GET", &format!("/api/v1/jobs/{job_id}"), None)
+            .map_err(|e| format!("v1 job poll failed: {e}"))?;
+    if status != 200 || head.contains("Deprecation") {
+        return Err(format!("v1 spelling must not be deprecated ({status}): {head}"));
+    }
+    if legacy_body != v1_body {
+        return Err("legacy alias body differs from the v1 body".to_string());
+    }
+
+    probe_datasets(addr)?;
+
     let lines = metrics_check(addr)?;
     if lines < 3 {
         return Err(format!("suspiciously small exposition after a full probe: {lines} lines"));
+    }
+    Ok(())
+}
+
+/// The probe dataset: uploaded with an ε-budget that affords exactly two of the probe's
+/// estimate draws, so the third is a deliberate `429 budget_exhausted`. `--probe-replay`
+/// asserts the same ledger state after a restart.
+const PROBE_DATASET: &str = "probe-ds";
+
+/// One deterministic 60-node edge list (ring + chords), JSON-escaped for embedding in a
+/// request body — the same graph shape the integration tests push through the pipeline.
+fn probe_edge_list_json() -> String {
+    let mut text = String::new();
+    for i in 0..60 {
+        text.push_str(&format!("{} {}\\n{} {}\\n", i, (i + 1) % 60, i, (i + 2) % 60));
+        if i < 30 {
+            text.push_str(&format!("{} {}\\n", i, i + 30));
+        }
+    }
+    format!("\"{text}\"")
+}
+
+/// Drives the dataset lifecycle end to end: upload with a budget, two private estimates that
+/// debit it, the budget document, a deliberate refusal once the budget is exhausted, and
+/// delete on a second throwaway dataset.
+fn probe_datasets(addr: SocketAddr) -> Result<(), String> {
+    let create = format!(
+        r#"{{"name": "{PROBE_DATASET}", "edge_list": {}, "budget": {{"epsilon": 2.0, "delta": 0.1}}}}"#,
+        probe_edge_list_json()
+    );
+    let (status, body) = client::post_json(addr, "/api/v1/datasets", &create)
+        .map_err(|e| format!("dataset create failed: {e}"))?;
+    if status != 201 || !body.contains("\"budget\"") {
+        return Err(format!("dataset create returned {status}: {body}"));
+    }
+
+    // Two estimates of (0.9, 0.04) fit the (2.0, 0.1) budget; each must debit the ledger.
+    for seed in [7u64, 8] {
+        let request = format!(r#"{{"params": {{"epsilon": 0.9, "delta": 0.04}}, "seed": {seed}}}"#);
+        let (status, body) = client::post_json(
+            addr,
+            &format!("/api/v1/datasets/{PROBE_DATASET}/estimate"),
+            &request,
+        )
+        .map_err(|e| format!("dataset estimate failed: {e}"))?;
+        if status != 202 {
+            return Err(format!("dataset estimate returned {status}: {body}"));
+        }
+        let job_id = extract_number(&body, "job_id").ok_or(format!("no job_id in {body}"))?;
+        wait_for_done(addr, job_id)?;
+    }
+
+    let (status, body) = client::get(addr, &format!("/api/v1/datasets/{PROBE_DATASET}/budget"))
+        .map_err(|e| format!("budget doc failed: {e}"))?;
+    if status != 200 || !body.contains("\"epsilon_spent\":1.8") {
+        return Err(format!("budget doc after two debits returned {status}: {body}"));
+    }
+
+    // The third draw must be refused — and refusal spends nothing.
+    let third = r#"{"params": {"epsilon": 0.9, "delta": 0.04}, "seed": 9}"#;
+    let (status, body) =
+        client::post_json(addr, &format!("/api/v1/datasets/{PROBE_DATASET}/estimate"), third)
+            .map_err(|e| format!("over-budget estimate failed: {e}"))?;
+    if status != 429
+        || !body.contains("\"budget_exhausted\"")
+        || !body.contains("remaining_epsilon")
+    {
+        return Err(format!("over-budget estimate returned {status}, want 429: {body}"));
+    }
+    let (status, body) = client::get(addr, &format!("/api/v1/datasets/{PROBE_DATASET}/budget"))
+        .map_err(|e| format!("budget doc failed: {e}"))?;
+    if status != 200 || !body.contains("\"epsilon_spent\":1.8") {
+        return Err(format!("a refused draw must not spend budget ({status}): {body}"));
+    }
+
+    // Delete semantics on a throwaway dataset: gone from the collection afterwards.
+    let create = format!(
+        r#"{{"name": "probe-tmp", "edge_list": {}, "budget": {{"epsilon": 0.5, "delta": 0.01}}}}"#,
+        probe_edge_list_json()
+    );
+    let (status, body) = client::post_json(addr, "/api/v1/datasets", &create)
+        .map_err(|e| format!("throwaway dataset create failed: {e}"))?;
+    if status != 201 {
+        return Err(format!("throwaway dataset create returned {status}: {body}"));
+    }
+    let (status, body) = client::delete(addr, "/api/v1/datasets/probe-tmp")
+        .map_err(|e| format!("dataset delete failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("dataset delete returned {status}: {body}"));
+    }
+    let (status, _) = client::get(addr, "/api/v1/datasets/probe-tmp")
+        .map_err(|e| format!("deleted dataset lookup failed: {e}"))?;
+    if status != 404 {
+        return Err(format!("deleted dataset still answers {status}"));
+    }
+    Ok(())
+}
+
+/// Polls one job until `Done` (error on `Failed` or timeout).
+fn wait_for_done(addr: SocketAddr, job_id: u64) -> Result<String, String> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = client::get(addr, &format!("/api/v1/jobs/{job_id}"))
+            .map_err(|e| format!("job poll failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("job poll returned {status}: {body}"));
+        }
+        if body.contains("\"Done\"") {
+            return Ok(body);
+        }
+        if body.contains("\"Failed\"") {
+            return Err(format!("job failed: {body}"));
+        }
+        if Instant::now() > deadline {
+            return Err(format!("job {job_id} did not finish in time"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Asserts that a server restarted on the same `--data-dir` replayed what `--probe` left
+/// behind: the dataset with its spent ledger (still refusing over-budget draws), the deletion
+/// of the throwaway dataset, and the finished jobs with their results.
+fn run_probe_replay(addr: SocketAddr) -> ExitCode {
+    match probe_replay(addr) {
+        Ok(()) => {
+            println!("probe-replay: OK");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("probe-replay: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn probe_replay(addr: SocketAddr) -> Result<(), String> {
+    let (status, body) =
+        client::get(addr, "/healthz").map_err(|e| format!("healthz request failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("healthz returned {status}: {body}"));
+    }
+    if body.contains("\"data_dir\":null") || !body.contains("\"data_dir\":") {
+        return Err(format!("healthz does not report a data_dir: {body}"));
+    }
+
+    // The ledger must have survived the restart with its spend intact...
+    let (status, body) = client::get(addr, &format!("/api/v1/datasets/{PROBE_DATASET}/budget"))
+        .map_err(|e| format!("budget doc failed: {e}"))?;
+    if status != 200 || !body.contains("\"epsilon_spent\":1.8") {
+        return Err(format!("replayed budget doc returned {status}: {body}"));
+    }
+    // ...and must still refuse a draw the remaining budget cannot afford.
+    let request = r#"{"params": {"epsilon": 0.9, "delta": 0.04}, "seed": 10}"#;
+    let (status, body) =
+        client::post_json(addr, &format!("/api/v1/datasets/{PROBE_DATASET}/estimate"), request)
+            .map_err(|e| format!("over-budget estimate failed: {e}"))?;
+    if status != 429 || !body.contains("\"budget_exhausted\"") {
+        return Err(format!("replayed ledger accepted an over-budget draw ({status}): {body}"));
+    }
+
+    // The deletion was replayed too.
+    let (status, _) = client::get(addr, "/api/v1/datasets/probe-tmp")
+        .map_err(|e| format!("deleted dataset lookup failed: {e}"))?;
+    if status != 404 {
+        return Err(format!("deleted dataset reappeared after replay ({status})"));
+    }
+
+    // Job 1 is the probe's first estimate, polled to completion before the restart; its
+    // persisted result must come back verbatim.
+    let (status, body) =
+        client::get(addr, "/api/v1/jobs/1").map_err(|e| format!("job 1 poll failed: {e}"))?;
+    if status != 200 || !body.contains("\"Done\"") || !body.contains("\"theta\"") {
+        return Err(format!("replayed job 1 returned {status}: {body}"));
     }
     Ok(())
 }
