@@ -78,6 +78,7 @@ impl PrivateDegreeSequence {
 ///
 /// # Panics
 /// Panics if `params.epsilon` is not positive (enforced by [`PrivacyParams`]).
+// lint:sanitizer
 pub fn private_degree_sequence<R: Rng + ?Sized>(
     g: &Graph,
     params: PrivacyParams,
@@ -90,6 +91,7 @@ pub fn private_degree_sequence<R: Rng + ?Sized>(
 
 /// Same as [`private_degree_sequence`] but starting from an already-sorted degree vector. Useful
 /// for testing the mechanism in isolation and for ablation studies on synthetic sequences.
+// lint:sanitizer
 pub fn private_degree_sequence_from_sorted<R: Rng + ?Sized>(
     sorted_degrees: &[f64],
     params: PrivacyParams,
@@ -129,6 +131,7 @@ pub fn isotonic_increasing_par(values: &[f64], exec: &Executor) -> Vec<f64> {
 /// with the isotonic post-processing running on `exec` via [`isotonic_increasing_par`].
 /// The release is a pure function of `(graph, params, rng)` — the thread count never changes
 /// the output. This is the form Algorithm 1's estimator calls.
+// lint:sanitizer
 pub fn private_degree_sequence_par<R: Rng + ?Sized>(
     g: &Graph,
     params: PrivacyParams,
@@ -142,6 +145,7 @@ pub fn private_degree_sequence_par<R: Rng + ?Sized>(
 
 /// Parallel form of [`private_degree_sequence_from_sorted`]; see
 /// [`private_degree_sequence_par`].
+// lint:sanitizer
 pub fn private_degree_sequence_from_sorted_par<R: Rng + ?Sized>(
     sorted_degrees: &[f64],
     params: PrivacyParams,

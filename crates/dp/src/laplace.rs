@@ -66,6 +66,7 @@ pub fn sample_laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
 ///
 /// # Panics
 /// Panics if `epsilon <= 0` or `global_sensitivity < 0`.
+// lint:sanitizer
 pub fn laplace_mechanism<R: Rng + ?Sized>(
     answers: &[f64],
     global_sensitivity: f64,

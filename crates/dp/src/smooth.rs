@@ -260,6 +260,7 @@ impl_json_struct_redacted!(PrivateTriangleCount {
 /// # Panics
 /// Panics if `params.delta == 0` (pure DP is impossible for smooth-sensitivity noise with
 /// Laplace tails) or the graph has fewer than 3 nodes with a non-zero budget.
+// lint:sanitizer
 pub fn private_triangle_count<R: Rng + ?Sized>(
     g: &Graph,
     params: PrivacyParams,
@@ -277,6 +278,7 @@ pub fn private_triangle_count<R: Rng + ?Sized>(
 /// # Panics
 /// Panics if `params.delta == 0` (pure DP is impossible for smooth-sensitivity noise with
 /// Laplace tails).
+// lint:sanitizer
 pub fn private_triangle_count_par<R: Rng + ?Sized>(
     g: &Graph,
     params: PrivacyParams,

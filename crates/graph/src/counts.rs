@@ -109,6 +109,7 @@ pub fn tripin_count(degrees: &[usize]) -> f64 {
 /// Uses the standard "forward" algorithm: for every edge `{u, v}` with `u < v`, count common
 /// neighbours `w > v`. Runtime is `O(Σ_e min(d_u, d_v))`, comfortably fast for the graphs the
 /// paper evaluates.
+// lint:source(sensitive)
 pub fn triangle_count(g: &Graph) -> u64 {
     triangle_count_par(g, &Executor::sequential())
 }
@@ -116,6 +117,7 @@ pub fn triangle_count(g: &Graph) -> u64 {
 /// [`triangle_count`] on `exec`'s compute threads, edge-partitioned: each fixed chunk of
 /// the canonical edge list sums its common-neighbour counts independently and the partial sums
 /// are combined in chunk order, so the result equals the sequential count for any thread count.
+// lint:source(sensitive)
 pub fn triangle_count_par(g: &Graph, exec: &Executor) -> u64 {
     let edges = g.edges();
     exec.map_reduce(

@@ -1,0 +1,16 @@
+//! Fixture: taint flows through a helper's return value into Json construction.
+
+/// An annotated source: pretend this reads the protected graph.
+// lint:source(sensitive)
+pub fn exact_count(n: u64) -> u64 {
+    n * 3
+}
+
+fn helper(n: u64) -> u64 {
+    exact_count(n)
+}
+
+pub fn publish(n: u64) -> Json {
+    let stat = helper(n);
+    Json::Number(stat as f64)
+}

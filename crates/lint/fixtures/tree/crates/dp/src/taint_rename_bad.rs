@@ -1,0 +1,6 @@
+//! Fixture: a deny-listed value laundered through a rename reaches manual Json
+//! construction. v1's spelling-based rules cannot see this; the v2 taint rule must.
+pub fn leak_renamed(exact_triangle_count: u64) -> Json {
+    let laundered = exact_triangle_count;
+    Json::Number(laundered as f64)
+}

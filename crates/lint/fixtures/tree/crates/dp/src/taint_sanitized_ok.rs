@@ -1,0 +1,18 @@
+//! Fixture (near miss): the same flow as `taint_helper_bad.rs` but routed through a
+//! declared sanitizer — no findings.
+
+// lint:source(sensitive)
+pub fn exact_stat(n: u64) -> u64 {
+    n * 3
+}
+
+/// The DP release boundary for this fixture.
+// lint:sanitizer
+pub fn release_stat(v: f64) -> f64 {
+    v + 1.0
+}
+
+pub fn publish_ok(n: u64) -> Json {
+    let released = release_stat(exact_stat(n) as f64);
+    Json::Number(released)
+}

@@ -1,0 +1,7 @@
+//! Fixture: an annotated exact-statistic source consumed from another crate
+//! (`crates/stats/src/taint_cross_bad.rs`). No findings in this file itself.
+
+// lint:source(sensitive)
+pub fn exact_wedge_count(n: u64) -> u64 {
+    n * (n - 1) / 2
+}

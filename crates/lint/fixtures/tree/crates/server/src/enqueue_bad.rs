@@ -1,0 +1,4 @@
+//! Fixture: a job enqueued with no ledger debit anywhere in the admitting function.
+pub fn launch(state: &AppState, job_id: u64, work: JobWork) {
+    state.jobs.run(job_id, work);
+}

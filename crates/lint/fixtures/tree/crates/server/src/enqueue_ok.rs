@@ -1,0 +1,6 @@
+//! Fixture (near miss): the ledger debit dominates the enqueue in the same function.
+pub fn launch_debited(state: &AppState, job_id: u64, work: JobWork) -> Result<(), DebitError> {
+    state.datasets.try_debit("name", 0.5, 1e-6)?;
+    state.jobs.run(job_id, work);
+    Ok(())
+}

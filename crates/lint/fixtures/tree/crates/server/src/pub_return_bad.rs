@@ -1,0 +1,10 @@
+//! Fixture: a pub server function returns a source-derived value unsanitized.
+
+// lint:source(sensitive)
+fn raw_statistic(n: u64) -> u64 {
+    n * 7
+}
+
+pub fn statistic_endpoint(n: u64) -> u64 {
+    raw_statistic(n)
+}

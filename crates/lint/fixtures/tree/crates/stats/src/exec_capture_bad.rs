@@ -1,0 +1,34 @@
+//! Fixture: parallel closures passed to the executor must not mutate captured state.
+
+pub fn sum_bad(exec: &Executor, data: &[u64]) -> u64 {
+    let mut total = 0u64;
+    let work = Work::LIGHT;
+    exec.map_reduce(
+        data.len(),
+        64,
+        work,
+        |range| {
+            accumulate(&mut total, &data[range]);
+            0u64
+        },
+        |acc: u64, part| acc + part,
+        0,
+    );
+    total
+}
+
+pub fn count_bad(exec: &Executor, data: &[u64]) -> u64 {
+    let work = Work::LIGHT;
+    exec.map_reduce(
+        data.len(),
+        64,
+        work,
+        |range| {
+            let hits: &AtomicU64 = shared_counter();
+            hits.fetch_add(data[range].len() as u64, Ordering::Relaxed);
+            0u64
+        },
+        |acc: u64, part| acc + part,
+        0,
+    )
+}

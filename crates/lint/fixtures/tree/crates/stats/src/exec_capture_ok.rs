@@ -1,0 +1,36 @@
+//! Fixture (near miss): per-chunk `&mut` on closure-bound state, a `&mut` accumulator in
+//! the sequential merge position, and a derived work hint are all within the contract.
+
+pub fn sum_ok(exec: &Executor, data: &[u64]) -> u64 {
+    exec.map_reduce(
+        data.len(),
+        64,
+        edge_work(data),
+        |range| {
+            let mut local = 0u64;
+            accumulate(&mut local, &data[range]);
+            local
+        },
+        |acc: u64, part| acc + part,
+        0,
+    )
+}
+
+pub fn gather_ok(exec: &Executor, data: &[u64]) -> Vec<u64> {
+    let work = Work::LIGHT;
+    exec.fold_reduce(
+        data.len(),
+        64,
+        work,
+        Vec::new,
+        |acc: &mut Vec<u64>, range| {
+            for &v in &data[range] {
+                acc.push(v);
+            }
+        },
+        |mut a, b| {
+            a.extend(b);
+            a
+        },
+    )
+}

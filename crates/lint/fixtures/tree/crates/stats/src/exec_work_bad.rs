@@ -1,0 +1,11 @@
+//! Fixture: a kernel entry point without a visible `Work` cost hint.
+pub fn sum_nohint(exec: &Executor, data: &[u64]) -> u64 {
+    exec.map_reduce(
+        data.len(),
+        64,
+        data.len() as u64,
+        |range| data[range].iter().sum::<u64>(),
+        |acc: u64, part| acc + part,
+        0,
+    )
+}

@@ -1,0 +1,6 @@
+//! Fixture: a sensitive value crosses crates through the workspace call graph before
+//! reaching a serialization sink.
+pub fn summarize(n: u64) -> Json {
+    let wedges = exact_wedge_count(n);
+    Json::Number(wedges as f64)
+}

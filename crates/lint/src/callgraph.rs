@@ -1,0 +1,178 @@
+//! A best-effort workspace call graph: per-function flow facts keyed by bare function name.
+//!
+//! The lint tool has no type information, so calls are resolved by name alone: every function
+//! in any library file with a given bare name contributes to that name's merged
+//! [`FnFacts`]. This over-approximates (two unrelated `fit` functions share facts) in the
+//! conservative direction — a name is treated as sensitive if *any* definition is — while a
+//! declared sanitizer always wins over inferred taint, so release boundaries never false-fire.
+//!
+//! Facts are seeded from `// lint:source(sensitive)` / `// lint:sanitizer` annotations and
+//! then closed under intra-file return-taint propagation ([`crate::taint`]) with a bounded
+//! fixpoint: a helper that returns a value derived from a sensitive source becomes a source
+//! for its own callers, across files.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, Lexed};
+use crate::parse::{parse_fns, FnInfo};
+use crate::rules::{classify, Category};
+use crate::taint;
+
+/// Merged flow facts for one bare function name.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnFacts {
+    /// Some definition is annotated `// lint:source(sensitive)`.
+    pub source: bool,
+    /// Some definition is annotated `// lint:sanitizer`. Sanitizer status dominates: a
+    /// sanitizer name is never simultaneously a source or a tainted return.
+    pub sanitizer: bool,
+    /// Return-taint was inferred for some definition: the function returns a value derived
+    /// from a sensitive source without passing a sanitizer.
+    pub tainted_return: bool,
+}
+
+impl FnFacts {
+    /// True when calling this function yields a tainted value.
+    pub fn taints_result(&self) -> bool {
+        !self.sanitizer && (self.source || self.tainted_return)
+    }
+}
+
+/// The workspace flow context consumed by the taint analysis.
+#[derive(Debug, Default)]
+pub struct Context {
+    fns: BTreeMap<String, FnFacts>,
+}
+
+impl Context {
+    /// An empty context (no known functions) — every call is treated as clean.
+    pub fn empty() -> Context {
+        Context::default()
+    }
+
+    /// The merged facts for a bare function name, if any definition is known.
+    pub fn facts(&self, name: &str) -> Option<FnFacts> {
+        self.fns.get(name).copied()
+    }
+
+    /// True when `name` is a declared sanitizer.
+    pub fn is_sanitizer(&self, name: &str) -> bool {
+        self.facts(name).is_some_and(|f| f.sanitizer)
+    }
+
+    /// True when a call to `name` yields a tainted value.
+    pub fn call_taints(&self, name: &str) -> bool {
+        self.facts(name).is_some_and(|f| f.taints_result())
+    }
+}
+
+/// Upper bound on propagation rounds: each round can only lengthen source→sink chains by one
+/// call edge, and real chains are short; the bound keeps pathological inputs linear.
+const MAX_ROUNDS: usize = 10;
+
+/// Builds the workspace context from `(workspace-relative path, source text)` pairs.
+///
+/// Only library files contribute (test helpers must not poison production names), and the
+/// result is deterministic: facts live in a `BTreeMap` and files are processed in the caller's
+/// (sorted) order.
+pub fn build_context(files: &[(String, String)]) -> Context {
+    let parsed: Vec<(Lexed, Vec<FnInfo>)> = files
+        .iter()
+        .filter(|(rel, _)| classify(rel).is_some_and(|c| c.category == Category::Lib))
+        .map(|(_, source)| {
+            let lexed = lex(source);
+            let fns = parse_fns(&lexed.tokens, &lexed.annotations);
+            (lexed, fns)
+        })
+        .collect();
+
+    let mut ctx = Context::default();
+    for (_, fns) in &parsed {
+        for f in fns {
+            let facts = ctx.fns.entry(f.name.clone()).or_default();
+            facts.source |= f.is_source;
+            facts.sanitizer |= f.is_sanitizer;
+        }
+    }
+
+    for _ in 0..MAX_ROUNDS {
+        let mut newly_tainted: Vec<String> = Vec::new();
+        for (lexed, fns) in &parsed {
+            for f in fns {
+                if !f.has_return_type || f.body.is_none() {
+                    continue;
+                }
+                let facts = ctx.facts(&f.name).unwrap_or_default();
+                if facts.sanitizer || facts.tainted_return {
+                    continue;
+                }
+                if taint::analyze(&lexed.tokens, f, &ctx).return_tainted {
+                    newly_tainted.push(f.name.clone());
+                }
+            }
+        }
+        if newly_tainted.is_empty() {
+            break;
+        }
+        for name in newly_tainted {
+            if let Some(facts) = ctx.fns.get_mut(&name) {
+                facts.tainted_return = true;
+            }
+        }
+    }
+    ctx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> (String, String) {
+        (rel.to_string(), src.to_string())
+    }
+
+    #[test]
+    fn annotations_seed_facts_and_sanitizer_dominates() {
+        let ctx = build_context(&[file(
+            "crates/dp/src/a.rs",
+            "// lint:source(sensitive)\nfn exact() -> u64 { 0 }\n// lint:sanitizer\nfn release(v: f64) -> f64 { v }\n",
+        )]);
+        assert!(ctx.call_taints("exact"));
+        assert!(ctx.is_sanitizer("release"));
+        assert!(!ctx.call_taints("release"));
+    }
+
+    #[test]
+    fn return_taint_propagates_across_files() {
+        let ctx = build_context(&[
+            file(
+                "crates/graph/src/a.rs",
+                "// lint:source(sensitive)\npub fn exact_stat(n: usize) -> u64 { n as u64 }\n",
+            ),
+            file(
+                "crates/stats/src/b.rs",
+                "pub fn helper(n: usize) -> u64 { exact_stat(n) }\npub fn clean(n: usize) -> u64 { n as u64 }\n",
+            ),
+        ]);
+        assert!(ctx.call_taints("helper"), "helper returns a source-derived value");
+        assert!(!ctx.call_taints("clean"));
+    }
+
+    #[test]
+    fn sanitized_returns_are_not_tainted() {
+        let ctx = build_context(&[file(
+            "crates/dp/src/a.rs",
+            "// lint:source(sensitive)\nfn exact() -> u64 { 0 }\n// lint:sanitizer\nfn release(v: f64) -> f64 { v }\npub fn private(n: usize) -> f64 { release(exact() as f64) }\n",
+        )]);
+        assert!(!ctx.call_taints("private"), "the sanitizer call launders the source");
+    }
+
+    #[test]
+    fn test_files_do_not_contribute_facts() {
+        let ctx = build_context(&[file(
+            "crates/dp/tests/t.rs",
+            "// lint:source(sensitive)\nfn exact() -> u64 { 0 }\n",
+        )]);
+        assert!(ctx.facts("exact").is_none());
+    }
+}

@@ -7,6 +7,9 @@
 //!
 //! * `// lint:allow(<rule>, reason = "...")` waiver comments, collected with their line so the
 //!   scanner can suppress (and account for) findings on the same or the following line;
+//! * `// lint:source(sensitive)` and `// lint:sanitizer` flow annotations, collected with
+//!   their line so the parse layer ([`crate::parse`]) can attach them to the next `fn` item —
+//!   the taint analysis reads sensitive sources and trusted release boundaries from these;
 //! * nothing else — doc comments are ordinary comments here.
 //!
 //! The lexer is intentionally forgiving: a malformed file produces a best-effort token stream
@@ -63,6 +66,26 @@ pub struct Waiver {
     pub line: usize,
 }
 
+/// What a `// lint:...` flow annotation declares about the function it precedes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotationKind {
+    /// `// lint:source(sensitive)` — the next `fn` returns an unreleased sensitive value
+    /// (exact statistic extraction); its call results are taint sources.
+    Source,
+    /// `// lint:sanitizer` — the next `fn` is a declared DP release boundary; values passing
+    /// through it are considered released, and sink checks are suppressed inside its body.
+    Sanitizer,
+}
+
+/// A flow annotation comment, to be attached to the next `fn` by the parse layer.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// Which contract the annotation declares.
+    pub kind: AnnotationKind,
+    /// 1-based line the annotation comment starts on.
+    pub line: usize,
+}
+
 /// The output of lexing one file.
 #[derive(Debug)]
 pub struct Lexed {
@@ -70,6 +93,8 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// Every waiver comment found, in source order.
     pub waivers: Vec<Waiver>,
+    /// Every `lint:source`/`lint:sanitizer` annotation found, in source order.
+    pub annotations: Vec<Annotation>,
 }
 
 /// Lexes `source` into tokens and waiver comments.
@@ -77,6 +102,7 @@ pub fn lex(source: &str) -> Lexed {
     let bytes = source.as_bytes();
     let mut tokens = Vec::new();
     let mut waivers = Vec::new();
+    let mut annotations = Vec::new();
     let mut i = 0;
     let mut line = 1;
     while i < bytes.len() {
@@ -95,6 +121,8 @@ pub fn lex(source: &str) -> Lexed {
                 }
                 if let Some(w) = parse_waiver(&source[start..end], line) {
                     waivers.push(w);
+                } else if let Some(a) = parse_annotation(&source[start..end], line) {
+                    annotations.push(a);
                 }
                 i = end;
             }
@@ -202,7 +230,7 @@ pub fn lex(source: &str) -> Lexed {
             }
         }
     }
-    Lexed { tokens, waivers }
+    Lexed { tokens, waivers, annotations }
 }
 
 fn is_ident_byte(b: u8) -> bool {
@@ -242,7 +270,13 @@ fn lex_plain_string(source: &str, start: usize) -> (String, usize, usize) {
     let mut newlines = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // An escaped newline (string continuation) still advances the line counter.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    newlines += 1;
+                }
+                i += 2;
+            }
             b'"' => return (source[start + 1..i].to_string(), i + 1, newlines),
             b'\n' => {
                 newlines += 1;
@@ -324,6 +358,18 @@ fn parse_waiver(comment: &str, line: usize) -> Option<Waiver> {
     Some(Waiver { rule: rule.to_string(), reason, line })
 }
 
+/// Parses the body of a `//` comment as a flow annotation, if it is one.
+fn parse_annotation(comment: &str, line: usize) -> Option<Annotation> {
+    let trimmed = comment.trim();
+    if trimmed == "lint:sanitizer" {
+        return Some(Annotation { kind: AnnotationKind::Sanitizer, line });
+    }
+    if trimmed == "lint:source(sensitive)" {
+        return Some(Annotation { kind: AnnotationKind::Source, line });
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +423,14 @@ mod tests {
     }
 
     #[test]
+    fn line_numbers_survive_escaped_newline_continuations() {
+        let src = "let a = \"split \\\n string\";\nlet b = 1;";
+        let toks = lex(src).tokens;
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3, "the backslash-newline continuation must count its newline");
+    }
+
+    #[test]
     fn numbers_do_not_swallow_range_dots() {
         let toks = lex("for i in 0..n { let x = 1.5; }").tokens;
         let dots = toks.iter().filter(|t| t.is_punct('.')).count();
@@ -411,5 +465,22 @@ mod tests {
     #[test]
     fn ordinary_comments_are_not_waivers() {
         assert!(lex("// lint: something else\n// allow(foo)\n").waivers.is_empty());
+    }
+
+    #[test]
+    fn annotations_parse_kind_and_line() {
+        let src = "// lint:source(sensitive)\nfn exact() -> u64 { 0 }\n// lint:sanitizer\nfn release() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.annotations.len(), 2);
+        assert_eq!(lexed.annotations[0].kind, AnnotationKind::Source);
+        assert_eq!(lexed.annotations[0].line, 1);
+        assert_eq!(lexed.annotations[1].kind, AnnotationKind::Sanitizer);
+        assert_eq!(lexed.annotations[1].line, 3);
+    }
+
+    #[test]
+    fn near_miss_comments_are_not_annotations() {
+        let src = "// lint:source(other)\n// lint:sanitize\n// a lint:sanitizer in prose\n";
+        assert!(lex(src).annotations.is_empty());
     }
 }

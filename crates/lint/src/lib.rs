@@ -9,27 +9,42 @@
 //!    no hash-order iteration, no wall clock, no ad-hoc threads in compute crates.
 //! 3. **Observability no-feedback** — compute paths may *write* metrics but never read them.
 //!
-//! This crate lifts those contracts to a static check over every line of every crate: a small
-//! hand-rolled lexer ([`lexer`]) feeds a rule scanner ([`rules`]) — no `syn`, no network, no
-//! `rustc` invocation, so the tool runs in milliseconds as a CI hard gate. Violations can be
-//! waived inline with `// lint:allow(<rule>, reason = "...")`; waivers are counted, reported
-//! and themselves linted (a waiver that matches nothing is a finding).
+//! v1 enforced these with a lexer ([`lexer`]) and per-line rules ([`rules`]). v2 adds a
+//! flow-aware layer: a lightweight parse pass ([`parse`]) builds per-file function tables, a
+//! best-effort workspace call graph ([`callgraph`]) merges `// lint:source(sensitive)` /
+//! `// lint:sanitizer` annotations with inferred return taint, and a taint analysis
+//! ([`taint`]) tracks sensitive *values* (not spellings) from sources through renames,
+//! assignments and helper returns to serialization sinks. Executor-contract rules
+//! (`executor-capture`, `executor-work-hint`) and the accountant rule
+//! (`debit-before-enqueue`) statically pin the `kronpriv-par` and PR 9 ledger contracts.
+//! Still no `syn`, no network, no `rustc` invocation — the whole gate runs in milliseconds,
+//! and the workspace walk itself runs on `kronpriv-par` with a fixed path-order reduction, so
+//! report bytes are identical for any thread count.
+//!
+//! Violations can be waived inline with `// lint:allow(<rule>, reason = "...")`; waivers are
+//! counted, reported and themselves linted (a waiver that matches nothing is a finding).
 //!
 //! Run it as `cargo run -p kronpriv-lint -- --workspace-root .` (add `--json` for
-//! machine-readable findings). The fixture corpus under `crates/lint/fixtures/` is a miniature
-//! workspace of deliberate violations that the test suite requires the tool to flag.
+//! machine-readable findings, `--sarif` for SARIF 2.1.0). The fixture corpus under
+//! `crates/lint/fixtures/` is a miniature workspace of deliberate violations that the test
+//! suite requires the tool to flag.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod taint;
 
+pub use callgraph::{build_context, Context, FnFacts};
 pub use rules::{
-    classify, scan_source, Category, FileClass, FileReport, Finding, WaivedFinding,
-    DETERMINISTIC_CRATES, RULES, SENSITIVE_IDENTS, WORKSPACE_LINT_TABLE,
+    classify, scan_source, scan_source_with, Category, FileClass, FileReport, Finding,
+    WaivedFinding, DETERMINISTIC_CRATES, RULES, SENSITIVE_IDENTS, WORKSPACE_LINT_TABLE,
 };
 
+use kronpriv_par::{Executor, Work};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -37,7 +52,8 @@ use std::path::{Path, PathBuf};
 /// The aggregate result of scanning a workspace tree.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// Unwaived findings across all files, in (file, line) order. Non-empty ⇒ the gate fails.
+    /// Unwaived findings across all files, in (file, line, rule) order. Non-empty ⇒ the gate
+    /// fails.
     pub findings: Vec<Finding>,
     /// Waived findings with their reasons, for the accounting summary.
     pub waived: Vec<WaivedFinding>,
@@ -81,24 +97,65 @@ fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
+/// Per-file scan cost: lexing plus a handful of token passes over a few-KB source file.
+const FILE_SCAN_WORK: Work = Work::per_item_ns(200_000);
+
+/// Scans every `.rs` file in the workspace rooted at `root` on an automatically sized
+/// executor. See [`scan_workspace_with`].
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    scan_workspace_with(root, &Executor::auto())
+}
+
 /// Scans every `.rs` file in the workspace rooted at `root` and aggregates the per-file
 /// reports. Fails only on I/O errors; findings are data, not errors.
-pub fn scan_workspace(root: &Path) -> io::Result<Report> {
-    let mut report = Report::default();
+///
+/// Two phases: a sequential read pass collects every classifiable file and builds the
+/// workspace flow context (annotation-seeded call-graph facts closed under return-taint
+/// propagation), then the per-file rule scan fans out over `exec`. Files are sorted and the
+/// chunk-order reduction concatenates per-file reports in that fixed path order, so the
+/// resulting report — down to the byte — is independent of the thread count.
+pub fn scan_workspace_with(root: &Path, exec: &Executor) -> io::Result<Report> {
+    let mut files: Vec<(String, String)> = Vec::new();
     for rel in collect_rs_files(root)? {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
         if rules::classify(&rel_str).is_none() {
             continue;
         }
         let source = fs::read_to_string(root.join(&rel))?;
-        let file_report = scan_source(&rel_str, &source);
+        files.push((rel_str, source));
+    }
+    let ctx = build_context(&files);
+
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    let per_file = exec.map_reduce(
+        files.len(),
+        4,
+        FILE_SCAN_WORK,
+        |range| {
+            files[range]
+                .iter()
+                .map(|(rel, source)| scan_source_with(rel, source, &ctx))
+                .collect::<Vec<FileReport>>()
+        },
+        |mut acc: Vec<FileReport>, chunk| {
+            acc.extend(chunk);
+            acc
+        },
+        Vec::with_capacity(files.len()),
+    );
+    for file_report in per_file {
         report.findings.extend(file_report.findings);
         report.waived.extend(file_report.waived);
-        report.files_scanned += 1;
     }
-    report.findings.sort_by(|a, b| a.file.cmp(&b.file).then_with(|| a.line.cmp(&b.line)));
+    report.findings.sort_by(|a, b| {
+        a.file.cmp(&b.file).then_with(|| a.line.cmp(&b.line)).then_with(|| a.rule.cmp(&b.rule))
+    });
     report.waived.sort_by(|a, b| {
-        a.finding.file.cmp(&b.finding.file).then_with(|| a.finding.line.cmp(&b.finding.line))
+        a.finding
+            .file
+            .cmp(&b.finding.file)
+            .then_with(|| a.finding.line.cmp(&b.finding.line))
+            .then_with(|| a.finding.rule.cmp(&b.finding.rule))
     });
     Ok(report)
 }
@@ -131,7 +188,8 @@ impl Report {
         out
     }
 
-    /// Renders the machine-readable JSON report consumed by the CI annotation step.
+    /// Renders the machine-readable JSON report consumed by the CI annotation step. Findings
+    /// are emitted in (file, line, rule) order, so the document is byte-stable across runs.
     pub fn to_json(&self) -> kronpriv_json::Json {
         use kronpriv_json::Json;
         let finding_doc = |f: &Finding| {
@@ -161,6 +219,86 @@ impl Report {
                         })
                         .collect(),
                 ),
+            ),
+        ])
+    }
+
+    /// Renders a minimal SARIF 2.1.0 document for code-scanning upload. Unwaived findings are
+    /// `error`-level results; waived findings are included with an `inSource` suppression
+    /// carrying the waiver reason, so suppressed results stay visible to reviewers.
+    pub fn to_sarif(&self) -> kronpriv_json::Json {
+        use kronpriv_json::Json;
+        let location = |f: &Finding| {
+            Json::Array(vec![Json::Object(vec![(
+                "physicalLocation".to_string(),
+                Json::Object(vec![
+                    (
+                        "artifactLocation".to_string(),
+                        Json::Object(vec![("uri".to_string(), Json::String(f.file.clone()))]),
+                    ),
+                    (
+                        "region".to_string(),
+                        Json::Object(vec![("startLine".to_string(), Json::Number(f.line as f64))]),
+                    ),
+                ]),
+            )])])
+        };
+        let result = |f: &Finding, suppression: Option<&str>| {
+            let mut fields = vec![
+                ("ruleId".to_string(), Json::String(f.rule.clone())),
+                ("level".to_string(), Json::String("error".to_string())),
+                (
+                    "message".to_string(),
+                    Json::Object(vec![("text".to_string(), Json::String(f.message.clone()))]),
+                ),
+                ("locations".to_string(), location(f)),
+            ];
+            if let Some(reason) = suppression {
+                fields.push((
+                    "suppressions".to_string(),
+                    Json::Array(vec![Json::Object(vec![
+                        ("kind".to_string(), Json::String("inSource".to_string())),
+                        ("justification".to_string(), Json::String(reason.to_string())),
+                    ])]),
+                ));
+            }
+            Json::Object(fields)
+        };
+        let mut results: Vec<Json> = self.findings.iter().map(|f| result(f, None)).collect();
+        results.extend(self.waived.iter().map(|w| result(&w.finding, Some(&w.reason))));
+        let rules_doc = Json::Array(
+            RULES
+                .iter()
+                .map(|r| Json::Object(vec![("id".to_string(), Json::String((*r).to_string()))]))
+                .collect(),
+        );
+        Json::Object(vec![
+            (
+                "$schema".to_string(),
+                Json::String("https://json.schemastore.org/sarif-2.1.0.json".to_string()),
+            ),
+            ("version".to_string(), Json::String("2.1.0".to_string())),
+            (
+                "runs".to_string(),
+                Json::Array(vec![Json::Object(vec![
+                    (
+                        "tool".to_string(),
+                        Json::Object(vec![(
+                            "driver".to_string(),
+                            Json::Object(vec![
+                                ("name".to_string(), Json::String("kronpriv-lint".to_string())),
+                                (
+                                    "informationUri".to_string(),
+                                    Json::String(
+                                        "https://example.invalid/kronpriv-lint".to_string(),
+                                    ),
+                                ),
+                                ("rules".to_string(), rules_doc),
+                            ]),
+                        )]),
+                    ),
+                    ("results".to_string(), Json::Array(results)),
+                ])]),
             ),
         ])
     }

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p kronpriv-lint -- --workspace-root .          # human-readable findings
 //! cargo run -p kronpriv-lint -- --workspace-root . --json   # machine-readable, for CI
+//! cargo run -p kronpriv-lint -- --workspace-root . --sarif  # SARIF 2.1.0, for code scanning
 //! ```
 //!
 //! Exit status 0 means zero unwaived findings; any finding (including waiver-hygiene findings)
@@ -16,6 +17,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json = false;
+    let mut sarif = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,8 +29,9 @@ fn main() -> ExitCode {
                 }
             },
             "--json" => json = true,
+            "--sarif" => sarif = true,
             "--help" | "-h" => {
-                eprintln!("usage: kronpriv-lint [--workspace-root PATH] [--json]");
+                eprintln!("usage: kronpriv-lint [--workspace-root PATH] [--json | --sarif]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -44,7 +47,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if json {
+    if sarif {
+        println!("{}", report.to_sarif().to_pretty_string());
+    } else if json {
         println!("{}", report.to_json().to_pretty_string());
     } else {
         print!("{}", report.to_text());

@@ -1,0 +1,268 @@
+//! A lightweight parse layer over the token stream: per-file function symbol tables.
+//!
+//! This is not a Rust parser — it recognizes exactly the item shapes the flow rules need
+//! (`fn` signatures with their visibility, parameter names, return-type presence and body
+//! token span) and attaches the lexer's `lint:source`/`lint:sanitizer` annotations to the
+//! function that follows them. Like the lexer it is forgiving: unparseable shapes yield no
+//! entry rather than an error, because the compiler owns syntax diagnostics.
+
+use crate::lexer::{Annotation, AnnotationKind, Token, TokenKind};
+
+/// One function item recognized in a file.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function's bare name (no path, no generics).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the function is `pub` (any visibility restriction counts as pub here; the
+    /// server pub-return sink intentionally over-approximates).
+    pub is_pub: bool,
+    /// Whether the signature declares a return type (`-> ...`).
+    pub has_return_type: bool,
+    /// Parameter binding names, `self` included when present.
+    pub params: Vec<String>,
+    /// Token-index span of the body: `(open_brace, close_brace)` inclusive. `None` for
+    /// bodiless declarations (trait methods).
+    pub body: Option<(usize, usize)>,
+    /// `// lint:source(sensitive)` attached: calls to this function yield tainted values.
+    pub is_source: bool,
+    /// `// lint:sanitizer` attached: this function is a declared DP release boundary.
+    pub is_sanitizer: bool,
+}
+
+/// Index of the matching `close` for the `open` delimiter at `start` (which must hold `open`).
+pub(crate) fn matching(tokens: &[Token], start: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(start) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Recognizes every `fn` item in the token stream and attaches annotations.
+pub fn parse_fns(tokens: &[Token], annotations: &[Annotation]) -> Vec<FnInfo> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else { break };
+        if name_tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let Some(params_open) = find_params_open(tokens, i + 2) else {
+            i += 1;
+            continue;
+        };
+        let Some(params_close) = matching(tokens, params_open, '(', ')') else {
+            i += 1;
+            continue;
+        };
+        let (has_return_type, body) = signature_tail(tokens, params_close + 1);
+        fns.push(FnInfo {
+            name: name_tok.text.clone(),
+            line: tokens[i].line,
+            is_pub: is_pub_before(tokens, i),
+            has_return_type,
+            params: param_names(&tokens[params_open + 1..params_close]),
+            body,
+            is_source: false,
+            is_sanitizer: false,
+        });
+        // Continue scanning *inside* the body too: nested fns are rare but legal.
+        i = params_close + 1;
+    }
+    // Attach each annotation to the first fn that starts after it.
+    for ann in annotations {
+        if let Some(f) = fns.iter_mut().filter(|f| f.line > ann.line).min_by_key(|f| f.line) {
+            match ann.kind {
+                AnnotationKind::Source => f.is_source = true,
+                AnnotationKind::Sanitizer => f.is_sanitizer = true,
+            }
+        }
+    }
+    fns
+}
+
+/// Finds the opening `(` of the parameter list starting after the fn name, skipping a generic
+/// parameter list. Angle depth is tracked so `fn f<F: Fn(usize) -> u64>(x: F)` finds the
+/// *outer* paren; the `>` of `->` never closes an angle bracket.
+fn find_params_open(tokens: &[Token], mut i: usize) -> Option<usize> {
+    let mut angle = 0i64;
+    while let Some(t) = tokens.get(i) {
+        match t.kind {
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') if !(i > 0 && tokens[i - 1].is_punct('-')) => angle -= 1,
+            TokenKind::Punct('(') if angle <= 0 => return Some(i),
+            TokenKind::Punct('{' | ';' | '}') if angle <= 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Walks the signature after the params' closing paren: reports whether a `->` return type is
+/// declared and locates the body braces (or `None` at a terminating `;`).
+fn signature_tail(tokens: &[Token], mut i: usize) -> (bool, Option<(usize, usize)>) {
+    let mut has_return = false;
+    let mut depth = 0i64;
+    while let Some(t) = tokens.get(i) {
+        match t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+            TokenKind::Punct('>') if i > 0 && tokens[i - 1].is_punct('-') => has_return = true,
+            TokenKind::Punct(';') if depth <= 0 => return (has_return, None),
+            TokenKind::Punct('{') if depth <= 0 => {
+                let close = matching(tokens, i, '{', '}').unwrap_or(tokens.len() - 1);
+                return (has_return, Some((i, close)));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (has_return, None)
+}
+
+/// Extracts parameter binding names from a parameter-list token span: idents directly followed
+/// by a depth-0 `:` (plus a bare `self` receiver). Type positions never contribute.
+fn param_names(span: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0i64;
+    for (j, t) in span.iter().enumerate() {
+        match t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('<') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+            TokenKind::Punct('>') if !(j > 0 && span[j - 1].is_punct('-')) => depth -= 1,
+            TokenKind::Ident if t.text == "self" => names.push("self".to_string()),
+            TokenKind::Ident if depth <= 0 => {
+                // `name: Type` — but only before the type, never inside one: require that the
+                // previous significant token is a list position (start, `,`, `mut`, `(`).
+                let prev_ok = j == 0
+                    || span[j - 1].is_punct(',')
+                    || span[j - 1].is_punct('(')
+                    || span[j - 1].is_ident("mut");
+                if prev_ok
+                    && span.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && !span.get(j + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    names.push(t.text.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// True when the tokens immediately before index `i` (the `fn` keyword) carry a `pub`
+/// visibility, skipping `const` / `async` / `unsafe` / `extern "..."` qualifiers and a
+/// parenthesized visibility restriction like `pub(crate)`.
+fn is_pub_before(tokens: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        let p = &tokens[j - 1];
+        let qualifier = p.is_ident("const")
+            || p.is_ident("async")
+            || p.is_ident("unsafe")
+            || p.is_ident("extern")
+            || p.kind == TokenKind::StrLit;
+        if qualifier {
+            j -= 1;
+            continue;
+        }
+        if p.is_punct(')') {
+            // Possibly the close of `pub(crate)` / `pub(super)` / `pub(in path)`.
+            let mut k = j - 1;
+            let mut depth = 0i64;
+            loop {
+                match tokens[k].kind {
+                    TokenKind::Punct(')') => depth += 1,
+                    TokenKind::Punct('(') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if k == 0 {
+                    return false;
+                }
+                k -= 1;
+            }
+            return k > 0 && tokens[k - 1].is_ident("pub");
+        }
+        return p.is_ident("pub");
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns_of(src: &str) -> Vec<FnInfo> {
+        let lexed = lex(src);
+        parse_fns(&lexed.tokens, &lexed.annotations)
+    }
+
+    #[test]
+    fn signatures_are_recognized_with_visibility_and_return_type() {
+        let src =
+            "pub fn a(x: u64) -> u64 { x }\nfn b() {}\npub(crate) const fn c() -> bool { true }\n";
+        let fns = fns_of(src);
+        assert_eq!(fns.len(), 3);
+        assert!(fns[0].is_pub && fns[0].has_return_type && fns[0].body.is_some());
+        assert_eq!(fns[0].params, vec!["x"]);
+        assert!(!fns[1].is_pub && !fns[1].has_return_type);
+        assert!(fns[2].is_pub && fns[2].has_return_type, "pub(crate) const fn is pub");
+    }
+
+    #[test]
+    fn generic_bounds_with_fn_traits_do_not_confuse_the_param_list() {
+        let src = "pub fn run<F: Fn(usize) -> u64>(f: F, n: usize) -> u64 { f(n) }\n";
+        let fns = fns_of(src);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].params, vec!["f", "n"]);
+        assert!(fns[0].has_return_type);
+    }
+
+    #[test]
+    fn impl_fn_params_keep_binding_names_only() {
+        let src = "fn go(f: impl Fn(&[f64]) -> f64 + Sync, bounds: &Bounds) {}\n";
+        let fns = fns_of(src);
+        assert_eq!(fns[0].params, vec!["bounds", "f"]);
+    }
+
+    #[test]
+    fn annotations_attach_to_the_next_fn() {
+        let src = "// lint:source(sensitive)\npub fn exact() -> u64 { 0 }\n\n// lint:sanitizer\n/// docs between annotation and item are fine\npub fn release(v: f64) -> f64 { v }\nfn plain() {}\n";
+        let fns = fns_of(src);
+        assert!(fns[0].is_source && !fns[0].is_sanitizer);
+        assert!(fns[1].is_sanitizer && !fns[1].is_source);
+        assert!(!fns[2].is_source && !fns[2].is_sanitizer);
+    }
+
+    #[test]
+    fn bodiless_trait_methods_have_no_body_span() {
+        let fns = fns_of("trait T { fn f(&self) -> u64; }\n");
+        assert_eq!(fns.len(), 1);
+        assert!(fns[0].body.is_none());
+        assert_eq!(fns[0].params, vec!["self"]);
+    }
+}

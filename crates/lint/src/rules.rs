@@ -18,7 +18,10 @@
 //!   directly above. Waivers are counted and reported; a waiver that matches nothing is itself
 //!   a finding (`stale-waiver`), so they cannot silently rot.
 
+use crate::callgraph::{build_context, Context};
 use crate::lexer::{lex, Token, TokenKind, Waiver};
+use crate::parse::{matching, parse_fns, FnInfo};
+use crate::taint;
 
 /// Identifiers that hold *sensitive* (unreleased) values: the exact triangle count and the raw
 /// noisy degree sequence, under every name the workspace uses for them. These must never reach
@@ -56,7 +59,7 @@ pub const WORKSPACE_LINT_TABLE: &[&str] =
     &["unwrap_used", "dbg_macro", "todo", "unimplemented", "unused_must_use", "unsafe_code"];
 
 /// The serialization macros of `kronpriv-json` whose invocations define the release boundary.
-const SERIALIZE_MACROS: &[&str] = &[
+pub(crate) const SERIALIZE_MACROS: &[&str] = &[
     "impl_json_struct",
     "impl_json_struct_lenient",
     "impl_json_struct_with_defaults",
@@ -77,15 +80,34 @@ const HASH_ITER_METHODS: &[&str] = &[
     "retain",
 ];
 
+/// The deterministic executor's entry points: the first closure argument after the `Work`
+/// hint runs on worker threads and must be a pure `Fn + Sync` map.
+const EXECUTOR_ENTRY_POINTS: &[&str] = &["map_reduce", "try_map_reduce", "fold_reduce"];
+
+/// Interior-mutability type names that must not appear inside a parallel closure: shared
+/// mutation through them is exactly the cross-thread feedback the chunk-order contract bans.
+const INTERIOR_MUT_TYPES: &[&str] = &["RefCell", "Cell"];
+
+/// Method names that enqueue a job for execution in `crates/server`; each must be dominated
+/// by a ledger debit in the same function (the PR 9 debit-before-execute invariant).
+const ENQUEUE_METHODS: &[&str] = &["run", "submit"];
+
+/// The ledger debit calls that license an enqueue.
+const DEBIT_CALLS: &[&str] = &["try_debit", "force_debit"];
+
 /// Every enforceable rule name, in the order findings are reported.
 pub const RULES: &[&str] = &[
     "privacy-serialize",
+    "privacy-taint",
     "forbid-unsafe",
     "hash-iter",
     "determinism-time",
     "determinism-thread",
     "allow-attr",
     "obs-read",
+    "executor-capture",
+    "executor-work-hint",
+    "debit-before-enqueue",
 ];
 
 /// One violation (or would-be violation, before waiver matching).
@@ -168,23 +190,42 @@ pub fn classify(rel: &str) -> Option<FileClass> {
     Some(FileClass { crate_name, category })
 }
 
-/// Scans one file's source text under its workspace-relative path.
+/// Scans one file's source text under its workspace-relative path, building a single-file
+/// flow context (intra-file taint works; cross-file taint needs [`scan_source_with`]).
 pub fn scan_source(rel: &str, source: &str) -> FileReport {
+    let ctx = build_context(&[(rel.to_string(), source.to_string())]);
+    scan_source_with(rel, source, &ctx)
+}
+
+/// Scans one file against a prebuilt workspace flow context ([`build_context`]).
+pub fn scan_source_with(rel: &str, source: &str, ctx: &Context) -> FileReport {
     let Some(class) = classify(rel) else {
         return FileReport::default();
     };
     let lexed = lex(source);
     let lines: Vec<&str> = source.lines().collect();
     let test_spans = test_spans(&lexed.tokens);
-    let mut scan =
-        Scan { rel, class, tokens: &lexed.tokens, lines: &lines, test_spans, raw: Vec::new() };
+    let fns = parse_fns(&lexed.tokens, &lexed.annotations);
+    let mut scan = Scan {
+        rel,
+        class,
+        tokens: &lexed.tokens,
+        lines: &lines,
+        test_spans,
+        fns,
+        ctx,
+        raw: Vec::new(),
+    };
     scan.privacy_serialize();
+    scan.privacy_taint();
     scan.forbid_unsafe();
     scan.hash_iter();
     scan.determinism_time();
     scan.determinism_thread();
     scan.allow_attr();
     scan.obs_read();
+    scan.executor_contracts();
+    scan.debit_before_enqueue();
     apply_waivers(scan.raw, &lexed.waivers, rel, &lines)
 }
 
@@ -285,22 +326,6 @@ fn match_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
     is_test.then_some(close + 1)
 }
 
-/// Index of the matching `close` for the `open` delimiter at `start` (which must hold `open`).
-fn matching(tokens: &[Token], start: usize, open: char, close: char) -> Option<usize> {
-    let mut depth = 0usize;
-    for (j, t) in tokens.iter().enumerate().skip(start) {
-        if t.is_punct(open) {
-            depth += 1;
-        } else if t.is_punct(close) {
-            depth -= 1;
-            if depth == 0 {
-                return Some(j);
-            }
-        }
-    }
-    None
-}
-
 /// Skips one item starting at `i` (past its attributes): ends after the first `;` outside any
 /// braces, or after the matching `}` of the item's body. Intermediate attributes are consumed.
 fn skip_item(tokens: &[Token], mut i: usize) -> usize {
@@ -330,12 +355,48 @@ fn skip_item(tokens: &[Token], mut i: usize) -> usize {
     tokens.len()
 }
 
+/// Splits a call's argument-list token span (`lo..close`, parens excluded) at top-level
+/// commas, returning `(start, end)` token ranges. Closure parameter pipes are tracked so the
+/// commas in `|acc: u64, partial|` never split; a `|` opens closure parameters only in
+/// argument-initial position (start of an argument or after `move`), so bitwise-or in
+/// argument expressions is ignored.
+fn split_args(tokens: &[Token], lo: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut args = Vec::new();
+    let mut depth = 0i64;
+    let mut start = lo;
+    let mut in_pipes = false;
+    for j in lo..close {
+        match tokens[j].kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => depth -= 1,
+            TokenKind::Punct('|') if depth == 0 => {
+                if in_pipes {
+                    in_pipes = false;
+                } else if j == start || tokens[j - 1].is_ident("move") {
+                    in_pipes = true;
+                }
+            }
+            TokenKind::Punct(',') if depth == 0 && !in_pipes => {
+                args.push((start, j));
+                start = j + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < close {
+        args.push((start, close));
+    }
+    args
+}
+
 struct Scan<'a> {
     rel: &'a str,
     class: FileClass,
     tokens: &'a [Token],
     lines: &'a [&'a str],
     test_spans: Vec<(usize, usize)>,
+    fns: Vec<FnInfo>,
+    ctx: &'a Context,
     raw: Vec<Finding>,
 }
 
@@ -740,6 +801,305 @@ impl Scan<'_> {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    /// Rule `privacy-taint`: flow-aware companion to `privacy-serialize`. Sensitive *sources*
+    /// (deny-list names, `// lint:source(sensitive)` functions, and helpers with inferred
+    /// tainted returns) propagate through `let` bindings and assignments; a finding fires when
+    /// a tainted value reaches a *sink* — a serialization-macro invocation, manual `Json`
+    /// construction, or a `pub` return in `crates/server` — without passing a declared
+    /// `// lint:sanitizer` release function. This is what catches the rename the deny list
+    /// cannot: `let t = exact_triangle_count; Json::Number(t as f64)`.
+    fn privacy_taint(&mut self) {
+        if self.class.category != Category::Lib {
+            return;
+        }
+        let fns = self.fns.clone();
+        for f in &fns {
+            let Some((open, close)) = f.body else { continue };
+            // A declared sanitizer body is the trusted boundary: it handles raw values by
+            // definition, so sink checks are suppressed inside it.
+            if f.is_sanitizer || self.ctx.is_sanitizer(&f.name) {
+                continue;
+            }
+            let analysis = taint::analyze(self.tokens, f, self.ctx);
+            let excised = taint::excised_mask(self.tokens, open + 1, close, self.ctx);
+            let mut i = open + 1;
+            while i < close {
+                let t = &self.tokens[i];
+                let is_macro = t.kind == TokenKind::Ident
+                    && SERIALIZE_MACROS.contains(&t.text.as_str())
+                    && self.tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+                if is_macro {
+                    if let Some(mclose) = matching(self.tokens, i + 2, '(', ')') {
+                        self.taint_sink_span(i + 2, mclose, &analysis, &excised, true);
+                        i = mclose + 1;
+                        continue;
+                    }
+                }
+                let is_json = t.is_ident("Json")
+                    && self.tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && self.tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                    && self.tokens.get(i + 3).is_some_and(|n| n.kind == TokenKind::Ident)
+                    && self.tokens.get(i + 4).is_some_and(|n| n.is_punct('('));
+                if is_json {
+                    if let Some(jclose) = matching(self.tokens, i + 4, '(', ')') {
+                        self.taint_sink_span(i + 5, jclose, &analysis, &excised, false);
+                        i += 5;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            // Deny-listed spellings in server code are already rule-c `privacy-serialize`
+            // findings; the flow sink only adds the leaks that arrive through renames or
+            // call returns.
+            if self.crate_is("server")
+                && f.is_pub
+                && f.has_return_type
+                && analysis.return_tainted
+                && !analysis.return_deny_listed
+            {
+                let line = analysis.return_line.unwrap_or(f.line);
+                if !self.in_test(line) {
+                    let name = f.name.clone();
+                    self.push(
+                        "privacy-taint",
+                        line,
+                        format!(
+                            "`pub fn {name}` in crates/server returns a value derived from a \
+                             sensitive source without passing a declared sanitizer"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reports every tainted, non-excised token inside a sink span. Bare deny-list names are
+    /// skipped where `privacy-serialize` already owns them (serialization macros everywhere,
+    /// and all of `crates/server`) so the two rules never double-report one leak.
+    fn taint_sink_span(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        analysis: &taint::FnTaint,
+        excised: &taint::Excised,
+        in_macro: bool,
+    ) {
+        for j in lo..hi.min(self.tokens.len()) {
+            let t = &self.tokens[j];
+            if excised.contains(j)
+                || self.in_test(t.line)
+                || !taint::token_tainted(self.tokens, j, &analysis.tainted, self.ctx)
+            {
+                continue;
+            }
+            let deny_listed = SENSITIVE_IDENTS.contains(&t.text.as_str());
+            if deny_listed && (in_macro || self.crate_is("server")) {
+                continue;
+            }
+            let (line, text) = (t.line, t.text.clone());
+            let what = if in_macro { "a serialization macro" } else { "manual Json construction" };
+            self.push(
+                "privacy-taint",
+                line,
+                format!(
+                    "`{text}` carries a sensitive value into {what} without passing a declared \
+                     sanitizer — route it through the DP release functions in crates/dp"
+                ),
+            );
+        }
+    }
+
+    /// Rules `executor-capture` and `executor-work-hint`: the executor-contract family.
+    ///
+    /// Closures in the parallel (`Fn + Sync`) positions of `map_reduce`/`try_map_reduce`/
+    /// `fold_reduce` must not mutably borrow captured state or touch interior-mutability
+    /// types — cross-thread feedback would break the byte-identical-for-any-thread-count
+    /// contract. The sequential fold/merge positions are exempt (they run on the calling
+    /// thread, in chunk order). Separately, the cost-hint argument must visibly carry a
+    /// `Work` value so new kernels cannot silently opt out of work-aware cutoffs.
+    fn executor_contracts(&mut self) {
+        if self.class.category != Category::Lib {
+            return;
+        }
+        let work_typed = self.typed_idents(&["Work"]);
+        for i in 0..self.tokens.len() {
+            let t = &self.tokens[i];
+            let is_entry = t.kind == TokenKind::Ident
+                && EXECUTOR_ENTRY_POINTS.contains(&t.text.as_str())
+                && i > 0
+                && self.tokens[i - 1].is_punct('.')
+                && self.tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if !is_entry || self.in_test(t.line) {
+                continue;
+            }
+            let Some(close) = matching(self.tokens, i + 1, '(', ')') else { continue };
+            let args = split_args(self.tokens, i + 2, close);
+            let name = t.text.clone();
+            if let Some(&(lo, hi)) = args.get(2) {
+                let hinted = (lo..hi).any(|j| {
+                    let a = &self.tokens[j];
+                    a.kind == TokenKind::Ident
+                        && (a.text.to_ascii_lowercase().contains("work")
+                            || work_typed.contains(&a.text))
+                });
+                if !hinted {
+                    let line = self.tokens[lo].line;
+                    self.push(
+                        "executor-work-hint",
+                        line,
+                        format!(
+                            "`{name}` call without a visible `Work` cost hint — kernel entry \
+                             points must carry one for work-aware sequential cutoffs"
+                        ),
+                    );
+                }
+            }
+            let parallel_args: &[usize] = if name == "fold_reduce" { &[3, 4] } else { &[3] };
+            for &ai in parallel_args {
+                if let Some(&(lo, hi)) = args.get(ai) {
+                    self.parallel_closure_captures(lo, hi, &name);
+                }
+            }
+        }
+    }
+
+    /// Checks one parallel-position argument: if it is a closure literal, its body must not
+    /// mutably borrow anything it did not bind itself, nor mention an interior-mutability or
+    /// atomic type.
+    fn parallel_closure_captures(&mut self, lo: usize, hi: usize, entry: &str) {
+        let mut j = lo;
+        if self.tokens.get(j).is_some_and(|t| t.is_ident("move")) {
+            j += 1;
+        }
+        if !self.tokens.get(j).is_some_and(|t| t.is_punct('|')) {
+            return; // not a closure literal (a named fn or forwarded binding) — out of scope
+        }
+        let mut params_close = j + 1;
+        while params_close < hi && !self.tokens[params_close].is_punct('|') {
+            params_close += 1;
+        }
+        if params_close >= hi {
+            return;
+        }
+        // Closure-locals: parameter bindings plus `let`/`for` bindings in the body. `&mut` on
+        // these is fine (per-chunk state); `&mut` on anything else is a captured borrow.
+        let mut locals: Vec<String> = Vec::new();
+        for k in j + 1..params_close {
+            let t = &self.tokens[k];
+            if t.kind == TokenKind::Ident && !(k > j + 1 && self.tokens[k - 1].is_punct(':')) {
+                locals.push(t.text.clone());
+            }
+        }
+        let body = (params_close + 1, hi);
+        for k in body.0..body.1 {
+            if self.tokens[k].is_ident("let") {
+                let mut m = k + 1;
+                while m < body.1 {
+                    let t = &self.tokens[m];
+                    if t.is_punct('=') || t.is_punct(';') {
+                        break;
+                    }
+                    if t.kind == TokenKind::Ident
+                        && !matches!(t.text.as_str(), "mut" | "ref" | "box")
+                        && !(m > 0 && self.tokens[m - 1].is_punct(':'))
+                    {
+                        locals.push(t.text.clone());
+                    }
+                    m += 1;
+                }
+            }
+            if self.tokens[k].is_ident("for") {
+                let mut m = k + 1;
+                while m < body.1 && !self.tokens[m].is_ident("in") {
+                    if self.tokens[m].kind == TokenKind::Ident {
+                        locals.push(self.tokens[m].text.clone());
+                    }
+                    m += 1;
+                }
+            }
+        }
+        for k in body.0..body.1 {
+            let t = &self.tokens[k];
+            if t.kind == TokenKind::Ident
+                && (INTERIOR_MUT_TYPES.contains(&t.text.as_str()) || t.text.starts_with("Atomic"))
+            {
+                let (line, text) = (t.line, t.text.clone());
+                self.push(
+                    "executor-capture",
+                    line,
+                    format!(
+                        "`{text}` inside a parallel closure passed to `{entry}` — \
+                         interior-mutability shared across worker threads breaks the \
+                         deterministic chunk-order contract"
+                    ),
+                );
+            }
+            if t.is_punct('&') && self.tokens.get(k + 1).is_some_and(|n| n.is_ident("mut")) {
+                let mut target = k + 2;
+                while self.tokens.get(target).is_some_and(|x| x.is_punct('*')) {
+                    target += 1;
+                }
+                if let Some(tok) = self.tokens.get(target) {
+                    if tok.kind == TokenKind::Ident && !locals.contains(&tok.text) {
+                        let (line, text) = (tok.line, tok.text.clone());
+                        self.push(
+                            "executor-capture",
+                            line,
+                            format!(
+                                "`&mut {text}` borrows captured state inside a parallel \
+                                 closure passed to `{entry}` — parallel closures must be \
+                                 `Fn + Sync` over their environment"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rule `debit-before-enqueue`: in `crates/server`, a `jobs.run(...)`/`jobs.submit(...)`
+    /// enqueue must be preceded in the same function by a ledger debit (`try_debit` /
+    /// `force_debit`) — the static form of PR 9's debit-before-execute accountant invariant.
+    fn debit_before_enqueue(&mut self) {
+        if !self.crate_is("server") || self.class.category != Category::Lib {
+            return;
+        }
+        let bodies: Vec<(usize, usize)> = self.fns.iter().filter_map(|f| f.body).collect();
+        for i in 0..self.tokens.len() {
+            let t = &self.tokens[i];
+            let is_enqueue = t.is_ident("jobs")
+                && self.tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                && self.tokens.get(i + 2).is_some_and(|n| {
+                    n.kind == TokenKind::Ident && ENQUEUE_METHODS.contains(&n.text.as_str())
+                })
+                && self.tokens.get(i + 3).is_some_and(|n| n.is_punct('('));
+            if !is_enqueue || self.in_test(t.line) {
+                continue;
+            }
+            let Some(&(open, _)) = bodies.iter().find(|&&(o, c)| (o..=c).contains(&i)) else {
+                continue;
+            };
+            let debited = (open..i).any(|j| {
+                let d = &self.tokens[j];
+                d.kind == TokenKind::Ident
+                    && DEBIT_CALLS.contains(&d.text.as_str())
+                    && self.tokens.get(j + 1).is_some_and(|n| n.is_punct('('))
+            });
+            if !debited {
+                let (line, method) = (self.tokens[i + 2].line, self.tokens[i + 2].text.clone());
+                self.push(
+                    "debit-before-enqueue",
+                    line,
+                    format!(
+                        "`jobs.{method}(...)` without a preceding ledger debit in the same \
+                         function — the accountant contract requires debit-before-execute"
+                    ),
+                );
             }
         }
     }

@@ -11,7 +11,10 @@
 //! 3. **Real tree** — the actual workspace must scan clean: zero unwaived findings, and every
 //!    waiver carries a reason.
 
-use kronpriv_lint::{scan_source, scan_workspace, SENSITIVE_IDENTS, WORKSPACE_LINT_TABLE};
+use kronpriv_lint::{
+    scan_source, scan_workspace, scan_workspace_with, SENSITIVE_IDENTS, WORKSPACE_LINT_TABLE,
+};
+use kronpriv_par::Executor;
 use std::path::Path;
 
 fn fixture_root() -> &'static Path {
@@ -38,6 +41,8 @@ const EXPECTED: &[(&str, usize, &str)] = &[
     ("crates/dp/src/privacy_bad.rs", 12, "privacy-serialize"),
     ("crates/dp/src/privacy_bad.rs", 16, "privacy-serialize"),
     ("crates/dp/src/privacy_redacted_bad.rs", 6, "privacy-serialize"),
+    ("crates/dp/src/taint_helper_bad.rs", 15, "privacy-taint"),
+    ("crates/dp/src/taint_rename_bad.rs", 5, "privacy-taint"),
     ("crates/dp/src/time_bad.rs", 4, "determinism-time"),
     ("crates/dp/src/time_bad.rs", 8, "determinism-time"),
     ("crates/dp/src/time_bad.rs", 11, "determinism-time"),
@@ -47,10 +52,16 @@ const EXPECTED: &[(&str, usize, &str)] = &[
     ("crates/dp/src/waiver_bad.rs", 12, "waiver-syntax"),
     ("crates/dp/src/waiver_bad.rs", 16, "stale-waiver"),
     ("crates/graph/src/lib.rs", 1, "forbid-unsafe"),
+    ("crates/server/src/enqueue_bad.rs", 3, "debit-before-enqueue"),
+    ("crates/server/src/pub_return_bad.rs", 9, "privacy-taint"),
     ("crates/server/src/wire_bad.rs", 7, "privacy-serialize"),
     ("crates/server/src/wire_bad.rs", 9, "privacy-serialize"),
     ("crates/server/src/wire_v1_bad.rs", 7, "privacy-serialize"),
     ("crates/server/src/wire_v1_bad.rs", 9, "privacy-serialize"),
+    ("crates/stats/src/exec_capture_bad.rs", 11, "executor-capture"),
+    ("crates/stats/src/exec_capture_bad.rs", 27, "executor-capture"),
+    ("crates/stats/src/exec_work_bad.rs", 6, "executor-work-hint"),
+    ("crates/stats/src/taint_cross_bad.rs", 5, "privacy-taint"),
     ("crates/stats/src/thread_bad.rs", 5, "determinism-thread"),
     ("crates/stats/src/thread_bad.rs", 8, "determinism-thread"),
     ("crates/stats/src/thread_bad.rs", 11, "determinism-thread"),
@@ -101,6 +112,36 @@ fn every_rule_has_a_failing_fixture() {
             "rule `{rule}` has no failing fixture in the corpus"
         );
     }
+}
+
+/// The tentpole's proof obligation: a deny-listed value laundered through a rename reaches a
+/// serialization sink. v1's spelling-based rules produce *nothing* for this file — only the
+/// flow-aware taint rule catches it.
+#[test]
+fn renamed_sensitive_value_is_invisible_to_v1_rules_but_caught_by_taint() {
+    let report = scan_workspace(fixture_root()).expect("fixture tree scans");
+    let rename_findings: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.file == "crates/dp/src/taint_rename_bad.rs")
+        .map(|f| f.rule.as_str())
+        .collect();
+    assert!(!rename_findings.is_empty(), "the rename leak was not caught at all");
+    assert!(
+        rename_findings.iter().all(|r| *r == "privacy-taint"),
+        "only the v2 taint rule can see the rename leak; v1 rules fired: {rename_findings:?}"
+    );
+}
+
+/// The parallel workspace walk must be thread-count-invariant down to the byte: the fixed
+/// path-order reduction makes one thread and four produce identical reports.
+#[test]
+fn report_bytes_are_identical_for_any_thread_count() {
+    let one = scan_workspace_with(fixture_root(), &Executor::new(1)).expect("scan on 1 thread");
+    let four = scan_workspace_with(fixture_root(), &Executor::new(4)).expect("scan on 4 threads");
+    assert_eq!(one.to_text(), four.to_text());
+    assert_eq!(one.to_json().to_pretty_string(), four.to_json().to_pretty_string());
+    assert_eq!(one.to_sarif().to_pretty_string(), four.to_sarif().to_pretty_string());
 }
 
 /// Deleting an entry from the sensitive-identifier deny list must fail the gate: every entry

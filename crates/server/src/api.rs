@@ -696,8 +696,10 @@ mod tests {
         .unwrap();
         let doc = EstimateResult::from_estimate(&est, 1, false);
         let text = to_string(&doc);
-        assert!(!text.contains("\"exact\""), "exact count leaked: {text}");
-        assert!(!text.contains("noisy_degrees"), "raw noisy degrees leaked: {text}");
+        // One shared deny list: the same const kronpriv-lint enforces statically.
+        for ident in kronpriv_lint::SENSITIVE_IDENTS {
+            assert!(!text.contains(&format!("\"{ident}\"")), "`{ident}` leaked: {text}");
+        }
         let back: EstimateResult = from_str(&text).unwrap();
         assert_eq!(back, doc);
         // Opting into the degree sequence includes exactly the released (post-processed) one.

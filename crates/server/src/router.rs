@@ -146,6 +146,7 @@ pub fn route(state: &AppState, request: &Request) -> Response {
     let (canonical, deprecated) = canonical_path(path);
     let response = dispatch(state, request, &canonical);
     if deprecated {
+        // lint:allow(privacy-taint, reason = "responses can only carry baseline fits of graphs the client itself supplied: dataset-backed jobs are forced to the private estimator at admission (SpecError::NonPrivate in prepare_job)")
         response.with_header("Deprecation", "true")
     } else {
         response
@@ -645,7 +646,7 @@ fn submit_spec(state: &AppState, spec: JobSpec) -> Response {
             Ok(()) => state.persist_record("debit", || {
                 vec![
                     ("name", Json::String(name.clone())),
-                    ("epsilon", Json::Number(epsilon)),
+                    ("epsilon", Json::Number(epsilon)), // lint:allow(privacy-taint, reason = "epsilon and delta are the request's declared budget draw, not data-derived values; they reach here through PreparedJob, which the taint analysis over-approximates as sensitive because its work closure computes the release")
                     ("delta", Json::Number(delta)),
                 ]
             }),
@@ -659,7 +660,7 @@ fn submit_spec(state: &AppState, spec: JobSpec) -> Response {
     let job_id = state.jobs.create(None, warnings.clone(), Some(spec_json.clone()));
     state.persist_record("job_submitted", || {
         vec![
-            ("job_id", Json::Number(job_id as f64)),
+            ("job_id", Json::Number(job_id as f64)), // lint:allow(privacy-taint, reason = "job_id and warnings are admission metadata (a counter and config advisories); they pick up taint only because they travel next to PreparedJob, whose work closure computes the release")
             ("warnings", Json::Array(warnings.iter().map(|w| Json::String(w.clone())).collect())),
             ("spec", spec_json),
         ]
@@ -784,6 +785,7 @@ pub fn replay_pending(state: &AppState, pending: Vec<PendingJob>) {
                 // Persisted warnings — not freshly computed ones — keep the poll document
                 // byte-identical across the restart even if the server config changed.
                 state.jobs.create(Some(job.id), job.warnings, Some(job.spec));
+                // lint:allow(debit-before-enqueue, reason = "boot replay: the original debit record was already replayed from the durable log before any pending job re-runs, so debiting again here would double-charge the dataset")
                 state.jobs.run(job.id, prepared.work);
             }
             Err(e) => state.jobs.restore_finished(

@@ -23,7 +23,18 @@ cargo clippy --offline --all-targets -- -D warnings
 echo "==> kronpriv-lint (static privacy/determinism/no-feedback gate)"
 # The invariant checker (crates/lint): zero unwaived findings or the build fails. Waivers
 # (`// lint:allow(<rule>, reason = "...")`) are printed with their reasons for the record.
+# The scan itself runs under a wall-clock budget: the v2 analyzer does whole-workspace taint
+# propagation and a call-graph fixpoint, and this guard keeps that work from quietly growing
+# into a multi-minute gate (the parallel file scan should keep it well under the bound).
+lint_budget_s="${LINT_BUDGET_S:-30}"
+lint_started="$(date +%s)"
 cargo run -q --release --offline -p kronpriv-lint -- --workspace-root .
+lint_elapsed="$(( $(date +%s) - lint_started ))"
+echo "kronpriv-lint scan took ${lint_elapsed}s (budget: ${lint_budget_s}s)"
+if (( lint_elapsed > lint_budget_s )); then
+    echo "kronpriv-lint exceeded its ${lint_budget_s}s wall-clock budget" >&2
+    exit 1
+fi
 
 if [[ "${1:-}" == "--quick" ]]; then
     echo "==> bench harness smoke run"

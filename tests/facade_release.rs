@@ -43,11 +43,16 @@ fn release_synthetic_graph_end_to_end_on_a_small_seeded_graph() {
     // bookkeeping, and the document round-trips structurally.
     let doc = release.estimate.to_json();
     let text = doc.to_pretty_string();
-    // The privacy boundary, at the outermost serialization point: the exact triangle count and
-    // the raw noisy degree sequence are redacted fields — they must never appear anywhere in
-    // the serialized release, under any nesting. (kronpriv-lint enforces the same statically.)
-    assert!(!text.contains("\"exact\""), "exact triangle count leaked into the release JSON");
-    assert!(!text.contains("noisy_degrees"), "raw noisy degrees leaked into the release JSON");
+    // The privacy boundary, at the outermost serialization point: no deny-listed field (the
+    // exact triangle count, the raw noisy degree sequence) may appear as a key anywhere in
+    // the serialized release, under any nesting. The list is the single shared const that
+    // kronpriv-lint also enforces statically.
+    for ident in kronpriv_lint::SENSITIVE_IDENTS {
+        assert!(
+            !text.contains(&format!("\"{ident}\"")),
+            "sensitive field `{ident}` leaked into the release JSON"
+        );
+    }
     let reparsed = kronpriv_json::Json::parse(&text).expect("release JSON reparses");
     let a = reparsed
         .get("fit")

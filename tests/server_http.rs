@@ -75,9 +75,13 @@ fn assert_valid_release(result: &Json, expected_epsilon: f64) {
         let v = s.as_f64().expect("private statistics are numbers");
         assert!(v.is_finite() && v >= 0.0, "private statistic {v}");
     }
-    // The privacy boundary: the exact triangle count must never appear on the wire.
+    // The privacy boundary: no deny-listed field (the same shared const kronpriv-lint
+    // enforces statically) may appear on the wire.
     let triangle = result.get("triangle_release").expect("result has triangle_release");
-    assert!(triangle.get("exact").is_none(), "exact triangle count leaked");
+    for ident in kronpriv_lint::SENSITIVE_IDENTS {
+        assert!(triangle.get(ident).is_none(), "sensitive field `{ident}` leaked");
+        assert!(result.get(ident).is_none(), "sensitive field `{ident}` leaked");
+    }
     assert!(triangle.get("value").expect("release has value").as_f64().is_some());
 }
 
@@ -153,8 +157,11 @@ fn edge_list_upload_round_trips_through_the_pipeline() {
     let result = poll.get("result").unwrap();
     let degrees = result.get("degree_sequence").unwrap().as_array().unwrap();
     assert_eq!(degrees.len(), 60, "one released degree per node");
-    // The raw noisy (pre-postprocessing) sequence stays server-side.
-    assert!(result.get("noisy_degrees").is_none());
+    // The raw noisy (pre-postprocessing) sequence stays server-side, along with every other
+    // deny-listed field.
+    for ident in kronpriv_lint::SENSITIVE_IDENTS {
+        assert!(result.get(ident).is_none(), "sensitive field `{ident}` leaked");
+    }
     handle.shutdown();
 }
 
